@@ -1,0 +1,35 @@
+//! # a64fx-apps — the six benchmark applications
+//!
+//! Rust implementations of every benchmark in *Investigating Applications on
+//! the A64FX* (Jackson et al., CLUSTER 2020), each in two coupled forms:
+//!
+//! 1. a **real mini implementation** that actually computes (and is tested
+//!    for correctness/physics at laptop scale), and
+//! 2. a **work model** emitting an execution [`trace`] — compute phases with
+//!    flop/byte counts plus communication phases — at the paper's full
+//!    problem sizes, which the `a64fx-core` cost model replays on the
+//!    simulated systems.
+//!
+//! The two forms share their kernels and closed-form work formulas, and the
+//! test suites assert that the formulas match instrumented real runs.
+//!
+//! | module | paper benchmark | core kernels |
+//! |---|---|---|
+//! | [`hpcg`] | HPCG (§V) | MG-preconditioned CG, SpMV, SymGS |
+//! | [`minikab`] | minikab (§VI.A) | plain CG on a structural matrix |
+//! | [`nekbone`] | Nekbone (§VI.B) | spectral-element `ax` tensor kernel |
+//! | [`cosa`] | COSA (§VII.A) | harmonic-balance block multigrid CFD |
+//! | [`castep`] | CASTEP TiN (§VII.B) | 3-D FFT + BLAS3 SCF cycles |
+//! | [`opensbli`] | OpenSBLI TGV (§VII.C) | 4th-order finite differences |
+
+#![warn(missing_docs)]
+
+pub mod castep;
+pub mod cosa;
+pub mod hpcg;
+pub mod minikab;
+pub mod nekbone;
+pub mod opensbli;
+pub mod trace;
+
+pub use trace::{KernelClass, Phase, Trace, WorkDist};

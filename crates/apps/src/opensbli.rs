@@ -1,0 +1,444 @@
+//! OpenSBLI — compressible finite-difference CFD (paper §VII.C).
+//!
+//! OpenSBLI generates C code (via OPS) solving the compressible
+//! Navier–Stokes equations; the paper's benchmark is the **Taylor–Green
+//! vortex** in a cubic periodic domain of length 2π on a 64³ grid (chosen so
+//! it fits in the A64FX's 32 GB), pure-MPI, minimal I/O, strong-scaled over
+//! 1–8 nodes (Table X). It is the one benchmark where the A64FX clearly
+//! *loses* — ~3× slower than Fulhame/NGIO on one node — which the authors'
+//! profiling attributes to instruction fetch waits and L2 integer loads:
+//! many small generated stencil kernels that the A64FX front end dislikes.
+//!
+//! [`run_real`] is an actual compressible solver: conservative variables,
+//! 4th-order central fluxes, Laplacian viscosity, JST-style 4th-difference
+//! dissipation, SSP-RK3 time stepping, periodic domain. The tests verify
+//! conservation and TGV physics. [`trace`] emits the strong-scaling work
+//! model; the A64FX front-end penalty lives in the cost model's `StencilFD`
+//! calibration, as documented in DESIGN.md.
+
+use crate::trace::{KernelClass, Phase, Trace, WorkDist};
+use densela::Work;
+use sparsela::partition::Partition3d;
+
+const F64B: u64 = 8;
+/// Conservative fields: ρ, ρu, ρv, ρw, E.
+const NFIELDS: usize = 5;
+
+/// OpenSBLI configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpensbliConfig {
+    /// Global cubic grid edge (paper: 64).
+    pub grid: usize,
+    /// Time steps in the benchmark run.
+    pub steps: u32,
+    /// Viscosity (1/Re).
+    pub viscosity: f64,
+    /// Time step size.
+    pub dt: f64,
+}
+
+impl OpensbliConfig {
+    /// The paper's TGV benchmark: 64³, pure MPI. The paper's runtimes
+    /// (seconds over the whole run) correspond to a short fixed-step run;
+    /// we use 100 steps.
+    pub fn paper() -> Self {
+        OpensbliConfig { grid: 64, steps: 100, viscosity: 1.0 / 1600.0, dt: 1e-3 }
+    }
+
+    /// Reduced configuration for tests.
+    pub fn test() -> Self {
+        OpensbliConfig { grid: 12, steps: 10, viscosity: 0.01, dt: 5e-4 }
+    }
+}
+
+/// The real Taylor–Green vortex solver state.
+pub struct TgvSolver {
+    n: usize,
+    nu: f64,
+    /// Field-major storage: `u[f][cell]`.
+    fields: Vec<Vec<f64>>,
+}
+
+const GAMMA: f64 = 1.4;
+
+impl TgvSolver {
+    /// Initialise the standard TGV field: ρ=1, u = sin x cos y cos z,
+    /// v = −cos x sin y cos z, w = 0, p = p₀ + TGV pressure perturbation.
+    pub fn new(cfg: OpensbliConfig) -> Self {
+        let n = cfg.grid;
+        let n3 = n * n * n;
+        let mut fields = vec![vec![0.0; n3]; NFIELDS];
+        let h = 2.0 * std::f64::consts::PI / n as f64;
+        let p0 = 100.0 / GAMMA; // Mach ~0.1
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let i = (z * n + y) * n + x;
+                    let (xx, yy, zz) = (x as f64 * h, y as f64 * h, z as f64 * h);
+                    let u = xx.sin() * yy.cos() * zz.cos();
+                    let v = -xx.cos() * yy.sin() * zz.cos();
+                    let w = 0.0;
+                    let p = p0 + ((2.0 * xx).cos() + (2.0 * yy).cos()) * ((2.0 * zz).cos() + 2.0) / 16.0;
+                    let rho = 1.0;
+                    fields[0][i] = rho;
+                    fields[1][i] = rho * u;
+                    fields[2][i] = rho * v;
+                    fields[3][i] = rho * w;
+                    fields[4][i] = p / (GAMMA - 1.0) + 0.5 * rho * (u * u + v * v + w * w);
+                }
+            }
+        }
+        TgvSolver { n, nu: cfg.viscosity, fields }
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.n + y) * self.n + x
+    }
+
+    #[inline]
+    fn wrap(&self, i: i64) -> usize {
+        i.rem_euclid(self.n as i64) as usize
+    }
+
+    /// 4th-order central first derivative of `f` along `axis` into `out`
+    /// (grid spacing h).
+    fn ddx(&self, f: &[f64], axis: usize, h: f64, out: &mut [f64]) {
+        let n = self.n;
+        let c = 1.0 / (12.0 * h);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let sample = |o: i64| -> f64 {
+                        let (mut xx, mut yy, mut zz) = (x as i64, y as i64, z as i64);
+                        match axis {
+                            0 => xx += o,
+                            1 => yy += o,
+                            _ => zz += o,
+                        }
+                        f[self.idx(self.wrap(xx), self.wrap(yy), self.wrap(zz))]
+                    };
+                    out[self.idx(x, y, z)] =
+                        c * (sample(-2) - 8.0 * sample(-1) + 8.0 * sample(1) - sample(2));
+                }
+            }
+        }
+    }
+
+    /// 2nd-order Laplacian (for the viscous terms) of `f` into `out`.
+    fn laplacian(&self, f: &[f64], h: f64, out: &mut [f64]) {
+        let n = self.n;
+        let c = 1.0 / (h * h);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let me = f[self.idx(x, y, z)];
+                    let s = f[self.idx(self.wrap(x as i64 - 1), y, z)]
+                        + f[self.idx(self.wrap(x as i64 + 1), y, z)]
+                        + f[self.idx(x, self.wrap(y as i64 - 1), z)]
+                        + f[self.idx(x, self.wrap(y as i64 + 1), z)]
+                        + f[self.idx(x, y, self.wrap(z as i64 - 1))]
+                        + f[self.idx(x, y, self.wrap(z as i64 + 1))];
+                    out[self.idx(x, y, z)] = c * (s - 6.0 * me);
+                }
+            }
+        }
+    }
+
+    /// 4th-difference JST dissipation of `f` into `out` (conservative,
+    /// periodic; stabilises the central scheme).
+    fn dissipation(&self, f: &[f64], eps: f64, out: &mut [f64]) {
+        let n = self.n;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let mut acc = 0.0;
+                    for axis in 0..3 {
+                        let sample = |o: i64| -> f64 {
+                            let (mut xx, mut yy, mut zz) = (x as i64, y as i64, z as i64);
+                            match axis {
+                                0 => xx += o,
+                                1 => yy += o,
+                                _ => zz += o,
+                            }
+                            f[self.idx(self.wrap(xx), self.wrap(yy), self.wrap(zz))]
+                        };
+                        acc -= eps * (sample(-2) - 4.0 * sample(-1) + 6.0 * sample(0) - 4.0 * sample(1) + sample(2));
+                    }
+                    out[self.idx(x, y, z)] = acc;
+                }
+            }
+        }
+    }
+
+    /// Right-hand side dU/dt for the current state `u` (flux form).
+    fn rhs(&self, state: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = self.n;
+        let n3 = n * n * n;
+        let h = 2.0 * std::f64::consts::PI / n as f64;
+        // Primitives.
+        let mut vel = vec![vec![0.0; n3]; 3];
+        let mut pres = vec![0.0; n3];
+        for i in 0..n3 {
+            let rho = state[0][i];
+            let (u, v, w) = (state[1][i] / rho, state[2][i] / rho, state[3][i] / rho);
+            vel[0][i] = u;
+            vel[1][i] = v;
+            vel[2][i] = w;
+            pres[i] = (GAMMA - 1.0) * (state[4][i] - 0.5 * rho * (u * u + v * v + w * w));
+        }
+        let mut rhs = vec![vec![0.0; n3]; NFIELDS];
+        let mut flux = vec![0.0; n3];
+        let mut dflux = vec![0.0; n3];
+        for axis in 0..3 {
+            let va = &vel[axis];
+            for f in 0..NFIELDS {
+                // Convective flux of field f along `axis`.
+                for i in 0..n3 {
+                    flux[i] = state[f][i] * va[i];
+                }
+                if f == axis + 1 {
+                    for i in 0..n3 {
+                        flux[i] += pres[i];
+                    }
+                }
+                if f == 4 {
+                    for i in 0..n3 {
+                        flux[i] += pres[i] * va[i];
+                    }
+                }
+                self.ddx(&flux, axis, h, &mut dflux);
+                for i in 0..n3 {
+                    rhs[f][i] -= dflux[i];
+                }
+            }
+        }
+        // Viscous terms: momentum and kinetic-energy diffusion (simplified
+        // constant-μ model) + 4th-difference dissipation on all fields.
+        let mut lap = vec![0.0; n3];
+        for m in 0..3 {
+            self.laplacian(&vel[m], h, &mut lap);
+            for i in 0..n3 {
+                let visc = self.nu * state[0][i] * lap[i];
+                rhs[m + 1][i] += visc;
+                rhs[4][i] += visc * vel[m][i];
+            }
+        }
+        let eps = 1.0 / 256.0;
+        for f in 0..NFIELDS {
+            self.dissipation(&state[f], eps, &mut dflux);
+            for i in 0..n3 {
+                rhs[f][i] += dflux[i];
+            }
+        }
+        rhs
+    }
+
+    /// One SSP-RK3 step.
+    pub fn step(&mut self, dt: f64) {
+        let n3 = self.n * self.n * self.n;
+        let u0 = self.fields.clone();
+        // Stage 1: u1 = u0 + dt L(u0).
+        let l0 = self.rhs(&u0);
+        let mut u1 = u0.clone();
+        for f in 0..NFIELDS {
+            for i in 0..n3 {
+                u1[f][i] += dt * l0[f][i];
+            }
+        }
+        // Stage 2: u2 = 3/4 u0 + 1/4 (u1 + dt L(u1)).
+        let l1 = self.rhs(&u1);
+        let mut u2 = u0.clone();
+        for f in 0..NFIELDS {
+            for i in 0..n3 {
+                u2[f][i] = 0.75 * u0[f][i] + 0.25 * (u1[f][i] + dt * l1[f][i]);
+            }
+        }
+        // Stage 3: u = 1/3 u0 + 2/3 (u2 + dt L(u2)).
+        let l2 = self.rhs(&u2);
+        for f in 0..NFIELDS {
+            for i in 0..n3 {
+                self.fields[f][i] = u0[f][i] / 3.0 + 2.0 / 3.0 * (u2[f][i] + dt * l2[f][i]);
+            }
+        }
+    }
+
+    /// Total mass (Σρ · cell volume surrogate).
+    pub fn total_mass(&self) -> f64 {
+        self.fields[0].iter().sum()
+    }
+
+    /// Total x-momentum.
+    pub fn total_momentum_x(&self) -> f64 {
+        self.fields[1].iter().sum()
+    }
+
+    /// Volume-integrated kinetic energy ½ρ|u|².
+    pub fn kinetic_energy(&self) -> f64 {
+        let n3 = self.n * self.n * self.n;
+        (0..n3)
+            .map(|i| {
+                let rho = self.fields[0][i];
+                (self.fields[1][i].powi(2) + self.fields[2][i].powi(2) + self.fields[3][i].powi(2)) / (2.0 * rho)
+            })
+            .sum()
+    }
+
+    /// Minimum density (positivity check).
+    pub fn min_density(&self) -> f64 {
+        self.fields[0].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Run the real TGV solver; returns (initial KE, final KE, mass drift).
+pub fn run_real(cfg: OpensbliConfig) -> (f64, f64, f64) {
+    let mut s = TgvSolver::new(cfg);
+    let ke0 = s.kinetic_energy();
+    let m0 = s.total_mass();
+    for _ in 0..cfg.steps {
+        s.step(cfg.dt);
+    }
+    let drift = (s.total_mass() - m0).abs() / m0;
+    (ke0, s.kinetic_energy(), drift)
+}
+
+/// Modelled flops per cell per RK stage: fluxes for 5 fields × 3 axes
+/// (4th-order stencils), primitives, viscous Laplacians, dissipation —
+/// OpenSBLI's generated kernels perform on the order of 1,500 flops/cell.
+pub const FLOPS_PER_CELL_PER_STAGE: u64 = 1500;
+
+/// Modelled memory traffic per cell per stage: 5 fields plus ~8 work arrays
+/// streamed a handful of times each by the many small generated kernels —
+/// OPS does not fuse loops, so traffic is high relative to flops.
+pub const BYTES_PER_CELL_PER_STAGE: u64 = 5 * 8 * 18;
+
+/// Fixed per-rank overhead per RK stage, microseconds: the OPS runtime
+/// launches dozens of generated kernels per stage and progresses MPI between
+/// them; this floor is what erodes strong scaling on the tiny 64^3 grid.
+pub const STAGE_OVERHEAD_US: f64 = 500.0;
+
+/// Build the strong-scaling OpenSBLI trace for `ranks` ranks.
+pub fn trace(cfg: OpensbliConfig, ranks: u32) -> Trace {
+    let part = Partition3d::new((cfg.grid, cfg.grid, cfg.grid), ranks as usize);
+    let n3 = (cfg.grid * cfg.grid * cfg.grid) as u64;
+    let cells_max = part.max_cells() as u64;
+    let _ = n3;
+
+    let per_stage = Work::new(
+        cells_max * FLOPS_PER_CELL_PER_STAGE,
+        cells_max * BYTES_PER_CELL_PER_STAGE,
+        cells_max * (NFIELDS as u64) * F64B * 3,
+    );
+    // Halo exchange per stage: 2-deep ghost layers of all 5 fields.
+    let halo = part.halo_pairs(2, (NFIELDS as u64) * F64B);
+
+    let mut body = Vec::new();
+    for _stage in 0..3 {
+        body.push(Phase::Halo { pairs: halo.clone() });
+        body.push(Phase::Compute { class: KernelClass::StencilFD, work: WorkDist::Uniform(per_stage) });
+        body.push(Phase::Overhead { us: STAGE_OVERHEAD_US });
+    }
+    // One reduction per step (CFL / diagnostics).
+    body.push(Phase::Allreduce { bytes: 8 });
+
+    Trace { ranks, prologue: Vec::new(), body, iterations: cfg.steps, fom_flops: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_and_momentum_conserved() {
+        let cfg = OpensbliConfig::test();
+        let mut s = TgvSolver::new(cfg);
+        let m0 = s.total_mass();
+        let px0 = s.total_momentum_x();
+        for _ in 0..cfg.steps {
+            s.step(cfg.dt);
+        }
+        let m1 = s.total_mass();
+        assert!(((m1 - m0) / m0).abs() < 1e-10, "mass drift {}", (m1 - m0) / m0);
+        // TGV total momentum is zero by symmetry and stays there.
+        assert!(px0.abs() < 1e-9);
+        assert!(s.total_momentum_x().abs() < 1e-8);
+    }
+
+    #[test]
+    fn density_stays_positive_and_finite() {
+        let cfg = OpensbliConfig::test();
+        let mut s = TgvSolver::new(cfg);
+        for _ in 0..cfg.steps {
+            s.step(cfg.dt);
+        }
+        assert!(s.min_density() > 0.5, "density must stay near 1: {}", s.min_density());
+        assert!(s.kinetic_energy().is_finite());
+    }
+
+    #[test]
+    fn kinetic_energy_decays_viscously() {
+        // With viscosity and no forcing, TGV kinetic energy must decrease.
+        let cfg = OpensbliConfig { grid: 12, steps: 40, viscosity: 0.05, dt: 5e-4 };
+        let (ke0, ke1, drift) = run_real(cfg);
+        assert!(ke1 < ke0, "KE must decay: {ke0} -> {ke1}");
+        assert!(ke1 > 0.5 * ke0, "but only slowly at these parameters");
+        assert!(drift < 1e-9);
+    }
+
+    #[test]
+    fn initial_ke_matches_tgv_analytic() {
+        // KE density of the TGV field integrates to (1/16)·ρ·V... on the
+        // discrete grid: mean of u²+v² is 1/4, so KE = n³/8.
+        let cfg = OpensbliConfig::test();
+        let s = TgvSolver::new(cfg);
+        let n3 = (cfg.grid * cfg.grid * cfg.grid) as f64;
+        let want = n3 / 8.0;
+        let got = s.kinetic_energy();
+        assert!((got - want).abs() / want < 1e-10, "{got} vs {want}");
+    }
+
+    #[test]
+    fn paper_grid_fits_a64fx() {
+        // 64^3 x 5 fields x ~30 arrays is well under 32 GB — the paper chose
+        // this size exactly so single-node comparisons were possible.
+        let bytes = 64u64.pow(3) * 5 * 8 * 30;
+        assert!(bytes < 32 * (1u64 << 30));
+    }
+
+    #[test]
+    fn trace_has_three_stages() {
+        let t = trace(OpensbliConfig::paper(), 48);
+        let stencil_phases = t
+            .body
+            .iter()
+            .filter(|p| matches!(p, Phase::Compute { class: KernelClass::StencilFD, .. }))
+            .count();
+        assert_eq!(stencil_phases, 3, "SSP-RK3 has three stages");
+        assert_eq!(t.body_collectives(), 1);
+    }
+
+    #[test]
+    fn strong_scaling_divides_cells() {
+        let t1 = trace(OpensbliConfig::paper(), 1);
+        let t8 = trace(OpensbliConfig::paper(), 8);
+        let f1 = t1.total_work().flops as f64;
+        let f8 = t8.total_work().flops as f64;
+        // Max-cells based: within rounding of equal total.
+        assert!((f8 - f1).abs() / f1 < 0.05, "{f1} vs {f8}");
+        // Per-rank work at 8 ranks is ~1/8th.
+        if let Phase::Compute { work, .. } = &t8.body[1] {
+            let w8 = work.of_rank(0).flops as f64;
+            if let Phase::Compute { work: w, .. } = &t1.body[1] {
+                let w1 = w.of_rank(0).flops as f64;
+                assert!((w1 / w8 - 8.0).abs() < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_traffic_grows_with_rank_count() {
+        let t8 = trace(OpensbliConfig::paper(), 8);
+        let t64 = trace(OpensbliConfig::paper(), 64);
+        assert!(t64.body_halo_bytes() > t8.body_halo_bytes());
+    }
+}

@@ -1,0 +1,44 @@
+//! # archsim — hardware architecture models
+//!
+//! Models of the five HPC systems evaluated in *Investigating Applications on
+//! the A64FX* (Jackson et al., IEEE CLUSTER 2020):
+//!
+//! * **A64FX** — Fujitsu A64FX, 48 cores @ 2.2 GHz, 512-bit SVE, 32 GB HBM2,
+//!   TofuD interconnect.
+//! * **ARCHER** — Cray XC30, 2× Intel Xeon E5-2697 v2 (Ivy Bridge, 12 cores
+//!   @ 2.7 GHz, 256-bit AVX), 64 GB DDR3, Aries dragonfly.
+//! * **Cirrus** — SGI ICE XA, 2× Intel Xeon E5-2695 (Broadwell, 18 cores
+//!   @ 2.1 GHz, 256-bit AVX2+FMA), 256 GB DDR4, FDR InfiniBand.
+//! * **EPCC NGIO** — Fujitsu-built, 2× Intel Xeon Platinum 8260M (Cascade
+//!   Lake, 24 cores @ 2.4 GHz, 512-bit AVX-512), 192 GB DDR4, OmniPath.
+//! * **Fulhame** — HPE Apollo 70, 2× Marvell ThunderX2 (Armv8, 32 cores
+//!   @ 2.2 GHz, 128-bit NEON), 256 GB DDR4, EDR InfiniBand fat tree.
+//!
+//! The models carry exactly the parameters that drive comparative performance
+//! in the paper: core counts, clock speeds, vector width and FMA issue rate
+//! (peak FLOP/s), memory capacity and sustained bandwidth (HBM2 vs DDR), the
+//! NUMA/CMG layout, and the interconnect class. They feed the roofline cost
+//! model in `a64fx-core` and the network simulator in `netsim`.
+//!
+//! All specifications are encoded from Table I and Table II of the paper plus
+//! publicly documented STREAM measurements; see `systems` for the sources.
+
+#![warn(missing_docs)]
+
+pub mod interconnect;
+pub mod memory;
+pub mod node;
+pub mod processor;
+pub mod roofline;
+pub mod systems;
+pub mod toolchain;
+pub mod vector;
+
+pub use interconnect::{InterconnectKind, LinkParams};
+pub use memory::{CacheLevel, MemoryDomain, MemoryKind, MemorySystem};
+pub use node::Node;
+pub use processor::{Processor, SmtMode};
+pub use roofline::{Roofline, RooflinePoint};
+pub use systems::{paper_toolchain, system, system_names, SystemId, SystemSpec};
+pub use toolchain::{FlagEffect, Toolchain, ToolchainFamily};
+pub use vector::VectorUnit;

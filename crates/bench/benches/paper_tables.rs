@@ -1,0 +1,91 @@
+//! One bench per paper table/figure: times the simulation that regenerates
+//! each artefact. The representative "cell" of each artefact is benched so
+//! the whole suite stays fast; the full tables are printed by the `repro`
+//! binary.
+
+use a64fx_core::experiments::{castep, cosa, hpcg, minikab, nekbone, opensbli, specs};
+use archsim::SystemId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+
+    // T1 — node specification table (pure model construction).
+    g.bench_function("t1_table1_specs", |b| b.iter(|| black_box(specs::table1())));
+
+    // T3 — single-node HPCG (the A64FX cell).
+    g.bench_function("t3_hpcg_single_node_a64fx", |b| {
+        b.iter(|| black_box(hpcg::hpcg_gflops(SystemId::A64fx, 1, false)))
+    });
+
+    // T4 — multi-node HPCG (the 8-node A64FX cell).
+    g.bench_function("t4_hpcg_8node_a64fx", |b| {
+        b.iter(|| black_box(hpcg::hpcg_gflops(SystemId::A64fx, 8, false)))
+    });
+
+    // T5 — single-core minikab (the A64FX cell).
+    g.bench_function("t5_minikab_single_core_a64fx", |b| {
+        b.iter(|| black_box(minikab::minikab_runtime_s(SystemId::A64fx, 1, 1, 1)))
+    });
+
+    // F1 — minikab process/thread sweep (the winning 8x12 cell).
+    g.bench_function("f1_minikab_8x12_2nodes", |b| {
+        b.iter(|| black_box(minikab::minikab_runtime_s(SystemId::A64fx, 2, 8, 12)))
+    });
+
+    // F2 — minikab strong scaling (the 8-node A64FX cell).
+    g.bench_function("f2_minikab_8node_a64fx", |b| {
+        b.iter(|| black_box(minikab::minikab_runtime_s(SystemId::A64fx, 8, 32, 12)))
+    });
+
+    // T6 — Nekbone node performance with fast-math (the headline cell).
+    g.bench_function("t6_nekbone_fastmath_a64fx", |b| {
+        b.iter(|| black_box(nekbone::nekbone_gflops(SystemId::A64fx, 1, 48, true)))
+    });
+
+    // F3 — Nekbone core scaling (the 24-core half-node cell).
+    g.bench_function("f3_nekbone_24cores_a64fx", |b| {
+        b.iter(|| black_box(nekbone::nekbone_gflops_default(SystemId::A64fx, 1, 24)))
+    });
+
+    // T7 — Nekbone parallel efficiency at 16 nodes.
+    g.bench_function("t7_nekbone_pe_16node_a64fx", |b| {
+        b.iter(|| black_box(nekbone::nekbone_pe(SystemId::A64fx, 16)))
+    });
+
+    // T8 — COSA processes-per-node table.
+    g.bench_function("t8_cosa_procs_table", |b| b.iter(|| black_box(cosa::table8())));
+
+    // F4 — COSA strong scaling (the 16-node crossover cells).
+    g.bench_function("f4_cosa_16node_a64fx", |b| {
+        b.iter(|| black_box(cosa::cosa_runtime_s(SystemId::A64fx, 16)))
+    });
+    g.bench_function("f4_cosa_16node_fulhame", |b| {
+        b.iter(|| black_box(cosa::cosa_runtime_s(SystemId::Fulhame, 16)))
+    });
+
+    // F5 — CASTEP core-count scaling (the 8-core cell).
+    g.bench_function("f5_castep_8cores_a64fx", |b| {
+        b.iter(|| black_box(castep::castep_scf_per_s(SystemId::A64fx, 8)))
+    });
+
+    // T9 — CASTEP best node (the NGIO-vs-A64FX cells).
+    g.bench_function("t9_castep_node_a64fx", |b| {
+        b.iter(|| black_box(castep::castep_scf_per_s(SystemId::A64fx, 48)))
+    });
+
+    // T10 — OpenSBLI runtimes (the single-node A64FX cell).
+    g.bench_function("t10_opensbli_1node_a64fx", |b| {
+        b.iter(|| black_box(opensbli::opensbli_runtime_s(SystemId::A64fx, 1)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # a64fx-bench — the benchmark harness
+//!
+//! Criterion benches regenerating every table and figure of the paper, plus
+//! microbenchmarks of the real numerical substrates and the ablation
+//! sweeps. Run with `cargo bench --workspace`; regenerate the tables
+//! themselves with the `repro` binary (`cargo run -p a64fx-core --bin repro
+//! -- --all`).
+//!
+//! * `benches/paper_tables.rs` — one bench per paper artefact (T1, T3, T4,
+//!   T5, F1, F2, T6, F3, T7, T8, F4, F5, T9, T10), each timing the
+//!   simulation that regenerates it.
+//! * `benches/kernels.rs` — the real kernels underneath: SpMV, SymGS,
+//!   multigrid V-cycles, spectral-element `ax`, 3-D FFTs, CG iterations,
+//!   and a compressible TGV time step.
+//! * `benches/ablations.rs` — the design-choice sweeps of
+//!   `a64fx_core::ablations`.
+
+/// The criterion sample size used across the harness: the simulations being
+/// timed are deterministic, so a small sample suffices.
+pub const SAMPLE_SIZE: usize = 10;

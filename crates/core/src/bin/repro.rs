@@ -1,0 +1,114 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --all            # every experiment, in paper order
+//! repro --exp t3         # one experiment (t1, t3, t4, t5, f1, f2, t6,
+//!                        #   f3, t7, t8, f4, f5, t9, t10)
+//! repro --markdown       # --all, rendered as markdown (EXPERIMENTS.md body)
+//! repro --list           # list experiment ids
+//! repro --ablations      # design-choice ablation sweeps
+//! repro --extensions     # power/roofline/profile extension studies
+//! repro --timeline hpcg a64fx   # one iteration, phase by phase
+//! repro --autotune 2            # layout search per system
+//! ```
+
+use a64fx_apps::{castep, cosa, hpcg, minikab, nekbone, opensbli};
+use a64fx_core::costmodel::JobLayout;
+use a64fx_core::{ablations, autotune, experiments, extensions, runner, timeline};
+use archsim::{paper_toolchain, system, SystemId};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--all | --exp <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--all") | None => {
+            for t in runner::run_all_parallel() {
+                println!("{}", t.render());
+            }
+        }
+        Some("--markdown") => {
+            for t in experiments::run_all() {
+                println!("{}", t.render_markdown());
+            }
+        }
+        Some("--exp") => {
+            let id = args.get(1).unwrap_or_else(|| usage());
+            match experiments::run_one(id) {
+                Some(t) => println!("{}", t.render()),
+                None => {
+                    eprintln!("unknown experiment '{id}'; try --list");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--ablations") => {
+            for t in ablations::run_all() {
+                println!("{}", t.render());
+            }
+        }
+        Some("--extensions") => {
+            for t in extensions::run_all() {
+                println!("{}", t.render());
+            }
+        }
+        Some("--autotune") => {
+            // repro --autotune [nodes]
+            let nodes: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+            for sys in [SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame] {
+                let ranking = autotune::tune_minikab(sys, nodes);
+                if !ranking.is_empty() {
+                    println!("{}", autotune::tune_table("minikab", sys, nodes, &ranking).render());
+                }
+            }
+        }
+        Some("--timeline") => {
+            // repro --timeline <app> <system>
+            let app = args.get(1).map(String::as_str).unwrap_or("hpcg");
+            let sys_name = args.get(2).map(String::as_str).unwrap_or("a64fx");
+            let sys = match sys_name.to_ascii_lowercase().as_str() {
+                "a64fx" => SystemId::A64fx,
+                "archer" => SystemId::Archer,
+                "cirrus" => SystemId::Cirrus,
+                "ngio" => SystemId::Ngio,
+                "fulhame" => SystemId::Fulhame,
+                other => {
+                    eprintln!("unknown system '{other}'");
+                    std::process::exit(1);
+                }
+            };
+            let spec = system(sys);
+            let layout = JobLayout::mpi_full(1, &spec);
+            let trace = match app {
+                "hpcg" => hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks),
+                "minikab" => minikab::trace(minikab::MinikabConfig::paper(), layout.ranks),
+                "nekbone" => nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks),
+                "cosa" => cosa::trace(cosa::CosaConfig::paper(), layout.ranks),
+                "castep" => castep::trace(castep::CastepConfig::paper(), layout.ranks),
+                "opensbli" => opensbli::trace(opensbli::OpensbliConfig::paper(), layout.ranks),
+                other => {
+                    eprintln!("unknown app '{other}'");
+                    std::process::exit(1);
+                }
+            };
+            let Some(tc) = paper_toolchain(sys, app) else {
+                eprintln!("the paper did not run {app} on {sys_name}");
+                std::process::exit(1);
+            };
+            let entries = timeline::iteration_timeline(&spec, &tc, &trace, layout);
+            let title = format!("{app} on one {} node: one iteration, phase by phase", spec.name);
+            println!("{}", timeline::timeline_table(&title, &entries).render());
+        }
+        Some("--list") => {
+            for id in experiments::all_ids() {
+                println!("{id}");
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,287 @@
+//! Calibration: the per-(system, kernel-class) efficiency tables.
+//!
+//! The roofline needs two efficiencies per kernel class and system:
+//!
+//! * `flop_eff` — fraction of a core's SIMD peak the class achieves when
+//!   compute-bound (vectorisability, pipeline behaviour, front-end limits);
+//! * `mem_eff` — achieved streaming bandwidth relative to the node's
+//!   STREAM-sustained bandwidth. Values slightly above 1 are legal and mean
+//!   the kernel enjoys cache reuse the pure-streaming byte count does not
+//!   credit (e.g. SymGS back-sweeps on large x86 L3s).
+//!
+//! **Provenance.** Single-node anchors are fitted to the paper's own
+//! single-node/single-core measurements (Tables III, V, VI, IX, X); the
+//! relative values across classes follow the paper's analysis (§VIII):
+//! HPCG-class kernels are bandwidth-bound everywhere; Nekbone's small
+//! tensor contractions are compute-bound and respond to `-Kfast` only on
+//! the A64FX; OpenSBLI's many small generated stencil kernels hit the
+//! A64FX's narrow front end (instruction-fetch waits, L2 pressure in the
+//! paper's profile) and achieve a very low fraction of peak there.
+//! Everything multi-node or multi-config is *derived*, not fitted.
+
+use a64fx_apps::KernelClass;
+use archsim::{SystemId, Toolchain, ToolchainFamily};
+
+/// The calibration table set. `Default` gives the fitted values; fields are
+/// public so ablation benches can perturb them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Global multiplier on every memory efficiency (ablations).
+    pub mem_scale: f64,
+    /// Global multiplier on every flop efficiency (ablations).
+    pub flop_scale: f64,
+    /// Whether the vendor-optimised HPCG variant is selected: multiplies
+    /// the SpMV/SymGS efficiencies by [`Calibration::hpcg_optimised_factor`].
+    pub hpcg_optimised: bool,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration { mem_scale: 1.0, flop_scale: 1.0, hpcg_optimised: false }
+    }
+}
+
+impl Calibration {
+    /// Penalty applied when one rank's threads span multiple memory domains
+    /// (NUMA/CMG-crossing OpenMP regions).
+    pub const NUMA_SPAN_PENALTY: f64 = 0.85;
+
+    /// Fraction of SIMD peak achieved by `class` on `sys` when
+    /// compute-bound.
+    pub fn flop_eff(&self, sys: SystemId, class: KernelClass) -> f64 {
+        use KernelClass::*;
+        use SystemId::*;
+        let v = match (sys, class) {
+            // --- Sparse kernels: indirect access, gather-heavy.
+            (A64fx, SpMV) => 0.035,
+            (Archer, SpMV) => 0.12,
+            (Cirrus, SpMV) => 0.10,
+            (Ngio, SpMV) => 0.06,
+            (Fulhame, SpMV) => 0.14,
+            // SymGS adds a dependency chain: no vectorisation anywhere.
+            (A64fx, SymGS) => 0.020,
+            (Archer, SymGS) => 0.085,
+            (Cirrus, SymGS) => 0.07,
+            (Ngio, SymGS) => 0.045,
+            (Fulhame, SymGS) => 0.10,
+            // --- Regular stencils (OpenSBLI/COSA): many small generated
+            // kernels. The paper's A64FX profile shows instruction fetch
+            // waits and L2 integer loads — a very low achieved fraction of
+            // peak; the fat OoO x86 cores and the ThunderX2 cope far better.
+            (A64fx, StencilFD) => 0.0108,
+            (Archer, StencilFD) => 0.055,
+            (Cirrus, StencilFD) => 0.060,
+            (Ngio, StencilFD) => 0.045,
+            (Fulhame, StencilFD) => 0.105,
+            // --- COSA's hand-written finite-volume flux sweeps vectorise
+            // well everywhere; set high enough that the memory system binds
+            // (the paper credits the A64FX's bandwidth for its COSA lead).
+            (A64fx, CfdFlux) => 0.10,
+            (Archer, CfdFlux) => 0.145,
+            (Cirrus, CfdFlux) => 0.095,
+            (Ngio, CfdFlux) => 0.080,
+            (Fulhame, CfdFlux) => 0.190,
+            // --- Nekbone's batched small tensor contractions (Table VI
+            // anchors: A64FX 175.74 of 3379 peak = 5.2%; NGIO 127.19 of
+            // 2662 = 4.8%; Fulhame 121.63 of 1126 = 10.8%; ARCHER 66.55 of
+            // 518 = 12.8%).
+            (A64fx, SmallGemm) => 0.0558,
+            (Archer, SmallGemm) => 0.180,
+            (Cirrus, SmallGemm) => 0.13,
+            (Ngio, SmallGemm) => 0.0673,
+            (Fulhame, SmallGemm) => 0.139,
+            // --- Vendor BLAS3 (SSL2 / MKL / ArmPL): high fractions of peak.
+            (A64fx, Blas3) => 0.70,
+            (Archer, Blas3) => 0.80,
+            (Cirrus, Blas3) => 0.85,
+            (Ngio, Blas3) => 0.85,
+            (Fulhame, Blas3) => 0.75,
+            // --- FFT (Fujitsu's early FFTW port vs mature MKL/FFTW):
+            // fractions of peak typical for 3-D FFTs.
+            (A64fx, Fft) => 0.040,
+            (Archer, Fft) => 0.105,
+            (Cirrus, Fft) => 0.135,
+            (Ngio, Fft) => 0.145,
+            (Fulhame, Fft) => 0.145,
+            // --- Streaming vector ops and dots: trivially vectorised;
+            // they are always memory-bound, so flop_eff barely matters.
+            (_, VectorOp) | (_, Dot) => 0.50,
+        };
+        let opt = if self.hpcg_optimised && matches!(class, SpMV | SymGS) {
+            Self::hpcg_optimised_factor(sys)
+        } else {
+            1.0
+        };
+        v * self.flop_scale * opt
+    }
+
+    /// Achieved bandwidth of `class` on `sys`, relative to the node's
+    /// STREAM-sustained bandwidth.
+    pub fn mem_eff(&self, sys: SystemId, class: KernelClass) -> f64 {
+        use KernelClass::*;
+        use SystemId::*;
+        let v = match (sys, class) {
+            // Sparse kernels: the A64FX's HBM needs deep concurrency that
+            // indirect sparse access cannot raise, so it realises a smaller
+            // fraction of STREAM than the x86 parts with big L3 caches
+            // (which even exceed 1 thanks to cache reuse of x/y vectors).
+            (A64fx, SpMV) => 0.31,
+            (Archer, SpMV) => 0.96,
+            (Cirrus, SpMV) => 0.87,
+            (Ngio, SpMV) => 0.72,
+            (Fulhame, SpMV) => 0.52,
+            (A64fx, SymGS) => 0.27,
+            (Archer, SymGS) => 1.18,
+            (Cirrus, SymGS) => 0.97,
+            (Ngio, SymGS) => 0.87,
+            (Fulhame, SymGS) => 0.67,
+            (A64fx, StencilFD) => 0.55,
+            (Archer, StencilFD) => 0.90,
+            (Cirrus, StencilFD) => 0.90,
+            (Ngio, StencilFD) => 0.85,
+            (Fulhame, StencilFD) => 0.80,
+            (A64fx, CfdFlux) => 0.35,
+            (Archer, CfdFlux) => 0.90,
+            (Cirrus, CfdFlux) => 0.85,
+            (Ngio, CfdFlux) => 0.85,
+            (Fulhame, CfdFlux) => 0.85,
+            // Nekbone: elements stream from memory; the A64FX's HBM keeps
+            // the FPUs fed (the paper's central claim for this benchmark).
+            (A64fx, SmallGemm) => 0.50,
+            (Archer, SmallGemm) => 1.35,
+            (Cirrus, SmallGemm) => 1.05,
+            (Ngio, SmallGemm) => 0.95,
+            (Fulhame, SmallGemm) => 0.85,
+            (_, Blas3) => 0.90,
+            // The Fujitsu early FFTW port realises little of the HBM's
+            // bandwidth on transposed accesses; the mature MKL/FFTW builds
+            // do much better on DDR.
+            (A64fx, Fft) => 0.152,
+            (Archer, Fft) => 0.66,
+            (Cirrus, Fft) => 0.92,
+            (Ngio, Fft) => 0.79,
+            (Fulhame, Fft) => 0.51,
+            // Pure streaming: close to STREAM by construction; ARCHER's
+            // large L3 relative to its vectors earns cache-reuse credit.
+            (A64fx, VectorOp) | (A64fx, Dot) => 0.80,
+            (Archer, VectorOp) | (Archer, Dot) => 1.20,
+            (_, VectorOp) | (_, Dot) => 0.90,
+        };
+        let opt = if self.hpcg_optimised && matches!(class, SpMV | SymGS) {
+            Self::hpcg_optimised_factor(sys)
+        } else {
+            1.0
+        };
+        v * self.mem_scale * opt
+    }
+
+    /// Whether `-Kfast`/`-ffast-math` style flags change this class's
+    /// compute throughput (they re-associate and contract the dense inner
+    /// loops; sparse and memory-bound classes don't care).
+    pub fn fastmath_applies(class: KernelClass) -> bool {
+        // CfdFlux (COSA) is excluded: the paper's COSA runs *all* used
+        // -Kfast-style flags, so the CfdFlux calibration already includes
+        // them.
+        matches!(class, KernelClass::SmallGemm | KernelClass::StencilFD | KernelClass::Fft)
+    }
+
+    /// The fast-math throughput multiplier for a system/toolchain pair.
+    /// These are *kernel-level* factors, fitted so that the application-
+    /// level Table VI ratios (A64FX ×1.777, ARCHER ×1.025, NGIO ×0.710 —
+    /// Intel's fast-math *hurt* Nekbone — and Fulhame ×1.091) emerge once
+    /// the memory-bound vector phases dilute the kernel speed-up.
+    pub fn fastmath_factor(&self, sys: SystemId, toolchain: &Toolchain) -> f64 {
+        match (sys, toolchain.family) {
+            (SystemId::A64fx, ToolchainFamily::Fujitsu) => 2.00,
+            (SystemId::Ngio, ToolchainFamily::Intel) => 0.60,
+            (SystemId::Fulhame, _) => 1.12,
+            (SystemId::Archer, _) => 1.04,
+            _ => 1.05,
+        }
+    }
+
+    /// OpenMP parallel-region efficiency for a rank with `threads` threads
+    /// (fork/join overhead and imbalance inside the rank).
+    pub fn omp_efficiency(threads: u32) -> f64 {
+        if threads <= 1 {
+            1.0
+        } else {
+            1.0 / (1.0 + 0.012 * f64::from(threads - 1))
+        }
+    }
+
+    /// Throughput multiplier of the vendor-optimised HPCG variants the
+    /// paper ran (Table III): Intel's optimised HPCG on NGIO is 37.61/26.16
+    /// = ×1.438, Arm's on Fulhame 33.80/23.58 = ×1.433. Applied to the
+    /// SymGS/SpMV classes when the optimised variant is selected.
+    pub fn hpcg_optimised_factor(sys: SystemId) -> f64 {
+        match sys {
+            SystemId::Ngio => 1.438,
+            SystemId::Fulhame => 1.433,
+            // The paper ran only the reference HPCG elsewhere; it argues a
+            // similar ~30% headroom exists on the A64FX.
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiencies_in_sane_ranges() {
+        let c = Calibration::default();
+        for sys in SystemId::all() {
+            for class in KernelClass::all() {
+                let f = c.flop_eff(sys, class);
+                let m = c.mem_eff(sys, class);
+                assert!(f > 0.0 && f <= 1.0, "{sys:?}/{class:?} flop_eff {f}");
+                assert!(m > 0.0 && m <= 1.55, "{sys:?}/{class:?} mem_eff {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn a64fx_stencil_is_the_weak_spot() {
+        // The paper's OpenSBLI finding: A64FX achieves by far the lowest
+        // fraction of peak on generated stencil code.
+        let c = Calibration::default();
+        let a = c.flop_eff(SystemId::A64fx, KernelClass::StencilFD);
+        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+            assert!(c.flop_eff(sys, KernelClass::StencilFD) > 2.0 * a, "{sys:?}");
+        }
+    }
+
+    #[test]
+    fn fastmath_ratios_match_table6() {
+        let c = Calibration::default();
+        let fj = Toolchain::for_family(ToolchainFamily::Fujitsu, "1.2.24", "-Kfast", "");
+        assert!(c.fastmath_factor(SystemId::A64fx, &fj) > 1.7);
+        let intel = Toolchain::for_family(ToolchainFamily::Intel, "19", "-O3", "");
+        assert!(c.fastmath_factor(SystemId::Ngio, &intel) < 1.0, "Intel fast-math hurt Nekbone");
+    }
+
+    #[test]
+    fn omp_efficiency_decreases_with_threads() {
+        assert_eq!(Calibration::omp_efficiency(1), 1.0);
+        assert!(Calibration::omp_efficiency(12) < 1.0);
+        assert!(Calibration::omp_efficiency(24) < Calibration::omp_efficiency(12));
+        assert!(Calibration::omp_efficiency(24) > 0.7);
+    }
+
+    #[test]
+    fn optimised_hpcg_factors_match_table3_ratios() {
+        assert!((Calibration::hpcg_optimised_factor(SystemId::Ngio) - 37.61 / 26.16).abs() < 0.01);
+        assert!((Calibration::hpcg_optimised_factor(SystemId::Fulhame) - 33.80 / 23.58).abs() < 0.01);
+        assert_eq!(Calibration::hpcg_optimised_factor(SystemId::A64fx), 1.0);
+    }
+
+    #[test]
+    fn scales_apply() {
+        let mut c = Calibration::default();
+        let base = c.mem_eff(SystemId::A64fx, KernelClass::SpMV);
+        c.mem_scale = 2.0;
+        assert!((c.mem_eff(SystemId::A64fx, KernelClass::SpMV) - 2.0 * base).abs() < 1e-12);
+    }
+}

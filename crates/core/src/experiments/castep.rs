@@ -1,0 +1,110 @@
+//! F5/T9 — CASTEP TiN experiments (paper Figure 5, Table IX).
+
+use a64fx_apps::castep::{core_count_allowed, trace, CastepConfig};
+use archsim::{paper_toolchain, system, SystemId};
+
+use crate::costmodel::{Executor, JobLayout};
+use crate::paper;
+use crate::report::{pair, Table};
+
+/// Simulated CASTEP SCF cycles/s on one node of `sys` with `cores` MPI
+/// ranks (MPI-only, the paper's best configuration everywhere).
+pub fn castep_scf_per_s(sys: SystemId, cores: u32) -> f64 {
+    let spec = system(sys);
+    let tc = paper_toolchain(sys, "castep").expect("system ran castep");
+    let ex = Executor::new(&spec, &tc);
+    let layout = JobLayout { ranks: cores, ranks_per_node: cores, threads_per_rank: 1 };
+    let cfg = CastepConfig::paper();
+    let t = trace(cfg, cores);
+    let r = ex.run(&t, layout);
+    f64::from(cfg.scf_cycles) / r.runtime_s
+}
+
+/// The paper's per-system full-node core count for CASTEP (Cirrus cannot
+/// use all 36 cores — 32 is the closest allowed count).
+pub fn castep_node_cores(sys: SystemId) -> u32 {
+    match sys {
+        SystemId::Cirrus => 32,
+        s => system(s).node.cores(),
+    }
+}
+
+/// F5 — single-node SCF rate as a function of core count.
+pub fn figure5() -> Table {
+    let mut t = Table::new(
+        "F5",
+        "CASTEP TiN single-node performance (SCF cycles/s) by core count (paper Figure 5)",
+        &["Cores", "A64FX", "ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"],
+    );
+    let systems = [SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame];
+    for cores in [1u32, 2, 4, 8, 16, 24, 32, 48, 64] {
+        if !core_count_allowed(cores) {
+            continue;
+        }
+        let mut row = vec![cores.to_string()];
+        for sys in systems {
+            row.push(if cores <= castep_node_cores(sys) {
+                format!("{:.3}", castep_scf_per_s(sys, cores))
+            } else {
+                "-".to_string()
+            });
+        }
+        t.push_row(row);
+    }
+    t.note("Core counts restricted to factors/multiples of 8, as the TiN benchmark requires.");
+    t
+}
+
+/// T9 — best full-node SCF rate per system.
+pub fn table9() -> Table {
+    let mut t = Table::new(
+        "T9",
+        "CASTEP TiN best single-node performance (paper Table IX; paper / simulated)",
+        &["System", "Cores", "SCF cycles/s", "Ratio to A64FX"],
+    );
+    let a64fx = castep_scf_per_s(SystemId::A64fx, 48);
+    for (sys, cores, p_rate, p_ratio) in paper::TABLE9_CASTEP {
+        let sim = castep_scf_per_s(sys, cores);
+        t.push_row(vec![
+            sys.name().to_string(),
+            cores.to_string(),
+            pair(p_rate, sim),
+            pair(p_ratio, sim / a64fx),
+        ]);
+    }
+    t.note("Paper shape: NGIO > A64FX > Fulhame ≈ A64FX > Cirrus > ARCHER.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t9_ordering_matches_paper() {
+        let a = castep_scf_per_s(SystemId::A64fx, 48);
+        let n = castep_scf_per_s(SystemId::Ngio, 48);
+        let f = castep_scf_per_s(SystemId::Fulhame, 64);
+        let c = castep_scf_per_s(SystemId::Cirrus, 32);
+        let ar = castep_scf_per_s(SystemId::Archer, 24);
+        assert!(n > a, "NGIO ({n}) beats A64FX ({a})");
+        assert!(a > f, "A64FX ({a}) edges Fulhame ({f})");
+        assert!(f > c, "Fulhame ({f}) beats Cirrus ({c})");
+        assert!(c > ar, "Cirrus ({c}) beats ARCHER ({ar})");
+    }
+
+    #[test]
+    fn f5_rate_increases_with_cores() {
+        for sys in [SystemId::A64fx, SystemId::Ngio] {
+            let r8 = castep_scf_per_s(sys, 8);
+            let r48 = castep_scf_per_s(sys, 48);
+            assert!(r48 > 2.0 * r8, "{sys:?}: {r8} -> {r48}");
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        assert_eq!(table9().rows.len(), 5);
+        assert!(figure5().rows.len() >= 6);
+    }
+}

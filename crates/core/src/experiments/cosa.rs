@@ -1,0 +1,127 @@
+//! T8/F4 — COSA experiments (paper Table VIII, Figure 4).
+
+use a64fx_apps::cosa::{trace, CosaConfig};
+use archsim::{paper_toolchain, system, SystemId};
+
+use crate::costmodel::{Executor, JobLayout};
+use crate::paper;
+use crate::report::{secs, Table};
+
+/// Simulated COSA runtime (seconds, 100 iterations) on `nodes` fully
+/// populated nodes. Returns `None` when the ~60 GB case does not fit
+/// (a single A64FX node, per the paper).
+pub fn cosa_runtime_s(sys: SystemId, nodes: u32) -> Option<f64> {
+    let spec = system(sys);
+    let cfg = CosaConfig::paper();
+    let usable = f64::from(nodes) * spec.node.memory_gib() * 0.9 * (1u64 << 30) as f64;
+    if (cfg.memory_bytes() as f64) > usable {
+        return None;
+    }
+    let tc = paper_toolchain(sys, "cosa")?;
+    let ex = Executor::new(&spec, &tc);
+    let layout = JobLayout::mpi_full(nodes, &spec);
+    let t = trace(cfg, layout.ranks);
+    Some(ex.run(&t, layout).runtime_s)
+}
+
+/// T8 — MPI processes per node for each system.
+pub fn table8() -> Table {
+    let mut t = Table::new(
+        "T8",
+        "COSA: MPI processes per node (paper Table VIII)",
+        &["System", "Processes per node (paper)", "Processes per node (model)"],
+    );
+    for (sys, p) in paper::TABLE8_COSA_PROCS {
+        let model = system(sys).node.cores();
+        t.push_row(vec![sys.name().to_string(), p.to_string(), model.to_string()]);
+    }
+    t
+}
+
+/// F4 — strong scaling over 1–16 nodes on all five systems.
+pub fn figure4() -> Table {
+    let mut t = Table::new(
+        "F4",
+        "COSA strong scaling: runtime in seconds by node count (paper Figure 4)",
+        &["Nodes", "A64FX", "ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"],
+    );
+    let systems = [SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame];
+    for nodes in [1u32, 2, 4, 8, 16] {
+        let mut row = vec![nodes.to_string()];
+        for sys in systems {
+            row.push(match cosa_runtime_s(sys, nodes) {
+                Some(s) => secs(s),
+                None => "OOM".to_string(),
+            });
+        }
+        t.push_row(row);
+    }
+    t.note(paper::FIG4_COSA_QUALITATIVE);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f4_a64fx_needs_two_nodes() {
+        // Paper: "The benchmark would not fit on a single A64FX node".
+        assert!(cosa_runtime_s(SystemId::A64fx, 1).is_none());
+        assert!(cosa_runtime_s(SystemId::A64fx, 2).is_some());
+        // Everyone else runs on one node (>= 192 GB).
+        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+            assert!(cosa_runtime_s(sys, 1).is_some(), "{sys:?}");
+        }
+    }
+
+    #[test]
+    fn f4_a64fx_fastest_from_2_to_8_nodes() {
+        for nodes in [2u32, 4, 8] {
+            let a = cosa_runtime_s(SystemId::A64fx, nodes).unwrap();
+            for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+                let o = cosa_runtime_s(sys, nodes).unwrap();
+                assert!(a < o, "{sys:?} at {nodes} nodes: A64FX {a} vs {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn f4_fulhame_overtakes_at_16_nodes() {
+        // The paper's crossover: at 16 nodes Fulhame (1024 ranks > 800
+        // blocks, 13 active nodes, minimal off-node traffic) beats the
+        // A64FX (768 ranks, 32 of them with double work).
+        let a = cosa_runtime_s(SystemId::A64fx, 16).unwrap();
+        let f = cosa_runtime_s(SystemId::Fulhame, 16).unwrap();
+        assert!(f < a, "Fulhame ({f}) must overtake the A64FX ({a}) at 16 nodes");
+    }
+
+    #[test]
+    fn f4_scaling_monotone_until_imbalance() {
+        // Runtime decreases with node count through 8 nodes on every system.
+        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+            let mut prev = f64::INFINITY;
+            for nodes in [1u32, 2, 4, 8] {
+                let s = cosa_runtime_s(sys, nodes).unwrap();
+                assert!(s < prev, "{sys:?} at {nodes}: {s} vs {prev}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn a64fx_imbalance_at_16_nodes_visible() {
+        // The 768-rank A64FX job has a 2x-loaded straggler set: speedup
+        // from 8 to 16 nodes must fall well short of 2x.
+        let s8 = cosa_runtime_s(SystemId::A64fx, 8).unwrap();
+        let s16 = cosa_runtime_s(SystemId::A64fx, 16).unwrap();
+        let speedup = s8 / s16;
+        assert!(speedup < 1.5, "imbalance caps the 16-node speedup: {speedup}");
+    }
+
+    #[test]
+    fn tables_render() {
+        assert_eq!(table8().rows.len(), 5);
+        assert_eq!(figure4().rows.len(), 5);
+    }
+}

@@ -1,0 +1,118 @@
+//! T3/T4 — HPCG single-node and multi-node performance (paper Tables
+//! III and IV).
+
+use a64fx_apps::hpcg::{trace, HpcgConfig};
+use archsim::{paper_toolchain, system, SystemId};
+
+use crate::calibration::Calibration;
+use crate::costmodel::{Executor, JobLayout};
+use crate::paper;
+use crate::report::{pair, Table};
+
+/// Simulated HPCG GFLOP/s on `nodes` fully-populated nodes of `sys`,
+/// `optimised` selecting the vendor-tuned kernels where the paper had them.
+pub fn hpcg_gflops(sys: SystemId, nodes: u32, optimised: bool) -> f64 {
+    let spec = system(sys);
+    let tc = paper_toolchain(sys, "hpcg").expect("every system ran HPCG");
+    let calib = Calibration { hpcg_optimised: optimised, ..Calibration::default() };
+    let ex = Executor::with_calibration(&spec, &tc, calib);
+    let layout = JobLayout::mpi_full(nodes, &spec);
+    let t = trace(HpcgConfig::paper(), layout.ranks);
+    ex.run(&t, layout).gflops
+}
+
+/// T3 — single-node HPCG, reference and optimised variants.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "T3",
+        "Single node HPCG performance (paper Table III; cells are paper / simulated)",
+        &["System", "GFLOP/s (paper/sim)", "% of peak (paper/sim)"],
+    );
+    for (sys, optimised, p_gflops, p_pct) in paper::TABLE3_HPCG_SINGLE_NODE {
+        let sim = hpcg_gflops(sys, 1, optimised);
+        let peak = system(sys).node.peak_dp_gflops();
+        let label = if optimised { format!("{} (optimised)", sys.name()) } else { sys.name().to_string() };
+        t.push_row(vec![label, pair(p_gflops, sim), pair(p_pct, 100.0 * sim / peak)]);
+    }
+    // Shape notes the paper calls out.
+    let a64fx = hpcg_gflops(SystemId::A64fx, 1, false);
+    let ngio = hpcg_gflops(SystemId::Ngio, 1, false);
+    let fulhame = hpcg_gflops(SystemId::Fulhame, 1, false);
+    t.note(format!(
+        "A64FX vs unoptimised NGIO: paper +46%, simulated {:+.0}%",
+        100.0 * (a64fx / ngio - 1.0)
+    ));
+    t.note(format!(
+        "A64FX vs unoptimised Fulhame: paper +62%, simulated {:+.0}%",
+        100.0 * (a64fx / fulhame - 1.0)
+    ));
+    t
+}
+
+/// T4 — HPCG at 1/2/4/8 nodes (optimised variants on NGIO and Fulhame,
+/// as the paper reports).
+pub fn table4() -> Table {
+    let mut t = Table::new(
+        "T4",
+        "Multiple node HPCG GFLOP/s (paper Table IV; cells are paper / simulated)",
+        &["System", "1 node", "2 nodes", "4 nodes", "8 nodes"],
+    );
+    for (sys, paper_row) in paper::TABLE4_HPCG_MULTI_NODE {
+        let optimised = matches!(sys, SystemId::Ngio | SystemId::Fulhame);
+        let mut row = vec![sys.name().to_string()];
+        for (i, nodes) in [1u32, 2, 4, 8].iter().enumerate() {
+            let sim = hpcg_gflops(sys, *nodes, optimised);
+            row.push(pair(paper_row[i], sim));
+        }
+        t.push_row(row);
+    }
+    t.note("A64FX stays fastest at every node count, as in the paper.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3_shape_a64fx_wins_single_node() {
+        // The paper's headline: A64FX beats every unoptimised x86/Arm system
+        // and even the optimised ones on a single node.
+        let a64fx = hpcg_gflops(SystemId::A64fx, 1, false);
+        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+            assert!(a64fx > hpcg_gflops(sys, 1, false), "{sys:?} must trail the A64FX");
+        }
+        assert!(a64fx > hpcg_gflops(SystemId::Ngio, 1, true));
+        assert!(a64fx > hpcg_gflops(SystemId::Fulhame, 1, true));
+    }
+
+    #[test]
+    fn t3_optimised_variants_gain_about_40_percent() {
+        for sys in [SystemId::Ngio, SystemId::Fulhame] {
+            let base = hpcg_gflops(sys, 1, false);
+            let opt = hpcg_gflops(sys, 1, true);
+            let gain = opt / base;
+            assert!(gain > 1.3 && gain < 1.55, "{sys:?} optimised gain {gain}");
+        }
+    }
+
+    #[test]
+    fn t4_scaling_is_near_linear() {
+        // Paper Table IV: 8-node totals are 7.7-8.2x the single node.
+        for sys in SystemId::all() {
+            let g1 = hpcg_gflops(sys, 1, false);
+            let g8 = hpcg_gflops(sys, 8, false);
+            let ratio = g8 / g1;
+            assert!(ratio > 6.5 && ratio <= 8.2, "{sys:?} 8-node ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let t3 = table3();
+        assert_eq!(t3.rows.len(), 7);
+        let t4 = table4();
+        assert_eq!(t4.rows.len(), 5);
+        assert!(t4.render().contains("A64FX"));
+    }
+}

@@ -1,0 +1,182 @@
+//! T5/F1/F2 — minikab experiments (paper Table V, Figures 1 and 2).
+
+use a64fx_apps::minikab::{fits_in_memory, trace, MinikabConfig};
+use archsim::{paper_toolchain, system, SystemId};
+
+use crate::costmodel::{Executor, JobLayout};
+use crate::paper;
+use crate::report::{pair, secs, Table};
+
+/// Simulated minikab solver runtime (seconds) on `sys` with `ranks` ranks
+/// of `threads` threads over `nodes` nodes. Returns `None` when the job
+/// does not fit in memory (the constraint that shapes Figure 1).
+pub fn minikab_runtime_s(sys: SystemId, nodes: u32, ranks: u32, threads: u32) -> Option<f64> {
+    let spec = system(sys);
+    let cfg = MinikabConfig::paper();
+    if !fits_in_memory(cfg, ranks, nodes, spec.node.memory_gib()) {
+        return None;
+    }
+    let rpn = ranks.div_ceil(nodes);
+    if rpn * threads > spec.node.cores() * spec.node.processor.smt.max_threads() {
+        return None;
+    }
+    let tc = paper_toolchain(sys, "minikab")?;
+    let ex = Executor::new(&spec, &tc);
+    let layout = JobLayout { ranks, ranks_per_node: rpn, threads_per_rank: threads };
+    let t = trace(cfg, ranks);
+    Some(ex.run(&t, layout).runtime_s)
+}
+
+/// T5 — single-core minikab runtime.
+pub fn table5() -> Table {
+    let mut t = Table::new(
+        "T5",
+        "Single core minikab runtime in seconds (paper Table V; paper / simulated)",
+        &["CPU", "Runtime s (paper/sim)"],
+    );
+    for (sys, p) in paper::TABLE5_MINIKAB_SINGLE_CORE {
+        let sim = minikab_runtime_s(sys, 1, 1, 1).expect("single core always fits");
+        t.push_row(vec![sys.name().to_string(), pair(p, sim)]);
+    }
+    t.note("Paper shape: A64FX 7% faster than NGIO, >2x faster than ThunderX2.");
+    t
+}
+
+/// The five execution setups of Figure 1 on 2 A64FX nodes: plain MPI and
+/// 2/6/12/24 threads per rank, for a given total core count.
+pub fn figure1_configs() -> [(&'static str, u32); 5] {
+    [("MPI only", 1), ("2 threads", 2), ("6 threads", 6), ("12 threads", 12), ("24 threads", 24)]
+}
+
+/// F1 — solver runtime for different process/thread mixes on 2 A64FX nodes.
+pub fn figure1() -> Table {
+    let mut t = Table::new(
+        "F1",
+        "minikab on 2 A64FX nodes: runtime (s) by cores and ranks-x-threads setup (paper Figure 1)",
+        &["Cores", "MPI only", "2 thr/rank", "6 thr/rank", "12 thr/rank", "24 thr/rank"],
+    );
+    for cores in [8u32, 16, 24, 48, 96] {
+        let mut row = vec![cores.to_string()];
+        for (_, threads) in figure1_configs() {
+            let cell = if cores % threads != 0 {
+                "-".to_string()
+            } else {
+                let ranks = cores / threads;
+                match minikab_runtime_s(SystemId::A64fx, 2, ranks, threads) {
+                    Some(s) => secs(s),
+                    None => "OOM".to_string(),
+                }
+            };
+            row.push(cell);
+        }
+        t.push_row(row);
+    }
+    t.note("Paper: best performance uses all 96 cores as 8 ranks x 12 threads (one per CMG); plain MPI cannot exceed 48 ranks (memory).");
+    t
+}
+
+/// F2 — strong scaling: A64FX (2-8 nodes, 4x12 hybrid per node) vs Fulhame
+/// (1-6 nodes, plain MPI fully populated).
+pub fn figure2() -> Table {
+    let mut t = Table::new(
+        "F2",
+        "minikab strong scaling: A64FX vs ThunderX2/Fulhame (paper Figure 2)",
+        &["Cores", "A64FX nodes", "A64FX runtime s", "Fulhame nodes", "Fulhame runtime s"],
+    );
+    // A64FX: nodes 2,4,6,8 with the best (per-CMG) layout: cores = 48*nodes.
+    // Fulhame: nodes 1..6 plain MPI: cores = 64*nodes.
+    // The paper plots both against cores; 192 and 384 cores exist on both.
+    let a64fx: Vec<(u32, u32, f64)> = [2u32, 4, 6, 8]
+        .iter()
+        .map(|&n| {
+            let ranks = 4 * n;
+            (48 * n, n, minikab_runtime_s(SystemId::A64fx, n, ranks, 12).expect("hybrid fits"))
+        })
+        .collect();
+    let fulhame: Vec<(u32, u32, f64)> = (1u32..=6)
+        .map(|n| (64 * n, n, minikab_runtime_s(SystemId::Fulhame, n, 64 * n, 1).expect("fits")))
+        .collect();
+    let mut cores: Vec<u32> = a64fx.iter().map(|x| x.0).chain(fulhame.iter().map(|x| x.0)).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    for c in cores {
+        let a = a64fx.iter().find(|x| x.0 == c);
+        let f = fulhame.iter().find(|x| x.0 == c);
+        t.push_row(vec![
+            c.to_string(),
+            a.map(|x| x.1.to_string()).unwrap_or_else(|| "-".into()),
+            a.map(|x| secs(x.2)).unwrap_or_else(|| "-".into()),
+            f.map(|x| x.1.to_string()).unwrap_or_else(|| "-".into()),
+            f.map(|x| secs(x.2)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.note("Paper: A64FX outperforms Fulhame at matching core counts but scales slightly less well.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t5_ordering_matches_paper() {
+        // A64FX < NGIO < Fulhame single-core runtimes.
+        let a = minikab_runtime_s(SystemId::A64fx, 1, 1, 1).unwrap();
+        let n = minikab_runtime_s(SystemId::Ngio, 1, 1, 1).unwrap();
+        let f = minikab_runtime_s(SystemId::Fulhame, 1, 1, 1).unwrap();
+        assert!(a < n, "A64FX ({a}) must beat NGIO ({n})");
+        assert!(n < f, "NGIO ({n}) must beat Fulhame ({f})");
+        assert!(f / a > 1.6, "ThunderX2 ~2x slower: {}", f / a);
+    }
+
+    #[test]
+    fn f1_best_config_is_8x12() {
+        // All 96-core configurations on 2 nodes; 8x12 should win.
+        let t12 = minikab_runtime_s(SystemId::A64fx, 2, 8, 12).unwrap();
+        let t24 = minikab_runtime_s(SystemId::A64fx, 2, 4, 24).unwrap();
+        let t6 = minikab_runtime_s(SystemId::A64fx, 2, 16, 6).unwrap();
+        let t2 = minikab_runtime_s(SystemId::A64fx, 2, 48, 2).unwrap();
+        assert!(t12 < t24, "12 threads beats 24 (NUMA span): {t12} vs {t24}");
+        assert!(t12 <= t6 && t12 <= t2, "8x12 is best: {t12} vs {t6}/{t2}");
+    }
+
+    #[test]
+    fn f1_memory_blocks_full_mpi_population() {
+        assert!(minikab_runtime_s(SystemId::A64fx, 2, 96, 1).is_none(), "96 ranks OOM");
+        assert!(minikab_runtime_s(SystemId::A64fx, 2, 48, 1).is_some(), "48 ranks fits");
+    }
+
+    #[test]
+    fn f1_more_cores_help() {
+        // Using all cores (via threads) beats half the cores.
+        let full = minikab_runtime_s(SystemId::A64fx, 2, 8, 12).unwrap();
+        let half = minikab_runtime_s(SystemId::A64fx, 2, 48, 1).unwrap();
+        assert!(full < half, "96 cores ({full}) beat 48 ({half})");
+    }
+
+    #[test]
+    fn f2_a64fx_beats_fulhame_at_matching_cores() {
+        // 192 cores: A64FX 4 nodes (16x12) vs Fulhame 3 nodes (192x1).
+        let a = minikab_runtime_s(SystemId::A64fx, 4, 16, 12).unwrap();
+        let f = minikab_runtime_s(SystemId::Fulhame, 3, 192, 1).unwrap();
+        assert!(a < f, "A64FX ({a}) must beat Fulhame ({f}) at 192 cores");
+        // 384 cores.
+        let a8 = minikab_runtime_s(SystemId::A64fx, 8, 32, 12).unwrap();
+        let f6 = minikab_runtime_s(SystemId::Fulhame, 6, 384, 1).unwrap();
+        assert!(a8 < f6);
+    }
+
+    #[test]
+    fn f2_scaling_reduces_runtime() {
+        let a2 = minikab_runtime_s(SystemId::A64fx, 2, 8, 12).unwrap();
+        let a8 = minikab_runtime_s(SystemId::A64fx, 8, 32, 12).unwrap();
+        assert!(a8 < a2, "more nodes must be faster: {a2} -> {a8}");
+    }
+
+    #[test]
+    fn tables_render() {
+        assert_eq!(table5().rows.len(), 3);
+        assert_eq!(figure1().rows.len(), 5);
+        assert!(figure2().rows.len() >= 6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Experiment definitions — one per table/figure of the paper.
+//!
+//! | id | paper artefact | function |
+//! |---|---|---|
+//! | T1 | Table I, node specs | [`specs::table1`] |
+//! | T2 | Table II, toolchains | [`specs::table2`] |
+//! | T3 | Table III, single-node HPCG | [`hpcg::table3`] |
+//! | T4 | Table IV, multi-node HPCG | [`hpcg::table4`] |
+//! | T5 | Table V, single-core minikab | [`minikab::table5`] |
+//! | F1 | Fig. 1, minikab process/thread configs | [`minikab::figure1`] |
+//! | F2 | Fig. 2, minikab strong scaling | [`minikab::figure2`] |
+//! | T6 | Table VI, Nekbone node GFLOP/s | [`nekbone::table6`] |
+//! | F3 | Fig. 3, Nekbone core scaling | [`nekbone::figure3`] |
+//! | T7 | Table VII, Nekbone parallel efficiency | [`nekbone::table7`] |
+//! | T8 | Table VIII, COSA ranks per node | [`cosa::table8`] |
+//! | F4 | Fig. 4, COSA strong scaling | [`cosa::figure4`] |
+//! | F5 | Fig. 5, CASTEP core scaling | [`castep::figure5`] |
+//! | T9 | Table IX, CASTEP best node | [`castep::table9`] |
+//! | T10 | Table X, OpenSBLI runtimes | [`opensbli::table10`] |
+
+pub mod castep;
+pub mod cosa;
+pub mod hpcg;
+pub mod minikab;
+pub mod nekbone;
+pub mod opensbli;
+pub mod specs;
+
+use crate::report::Table;
+
+/// Run every experiment, in paper order.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        specs::table1(),
+        specs::table2(),
+        hpcg::table3(),
+        hpcg::table4(),
+        minikab::table5(),
+        minikab::figure1(),
+        minikab::figure2(),
+        nekbone::table6(),
+        nekbone::figure3(),
+        nekbone::table7(),
+        cosa::table8(),
+        cosa::figure4(),
+        castep::figure5(),
+        castep::table9(),
+        opensbli::table10(),
+    ]
+}
+
+/// Run one experiment by id (case-insensitive, e.g. "t3" or "F4").
+pub fn run_one(id: &str) -> Option<Table> {
+    let t = match id.to_ascii_lowercase().as_str() {
+        "t1" => specs::table1(),
+        "t2" => specs::table2(),
+        "t3" => hpcg::table3(),
+        "t4" => hpcg::table4(),
+        "t5" => minikab::table5(),
+        "f1" => minikab::figure1(),
+        "f2" => minikab::figure2(),
+        "t6" => nekbone::table6(),
+        "f3" => nekbone::figure3(),
+        "t7" => nekbone::table7(),
+        "t8" => cosa::table8(),
+        "f4" => cosa::figure4(),
+        "f5" => castep::figure5(),
+        "t9" => castep::table9(),
+        "t10" => opensbli::table10(),
+        _ => return None,
+    };
+    Some(t)
+}
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> [&'static str; 15] {
+    ["t1", "t2", "t3", "t4", "t5", "f1", "f2", "t6", "f3", "t7", "t8", "f4", "f5", "t9", "t10"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_rejects_unknown() {
+        assert!(run_one("t99").is_none());
+        assert!(run_one("T3").is_some());
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        for id in all_ids() {
+            assert!(run_one(id).is_some(), "{id}");
+        }
+    }
+}

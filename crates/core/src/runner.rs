@@ -1,0 +1,48 @@
+//! Parallel experiment runner.
+//!
+//! The 14 experiments are independent simulations; this module fans them
+//! out over a crossbeam thread scope (one worker per experiment, results
+//! collected under a `parking_lot` mutex) so `repro --all` regenerates the
+//! whole paper in roughly the time of its slowest artefact.
+
+use parking_lot::Mutex;
+
+use crate::experiments;
+use crate::report::Table;
+
+/// Run every experiment concurrently, returning them in paper order.
+pub fn run_all_parallel() -> Vec<Table> {
+    let ids = experiments::all_ids();
+    let slots: Mutex<Vec<Option<Table>>> = Mutex::new(vec![None; ids.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, id) in ids.iter().enumerate() {
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let t = experiments::run_one(id).expect("known id");
+                slots.lock()[i] = Some(t);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|t| t.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_run_matches_serial_order_and_content() {
+        let par = run_all_parallel();
+        let ser = experiments::run_all();
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.id, s.id, "order must be paper order");
+            assert_eq!(p, s, "{}: parallel and serial runs must agree", p.id);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-iteration timeline rendering: what one iteration of a benchmark
+//! spends its time on, phase by phase, on a given system.
+//!
+//! This is the simulator's version of the profiling runs the paper
+//! mentions (the Fujitsu profiler in Figure 1's caption, the OpenSBLI
+//! analysis in §VII.C): a breakdown a user can read to see *why* a system
+//! is fast or slow on a benchmark.
+
+use a64fx_apps::trace::{Phase, Trace, WorkDist};
+use archsim::{SystemSpec, Toolchain};
+use simmpi::{Placement, PlacementPolicy, World};
+
+use crate::costmodel::{Executor, JobLayout};
+use crate::report::Table;
+
+/// One timeline entry: a phase and its rank-0 duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Phase label, e.g. `compute:SymGS` or `allreduce(8B)`.
+    pub label: String,
+    /// Duration attributed to the phase (rank-0 view), microseconds.
+    pub us: f64,
+}
+
+/// Compute the per-phase timeline of one body iteration of `trace` on a
+/// system. Returns one entry per phase, in program order.
+pub fn iteration_timeline(
+    spec: &SystemSpec,
+    toolchain: &Toolchain,
+    trace: &Trace,
+    layout: JobLayout,
+) -> Vec<TimelineEntry> {
+    let ex = Executor::new(spec, toolchain);
+    let placement = Placement::new(
+        layout.ranks,
+        layout.ranks_per_node,
+        layout.threads_per_rank,
+        &spec.node,
+        PlacementPolicy::RoundRobinDomain,
+    )
+    .expect("invalid layout");
+    let mut world = World::for_system(spec, placement);
+    let mut out = Vec::with_capacity(trace.body.len());
+    for phase in &trace.body {
+        let before = world.now_us(0);
+        let single = Trace {
+            ranks: trace.ranks,
+            prologue: Vec::new(),
+            body: vec![phase.clone()],
+            iterations: 1,
+            fom_flops: 0.0,
+        };
+        ex.replay(&single, &mut world);
+        let label = match phase {
+            Phase::Compute { class, work } => {
+                let w = match work {
+                    WorkDist::Uniform(w) => *w,
+                    WorkDist::PerRank(v) => v[0],
+                };
+                format!("compute:{} ({:.1} Mflop)", class.name(), w.flops as f64 / 1e6)
+            }
+            Phase::Allreduce { bytes } => format!("allreduce({bytes}B)"),
+            Phase::Halo { pairs } => format!("halo({} pairs)", pairs.len()),
+            Phase::Alltoall { bytes_per_pair } => format!("alltoall({bytes_per_pair}B/pair)"),
+            Phase::Allgather { bytes } => format!("allgather({bytes}B)"),
+            Phase::Barrier => "barrier".to_string(),
+            Phase::Overhead { us } => format!("runtime overhead ({us}us)"),
+        };
+        out.push(TimelineEntry { label, us: world.now_us(0) - before });
+    }
+    out
+}
+
+/// Render a timeline as a table with time shares and a bar chart.
+pub fn timeline_table(title: &str, entries: &[TimelineEntry]) -> Table {
+    let total: f64 = entries.iter().map(|e| e.us).sum();
+    let mut t = Table::new("TL", title, &["Phase", "us", "share", ""]);
+    for e in entries {
+        let share = if total > 0.0 { e.us / total } else { 0.0 };
+        let bar = "#".repeat((share * 40.0).round() as usize);
+        t.push_row(vec![
+            e.label.clone(),
+            format!("{:.1}", e.us),
+            format!("{:.1}%", 100.0 * share),
+            bar,
+        ]);
+    }
+    t.note(format!("one iteration: {total:.1} us"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a64fx_apps::hpcg;
+    use archsim::{paper_toolchain, system, SystemId};
+
+    #[test]
+    fn hpcg_timeline_sums_to_iteration_time() {
+        let spec = system(SystemId::A64fx);
+        let tc = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
+        let layout = JobLayout::mpi_full(1, &spec);
+        let trace = hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks);
+        let tl = iteration_timeline(&spec, &tc, &trace, layout);
+        assert_eq!(tl.len(), trace.body.len());
+        let tl_total: f64 = tl.iter().map(|e| e.us).sum();
+        // Compare to a full run's per-iteration time (prologue amortised out).
+        let full = Executor::new(&spec, &tc).run(&trace, layout);
+        let per_iter_us = full.runtime_s * 1e6 / f64::from(trace.iterations);
+        let rel = (tl_total - per_iter_us).abs() / per_iter_us;
+        assert!(rel < 0.10, "timeline {tl_total} vs run {per_iter_us} ({rel:.2})");
+    }
+
+    #[test]
+    fn hpcg_timeline_dominated_by_symgs() {
+        let spec = system(SystemId::Ngio);
+        let tc = paper_toolchain(SystemId::Ngio, "hpcg").unwrap();
+        let layout = JobLayout::mpi_full(1, &spec);
+        let trace = hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks);
+        let tl = iteration_timeline(&spec, &tc, &trace, layout);
+        let symgs: f64 = tl.iter().filter(|e| e.label.contains("SymGS")).map(|e| e.us).sum();
+        let total: f64 = tl.iter().map(|e| e.us).sum();
+        assert!(symgs / total > 0.5, "SymGS share {:.2}", symgs / total);
+    }
+
+    #[test]
+    fn timeline_table_renders_bars() {
+        let entries = vec![
+            TimelineEntry { label: "a".into(), us: 75.0 },
+            TimelineEntry { label: "b".into(), us: 25.0 },
+        ];
+        let t = timeline_table("demo", &entries);
+        assert!(t.render().contains("75.0%"));
+        assert!(t.rows[0][3].len() > t.rows[1][3].len());
+    }
+}

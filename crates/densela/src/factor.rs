@@ -1,0 +1,205 @@
+//! Small dense factorisations: Cholesky and partially pivoted LU.
+//!
+//! Used by the CASTEP proxy's subspace-rotation phase and as reference
+//! solvers in tests (e.g. validating CG solutions against a direct solve).
+
+use crate::matrix::DMatrix;
+use crate::work::Work;
+
+const F64B: u64 = 8;
+
+/// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite
+/// matrix. Returns the lower-triangular factor, or `None` if the matrix is
+/// not numerically SPD.
+pub fn cholesky(a: &DMatrix) -> Option<(DMatrix, Work)> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky needs a square matrix");
+    let mut l = DMatrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return None;
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in j + 1..n {
+            let mut v = a[(i, j)];
+            for k in 0..j {
+                v -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = v / ljj;
+        }
+    }
+    let nf = n as u64;
+    let w = Work::new(nf * nf * nf / 3 + nf * nf, nf * nf * F64B, nf * nf * F64B / 2);
+    Some((l, w))
+}
+
+/// Solve `A x = b` via Cholesky (forward + back substitution).
+/// Returns `None` if `A` is not SPD.
+pub fn cholesky_solve(a: &DMatrix, b: &[f64]) -> Option<(Vec<f64>, Work)> {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let (l, mut w) = cholesky(a)?;
+    // L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= l[(i, k)] * y[k];
+        }
+        y[i] = v / l[(i, i)];
+    }
+    // L^T x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in i + 1..n {
+            v -= l[(k, i)] * x[k];
+        }
+        x[i] = v / l[(i, i)];
+    }
+    let nf = n as u64;
+    w += Work::new(2 * nf * nf, nf * nf * F64B, 2 * nf * F64B);
+    Some((x, w))
+}
+
+/// LU factorisation with partial pivoting. Returns `(LU, perm)` where the
+/// strictly-lower part of `LU` holds `L` (unit diagonal implicit) and the
+/// upper part holds `U`. Returns `None` on a singular pivot.
+pub fn lu(a: &DMatrix) -> Option<(DMatrix, Vec<usize>, Work)> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lu needs a square matrix");
+    let mut m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if m[(r, col)].abs() > m[(piv, col)].abs() {
+                piv = r;
+            }
+        }
+        if m[(piv, col)].abs() < 1e-300 {
+            return None;
+        }
+        if piv != col {
+            perm.swap(piv, col);
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(piv, c)];
+                m[(piv, c)] = tmp;
+            }
+        }
+        let d = m[(col, col)];
+        for r in col + 1..n {
+            let f = m[(r, col)] / d;
+            m[(r, col)] = f;
+            for c in col + 1..n {
+                let v = m[(col, c)];
+                m[(r, c)] -= f * v;
+            }
+        }
+    }
+    let nf = n as u64;
+    let w = Work::new(2 * nf * nf * nf / 3, nf * nf * F64B, nf * nf * F64B);
+    Some((m, perm, w))
+}
+
+/// Solve `A x = b` via LU with partial pivoting.
+pub fn lu_solve(a: &DMatrix, b: &[f64]) -> Option<(Vec<f64>, Work)> {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let (m, perm, mut w) = lu(a)?;
+    let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    // L y' = Pb (unit diagonal).
+    for i in 0..n {
+        for k in 0..i {
+            let f = m[(i, k)];
+            y[i] -= f * y[k];
+        }
+    }
+    // U x = y'.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in i + 1..n {
+            v -= m[(i, k)] * x[k];
+        }
+        x[i] = v / m[(i, i)];
+    }
+    let nf = n as u64;
+    w += Work::new(2 * nf * nf, nf * nf * F64B, 2 * nf * F64B);
+    Some((x, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn spd(n: usize) -> DMatrix {
+        // A = B^T B + n*I is SPD.
+        let b = DMatrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let (mut a, _) = matmul(&b.transpose(), &b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(6);
+        let (l, _) = cholesky(&a).expect("SPD");
+        let (llt, _) = matmul(&l, &l.transpose());
+        assert!(llt.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = DMatrix::identity(3);
+        a[(1, 1)] = -1.0;
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        let a = spd(8);
+        let x_true: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        let b = a.matvec(&x_true);
+        let (x, _) = cholesky_solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_solve_handles_nonsymmetric() {
+        let a = DMatrix::from_fn(5, 5, |r, c| if r == c { 10.0 } else { ((r * 3 + c) % 4) as f64 });
+        let x_true = vec![1.0, -2.0, 3.0, -4.0, 5.0];
+        let b = a.matvec(&x_true);
+        let (x, _) = lu_solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = DMatrix::zeros(3, 3);
+        assert!(lu(&a).is_none());
+    }
+
+    #[test]
+    fn lu_pivots_zero_leading_entry() {
+        // Leading 0 forces a row swap; solvable regardless.
+        let a = DMatrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]); // [[0,1],[1,0]]
+        let (x, _) = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+}

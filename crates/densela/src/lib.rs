@@ -1,0 +1,32 @@
+//! # densela — dense linear algebra substrate
+//!
+//! Real (executing) dense kernels used by the benchmark applications:
+//!
+//! * [`vecops`] — dot products, AXPY/WAXPBY, norms (the vector phase of every
+//!   CG solver in the paper: HPCG, minikab, Nekbone).
+//! * [`matrix`] — a small column-major dense matrix type.
+//! * [`gemm`] — general matrix–matrix multiply, plus the batched
+//!   small-matrix products Nekbone's `ax` kernel is made of.
+//! * [`tensor`] — tensor-product operator application on spectral elements
+//!   (apply a 1-D derivative matrix along each axis of an n³ element), the
+//!   heart of Nek5000/Nekbone.
+//! * [`factor`] — Cholesky and LU factorisation for small dense systems
+//!   (CASTEP's subspace-rotation proxy; reference solutions in tests).
+//! * [`work`] — flop/byte work accounting shared by every kernel, which
+//!   feeds the roofline cost model.
+//!
+//! Every kernel returns a [`work::Work`] record of the flops it performed
+//! and the bytes it touched, so simulated (paper-scale) runs and real
+//! (test-scale) runs share one work model.
+
+#![warn(missing_docs)]
+
+pub mod factor;
+pub mod gemm;
+pub mod matrix;
+pub mod tensor;
+pub mod vecops;
+pub mod work;
+
+pub use matrix::DMatrix;
+pub use work::Work;

@@ -1,0 +1,360 @@
+//! Tensor-product spectral-element kernels (the Nekbone `ax` operator).
+//!
+//! A spectral element holds an n×n×n grid of Gauss–Lobatto–Legendre (GLL)
+//! point values. The local stiffness operator is applied as tensor
+//! contractions of a 1-D derivative matrix `D` along each axis:
+//!
+//! ```text
+//! u_r = (D ⊗ I ⊗ I) u,   u_s = (I ⊗ D ⊗ I) u,   u_t = (I ⊗ I ⊗ D) u
+//! w   = (Dᵀ ⊗ I ⊗ I) (g_rr ∘ u_r) + (I ⊗ Dᵀ ⊗ I) (g_ss ∘ u_s) + (I ⊗ I ⊗ Dᵀ) (g_tt ∘ u_t)
+//! ```
+//!
+//! Each contraction is a batch of small dense products — precisely the
+//! "challenging computational pattern" of small matrix–matrix multiplies the
+//! paper describes for Nekbone. This module provides real GLL quadrature
+//! (Newton iteration on Legendre polynomials), the spectral derivative
+//! matrix, the contraction kernels, and their work models.
+
+use crate::matrix::DMatrix;
+use crate::work::Work;
+
+const F64B: u64 = 8;
+
+/// Evaluate the Legendre polynomial `P_n` and its derivative at `x` by the
+/// three-term recurrence.
+pub fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let (mut p0, mut p1) = (1.0, x);
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    // P'_n from the standard identity (valid for |x| < 1; endpoints handled
+    // by the caller via known values).
+    let dp = if (1.0 - x * x).abs() > 1e-14 {
+        (n as f64) * (x * p1 - p0) / (x * x - 1.0)
+    } else {
+        x.signum().powi(n as i32 + 1) * (n * (n + 1)) as f64 / 2.0
+    };
+    (p1, dp)
+}
+
+/// The `n` Gauss–Lobatto–Legendre points on [-1, 1] (including endpoints),
+/// found by Newton iteration on `(1 - x²) P'_{n-1}(x) = 0`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn gll_points(n: usize) -> Vec<f64> {
+    assert!(n >= 2, "GLL needs at least the two endpoints");
+    let m = n - 1; // polynomial degree
+    let mut x = vec![0.0; n];
+    x[0] = -1.0;
+    x[m] = 1.0;
+    for i in 1..m {
+        // Chebyshev-Gauss-Lobatto initial guess.
+        let mut xi = -(std::f64::consts::PI * i as f64 / m as f64).cos();
+        for _ in 0..100 {
+            // Newton on q(x) = P'_m(x): interior GLL nodes are its roots.
+            // q'(x) from the Legendre ODE: (1-x²)P''_m = 2xP'_m - m(m+1)P_m.
+            let (p, dp) = legendre(m, xi);
+            let ddp = (2.0 * xi * dp - (m * (m + 1)) as f64 * p) / (1.0 - xi * xi);
+            let step = dp / ddp;
+            xi -= step;
+            if step.abs() < 1e-15 {
+                break;
+            }
+        }
+        x[i] = xi;
+    }
+    x
+}
+
+/// The spectral differentiation matrix on the GLL points: `(D u)_i` is the
+/// derivative at node i of the interpolating polynomial through `u`.
+pub fn gll_derivative_matrix(n: usize) -> DMatrix {
+    let x = gll_points(n);
+    let m = n - 1;
+    let ln: Vec<f64> = x.iter().map(|&xi| legendre(m, xi).0).collect();
+    DMatrix::from_fn(n, n, |i, j| {
+        if i == j {
+            if i == 0 {
+                -((m * (m + 1)) as f64) / 4.0
+            } else if i == m {
+                (m * (m + 1)) as f64 / 4.0
+            } else {
+                0.0
+            }
+        } else {
+            ln[i] / (ln[j] * (x[i] - x[j]))
+        }
+    })
+}
+
+/// Apply `d` (n×n) along axis 0 of the n³ field `u`:
+/// `out[i,j,k] = Σ_l d[i,l] · u[l,j,k]`. Returns the work performed.
+pub fn apply_dim0(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
+    debug_assert_eq!(u.len(), n * n * n);
+    debug_assert_eq!(out.len(), n * n * n);
+    for jk in 0..n * n {
+        let base = jk * n;
+        for i in 0..n {
+            let mut acc = 0.0;
+            for l in 0..n {
+                acc += d[(i, l)] * u[base + l];
+            }
+            out[base + i] = acc;
+        }
+    }
+    tensor_apply_work(n)
+}
+
+/// Apply `d` along axis 1: `out[i,j,k] = Σ_l d[j,l] · u[i,l,k]`.
+pub fn apply_dim1(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
+    debug_assert_eq!(u.len(), n * n * n);
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += d[(j, l)] * u[k * n * n + l * n + i];
+                }
+                out[k * n * n + j * n + i] = acc;
+            }
+        }
+    }
+    tensor_apply_work(n)
+}
+
+/// Apply `d` along axis 2: `out[i,j,k] = Σ_l d[k,l] · u[i,j,l]`.
+pub fn apply_dim2(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
+    debug_assert_eq!(u.len(), n * n * n);
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += d[(k, l)] * u[l * n * n + j * n + i];
+                }
+                out[k * n * n + j * n + i] = acc;
+            }
+        }
+    }
+    tensor_apply_work(n)
+}
+
+/// Work of one axis application: n³ outputs × n MACs, streaming u and out.
+pub fn tensor_apply_work(n: usize) -> Work {
+    let n3 = (n * n * n) as u64;
+    Work::new(2 * n3 * n as u64, n3 * F64B + (n * n) as u64 * F64B, n3 * F64B)
+}
+
+/// Scratch space for [`local_ax`], reused across elements to avoid
+/// per-element allocation (the perf-book "workhorse collection" pattern).
+#[derive(Debug, Clone)]
+pub struct AxScratch {
+    ur: Vec<f64>,
+    us: Vec<f64>,
+    ut: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl AxScratch {
+    /// Scratch for polynomial order `n` elements.
+    pub fn new(n: usize) -> Self {
+        let n3 = n * n * n;
+        AxScratch { ur: vec![0.0; n3], us: vec![0.0; n3], ut: vec![0.0; n3], tmp: vec![0.0; n3] }
+    }
+}
+
+/// The Nekbone local `ax` kernel: `w = Aᵉ u` for one spectral element with
+/// diagonal geometric factors `g` (length n³, one per GLL point; pass ones
+/// for the reference cube). Returns the work performed.
+pub fn local_ax(
+    d: &DMatrix,
+    dt: &DMatrix,
+    n: usize,
+    g: &[f64],
+    u: &[f64],
+    w: &mut [f64],
+    s: &mut AxScratch,
+) -> Work {
+    debug_assert_eq!(g.len(), n * n * n);
+    let mut work = Work::ZERO;
+    // Gradient.
+    work += apply_dim0(d, n, u, &mut s.ur);
+    work += apply_dim1(d, n, u, &mut s.us);
+    work += apply_dim2(d, n, u, &mut s.ut);
+    // Apply (diagonal) geometric factors.
+    for i in 0..n * n * n {
+        s.ur[i] *= g[i];
+        s.us[i] *= g[i];
+        s.ut[i] *= g[i];
+    }
+    work += Work::new(3 * (n * n * n) as u64, 4 * (n * n * n) as u64 * F64B, 3 * (n * n * n) as u64 * F64B);
+    // Divergence (transpose applications), accumulated into w.
+    work += apply_dim0(dt, n, &s.ur, w);
+    work += apply_dim1(dt, n, &s.us, &mut s.tmp);
+    for i in 0..n * n * n {
+        w[i] += s.tmp[i];
+    }
+    work += apply_dim2(dt, n, &s.ut, &mut s.tmp);
+    for i in 0..n * n * n {
+        w[i] += s.tmp[i];
+    }
+    work += Work::new(2 * (n * n * n) as u64, 4 * (n * n * n) as u64 * F64B, 2 * (n * n * n) as u64 * F64B);
+    work
+}
+
+/// Closed-form work model for one element's `ax` (validated in tests).
+pub fn local_ax_work(n: usize) -> Work {
+    let n3 = (n * n * n) as u64;
+    tensor_apply_work(n) * 6
+        + Work::new(3 * n3, 4 * n3 * F64B, 3 * n3 * F64B)
+        + Work::new(2 * n3, 4 * n3 * F64B, 2 * n3 * F64B)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gll_points_are_symmetric_and_ordered() {
+        for n in [2, 4, 8, 16] {
+            let x = gll_points(n);
+            assert_eq!(x[0], -1.0);
+            assert_eq!(x[n - 1], 1.0);
+            assert!(x.windows(2).all(|w| w[0] < w[1]), "ordered");
+            for i in 0..n {
+                assert!((x[i] + x[n - 1 - i]).abs() < 1e-12, "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matrix_kills_constants() {
+        let d = gll_derivative_matrix(8);
+        let ones = vec![1.0; 8];
+        let dv = d.matvec(&ones);
+        for v in dv {
+            assert!(v.abs() < 1e-10, "derivative of a constant must vanish: {v}");
+        }
+    }
+
+    #[test]
+    fn derivative_matrix_exact_on_polynomials() {
+        let n = 8;
+        let d = gll_derivative_matrix(n);
+        let x = gll_points(n);
+        // d/dx of x^3 is 3x^2, exact for degree < n.
+        let u: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        let du = d.matvec(&u);
+        for (i, &xi) in x.iter().enumerate() {
+            assert!((du[i] - 3.0 * xi * xi).abs() < 1e-9, "at {xi}: {} vs {}", du[i], 3.0 * xi * xi);
+        }
+    }
+
+    #[test]
+    fn axis_applications_agree_with_kronecker_structure() {
+        let n = 4;
+        let d = gll_derivative_matrix(n);
+        // A field separable as f(x)g(y)h(z): axis-0 application must act on
+        // the x factor only.
+        let x = gll_points(n);
+        let mut u = vec![0.0; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    u[k * n * n + j * n + i] = x[i].powi(2) * (1.0 + x[j]) * (2.0 - x[k]);
+                }
+            }
+        }
+        let mut out = vec![0.0; n * n * n];
+        apply_dim0(&d, n, &u, &mut out);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let want = 2.0 * x[i] * (1.0 + x[j]) * (2.0 - x[k]);
+                    let got = out[k * n * n + j * n + i];
+                    assert!((got - want).abs() < 1e-9, "({i},{j},{k}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_ax_is_symmetric_positive_semidefinite() {
+        let n = 5;
+        let d = gll_derivative_matrix(n);
+        let dt = d.transpose();
+        let g = vec![1.0; n * n * n];
+        let mut s = AxScratch::new(n);
+        // u^T A u >= 0 for several fields; zero only for constants.
+        let fields: Vec<Vec<f64>> = vec![
+            (0..n * n * n).map(|i| (i % 7) as f64 - 3.0).collect(),
+            (0..n * n * n).map(|i| ((i * 13) % 11) as f64).collect(),
+            vec![1.0; n * n * n],
+        ];
+        for (fi, u) in fields.iter().enumerate() {
+            let mut w = vec![0.0; n * n * n];
+            local_ax(&d, &dt, n, &g, u, &mut w, &mut s);
+            let quad: f64 = u.iter().zip(&w).map(|(a, b)| a * b).sum();
+            if fi == 2 {
+                assert!(quad.abs() < 1e-8, "constant field is in the null space: {quad}");
+            } else {
+                assert!(quad > -1e-8, "A must be PSD: u^T A u = {quad}");
+            }
+        }
+    }
+
+    #[test]
+    fn ax_work_model_matches_instrumented_kernel() {
+        let n = 6;
+        let d = gll_derivative_matrix(n);
+        let dt = d.transpose();
+        let g = vec![1.0; n * n * n];
+        let u = vec![1.0; n * n * n];
+        let mut w = vec![0.0; n * n * n];
+        let mut s = AxScratch::new(n);
+        let work = local_ax(&d, &dt, n, &g, &u, &mut w, &mut s);
+        assert_eq!(work, local_ax_work(n));
+        // Leading term 12 n^4 MACs.
+        assert!(work.flops >= 12 * (n as u64).pow(4));
+    }
+
+    #[test]
+    fn ax_flops_scale_as_n4() {
+        let w8 = local_ax_work(8).flops as f64;
+        let w16 = local_ax_work(16).flops as f64;
+        let ratio = w16 / w8;
+        assert!(ratio > 14.0 && ratio < 18.0, "n^4 scaling: got {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn axis_applications_are_linear(n in 2usize..6, alpha in -3.0f64..3.0) {
+            let d = gll_derivative_matrix(n);
+            let n3 = n * n * n;
+            let u: Vec<f64> = (0..n3).map(|i| ((i * 31) % 13) as f64 - 6.0).collect();
+            let ua: Vec<f64> = u.iter().map(|v| alpha * v).collect();
+            let mut o1 = vec![0.0; n3];
+            let mut o2 = vec![0.0; n3];
+            for apply in [apply_dim0, apply_dim1, apply_dim2] {
+                apply(&d, n, &u, &mut o1);
+                apply(&d, n, &ua, &mut o2);
+                for (a, b) in o1.iter().zip(&o2) {
+                    prop_assert!((b - alpha * a).abs() < 1e-9 * (1.0 + a.abs()));
+                }
+            }
+        }
+    }
+}

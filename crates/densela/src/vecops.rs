@@ -1,0 +1,213 @@
+//! Vector operations with work accounting.
+//!
+//! These are the `VectorOp`/`Dot` kernel classes of the cost model: pure
+//! streaming operations with arithmetic intensity well under every system's
+//! ridge point, hence memory-bound everywhere.
+
+use crate::work::Work;
+
+const F64B: u64 = 8;
+
+/// Dot product `x · y`. 2n flops, 16n bytes read.
+pub fn dot(x: &[f64], y: &[f64]) -> (f64, Work) {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    let n = x.len() as u64;
+    (acc, Work::new(2 * n, 2 * n * F64B, 0))
+}
+
+/// Squared 2-norm `x · x`.
+pub fn norm2_sq(x: &[f64]) -> (f64, Work) {
+    let mut acc = 0.0;
+    for a in x {
+        acc += a * a;
+    }
+    let n = x.len() as u64;
+    (acc, Work::new(2 * n, n * F64B, 0))
+}
+
+/// 2-norm.
+pub fn norm2(x: &[f64]) -> (f64, Work) {
+    let (s, w) = norm2_sq(x);
+    (s.sqrt(), w)
+}
+
+/// `y += alpha * x`. 2n flops; reads x and y, writes y.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Work {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (a, b) in x.iter().zip(y.iter_mut()) {
+        *b += alpha * a;
+    }
+    let n = x.len() as u64;
+    Work::new(2 * n, 2 * n * F64B, n * F64B)
+}
+
+/// `w = alpha * x + beta * y` (HPCG's WAXPBY). 3n flops.
+pub fn waxpby(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64]) -> Work {
+    assert!(x.len() == y.len() && y.len() == w.len(), "waxpby: length mismatch");
+    for i in 0..x.len() {
+        w[i] = alpha * x[i] + beta * y[i];
+    }
+    let n = x.len() as u64;
+    Work::new(3 * n, 2 * n * F64B, n * F64B)
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) -> Work {
+    for a in x.iter_mut() {
+        *a *= alpha;
+    }
+    let n = x.len() as u64;
+    Work::new(n, n * F64B, n * F64B)
+}
+
+/// Copy `src` into `dst` (no flops, pure traffic).
+pub fn copy(src: &[f64], dst: &mut [f64]) -> Work {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+    let n = src.len() as u64;
+    Work::new(0, n * F64B, n * F64B)
+}
+
+/// STREAM triad: `a = b + alpha * c`. The benchmark kernel behind every
+/// sustained-bandwidth number in the machine models.
+pub fn triad(alpha: f64, b: &[f64], c: &[f64], a: &mut [f64]) -> Work {
+    assert!(b.len() == c.len() && c.len() == a.len(), "triad: length mismatch");
+    for i in 0..a.len() {
+        a[i] = b[i] + alpha * c[i];
+    }
+    let n = a.len() as u64;
+    Work::new(2 * n, 2 * n * F64B, n * F64B)
+}
+
+/// Elementwise product `w = x .* y` (used by diagonal preconditioners).
+pub fn hadamard(x: &[f64], y: &[f64], w: &mut [f64]) -> Work {
+    assert!(x.len() == y.len() && y.len() == w.len(), "hadamard: length mismatch");
+    for i in 0..x.len() {
+        w[i] = x[i] * y[i];
+    }
+    let n = x.len() as u64;
+    Work::new(n, 2 * n * F64B, n * F64B)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_manual() {
+        let (v, w) = dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(v, 32.0);
+        assert_eq!(w.flops, 6);
+        assert_eq!(w.bytes_read, 48);
+    }
+
+    #[test]
+    fn norms() {
+        let (n, _) = norm2(&[3.0, 4.0]);
+        assert!((n - 5.0).abs() < 1e-15);
+        let (s, _) = norm2_sq(&[3.0, 4.0]);
+        assert_eq!(s, 25.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        let w = axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 41.0]);
+        assert_eq!(w.flops, 4);
+    }
+
+    #[test]
+    fn waxpby_combines() {
+        let mut out = vec![0.0; 2];
+        waxpby(2.0, &[1.0, 2.0], -1.0, &[3.0, 3.0], &mut out);
+        assert_eq!(out, vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn triad_matches_stream_semantics() {
+        let b = vec![1.0, 2.0];
+        let c = vec![10.0, 20.0];
+        let mut a = vec![0.0; 2];
+        let w = triad(3.0, &b, &c, &mut a);
+        assert_eq!(a, vec![31.0, 62.0]);
+        assert_eq!(w.flops, 4);
+        // STREAM counts 24 bytes per element for triad.
+        assert_eq!(w.bytes(), 2 * 24);
+    }
+
+    #[test]
+    fn scale_and_copy_and_hadamard() {
+        let mut x = vec![1.0, 2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, vec![3.0, 6.0]);
+        let mut d = vec![0.0; 2];
+        copy(&x, &mut d);
+        assert_eq!(d, x);
+        let mut h = vec![0.0; 2];
+        hadamard(&x, &x, &mut h);
+        assert_eq!(h, vec![9.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn vector_ops_are_memory_bound_class() {
+        // AI of dot is 2n / 16n = 0.125 flops/byte — far below any ridge.
+        let (_, w) = dot(&vec![1.0; 1000], &vec![2.0; 1000]);
+        assert!(w.arithmetic_intensity() < 0.2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn dot_is_bilinear(
+            x in proptest::collection::vec(-1e3f64..1e3, 1..64),
+            a in -10.0f64..10.0,
+        ) {
+            let y: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
+            let (d1, _) = dot(&x, &y);
+            let xs: Vec<f64> = x.iter().map(|v| v * a).collect();
+            let (d2, _) = dot(&xs, &y);
+            prop_assert!((d2 - a * d1).abs() <= 1e-6 * (1.0 + d1.abs() * a.abs()));
+        }
+
+        #[test]
+        fn norm_is_nonnegative_and_zero_only_at_zero(
+            x in proptest::collection::vec(-1e3f64..1e3, 1..64),
+        ) {
+            let (n, _) = norm2(&x);
+            prop_assert!(n >= 0.0);
+            if x.iter().any(|v| *v != 0.0) {
+                prop_assert!(n > 0.0);
+            }
+        }
+
+        #[test]
+        fn axpy_then_inverse_restores(
+            x in proptest::collection::vec(-1e3f64..1e3, 1..64),
+            alpha in -10.0f64..10.0,
+        ) {
+            let orig: Vec<f64> = x.iter().map(|v| v + 1.0).collect();
+            let mut y = orig.clone();
+            axpy(alpha, &x, &mut y);
+            axpy(-alpha, &x, &mut y);
+            for (a, b) in y.iter().zip(&orig) {
+                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+            }
+        }
+    }
+}

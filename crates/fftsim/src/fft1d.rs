@@ -1,0 +1,240 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::complex::Complex64;
+use densela::Work;
+
+const C64B: u64 = 16;
+
+/// In-place forward FFT of a power-of-two-length buffer. Returns the work
+/// performed (the conventional 5 n log₂ n flop count).
+///
+/// # Panics
+/// Panics if the length is not a power of two (or is zero).
+pub fn fft(data: &mut [Complex64]) -> Work {
+    transform(data, false)
+}
+
+/// In-place inverse FFT (normalised by 1/n).
+pub fn ifft(data: &mut [Complex64]) -> Work {
+    let w = transform(data, true);
+    let n = data.len() as f64;
+    let inv = 1.0 / n;
+    for v in data.iter_mut() {
+        *v = v.scale(inv);
+    }
+    w + Work::new(2 * data.len() as u64, data.len() as u64 * C64B, data.len() as u64 * C64B)
+}
+
+fn transform(data: &mut [Complex64], inverse: bool) -> Work {
+    let n = data.len();
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    if n == 1 {
+        // A length-1 transform is the identity (and the bit-reversal shift
+        // below would overflow).
+        return fft_work(1);
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    fft_work(n)
+}
+
+/// Closed-form work of one length-`n` FFT: 5 n log₂ n flops, log₂ n sweeps
+/// of the buffer.
+pub fn fft_work(n: usize) -> Work {
+    let logn = n.trailing_zeros() as u64;
+    let nf = n as u64;
+    Work::new(5 * nf * logn, nf * C64B * logn, nf * C64B * logn)
+}
+
+/// Naive O(n²) DFT used as the test oracle.
+pub fn dft_reference(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc += x * Complex64::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos() * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let x = signal(n);
+            let want = dft_reference(&x);
+            let mut got = x.clone();
+            fft(&mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-9 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x = signal(128);
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x = signal(64);
+        let e_time: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let mut y = x.clone();
+        fft(&mut y);
+        let e_freq: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / 64.0;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 32;
+        let k0 = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn work_is_5nlogn() {
+        assert_eq!(fft_work(1024).flops, 5 * 1024 * 10);
+        let x = &mut signal(64)[..];
+        let w = fft(x);
+        assert_eq!(w, fft_work(64));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn fft_is_linear(
+            log_n in 1u32..8,
+            alpha in -4.0f64..4.0,
+            seed in 0u64..1000,
+        ) {
+            let n = 1usize << log_n;
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| {
+                    let h = (i as u64 + seed).wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+                    Complex64::new(((h % 1000) as f64) / 500.0 - 1.0, ((h >> 32) % 1000) as f64 / 500.0 - 1.0)
+                })
+                .collect();
+            let mut fx = x.clone();
+            fft(&mut fx);
+            let mut fax: Vec<Complex64> = x.iter().map(|v| v.scale(alpha)).collect();
+            fft(&mut fax);
+            for (a, b) in fax.iter().zip(&fx) {
+                prop_assert!((*a - b.scale(alpha)).abs() < 1e-9 * (1.0 + b.abs()));
+            }
+        }
+
+        #[test]
+        fn round_trip_any_signal(log_n in 1u32..9, seed in 0u64..1000) {
+            let n = 1usize << log_n;
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| {
+                    let h = ((i as u64).wrapping_add(seed)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    Complex64::new((h % 97) as f64 - 48.0, ((h >> 13) % 89) as f64 - 44.0)
+                })
+                .collect();
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((*a - *b).abs() < 1e-7 * (1.0 + a.abs()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod length_one {
+    use super::*;
+
+    #[test]
+    fn length_one_fft_is_identity() {
+        // Regression: the bit-reversal shift used to overflow for n = 1
+        // (debug builds only), which rfft of a length-2 signal exercises.
+        let mut x = vec![Complex64::new(3.0, -4.0)];
+        fft(&mut x);
+        assert_eq!(x[0], Complex64::new(3.0, -4.0));
+        ifft(&mut x);
+        assert_eq!(x[0], Complex64::new(3.0, -4.0));
+        let (spec, _) = crate::real::rfft(&[5.0, -1.0]);
+        assert!((spec[0].re - 4.0).abs() < 1e-15);
+        assert!((spec[1].re - 6.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,352 @@
+//! 3-D FFTs and the slab-decomposition model for distributed transforms.
+//!
+//! A serial 3-D transform applies 1-D FFTs along each axis. A distributed
+//! (slab-decomposed) transform, as CASTEP performs many times per SCF
+//! cycle, does two local axes, a global transpose (MPI alltoall), the third
+//! axis, and a transpose back. [`Fft3Plan`] carries both the real local
+//! kernel and the communication volumes the simulated run needs.
+
+use crate::complex::Complex64;
+use crate::fft1d::{fft, fft_work, ifft};
+use densela::Work;
+
+/// In-place 3-D forward FFT on an `n × n × n` cube stored x-fastest.
+/// Returns the work performed (3 n² length-n transforms).
+///
+/// # Panics
+/// Panics if `data.len() != n³` or `n` is not a power of two.
+pub fn fft3_inplace(n: usize, data: &mut [Complex64]) -> Work {
+    assert_eq!(data.len(), n * n * n, "need an n^3 buffer");
+    let mut work = Work::ZERO;
+    let mut line = vec![Complex64::ZERO; n];
+    // Axis 0 (contiguous).
+    for chunk in data.chunks_mut(n) {
+        work += fft(chunk);
+    }
+    // Axis 1.
+    for z in 0..n {
+        for x in 0..n {
+            for y in 0..n {
+                line[y] = data[(z * n + y) * n + x];
+            }
+            work += fft(&mut line);
+            for y in 0..n {
+                data[(z * n + y) * n + x] = line[y];
+            }
+        }
+    }
+    // Axis 2.
+    for y in 0..n {
+        for x in 0..n {
+            for z in 0..n {
+                line[z] = data[(z * n + y) * n + x];
+            }
+            work += fft(&mut line);
+            for z in 0..n {
+                data[(z * n + y) * n + x] = line[z];
+            }
+        }
+    }
+    work
+}
+
+/// In-place 3-D inverse FFT (normalised).
+pub fn ifft3_inplace(n: usize, data: &mut [Complex64]) -> Work {
+    assert_eq!(data.len(), n * n * n, "need an n^3 buffer");
+    let mut work = Work::ZERO;
+    let mut line = vec![Complex64::ZERO; n];
+    for chunk in data.chunks_mut(n) {
+        work += ifft(chunk);
+    }
+    for z in 0..n {
+        for x in 0..n {
+            for y in 0..n {
+                line[y] = data[(z * n + y) * n + x];
+            }
+            work += ifft(&mut line);
+            for y in 0..n {
+                data[(z * n + y) * n + x] = line[y];
+            }
+        }
+    }
+    for y in 0..n {
+        for x in 0..n {
+            for z in 0..n {
+                line[z] = data[(z * n + y) * n + x];
+            }
+            work += ifft(&mut line);
+            for z in 0..n {
+                data[(z * n + y) * n + x] = line[z];
+            }
+        }
+    }
+    work
+}
+
+/// Closed-form work of a serial n³ 3-D FFT.
+pub fn fft3_work(n: usize) -> Work {
+    fft_work(n) * (3 * n * n) as u64
+}
+
+/// A slab-decomposed distributed 3-D FFT plan over `p` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fft3Plan {
+    /// Cube edge length (power of two).
+    pub n: usize,
+    /// Ranks sharing the transform.
+    pub p: usize,
+}
+
+impl Fft3Plan {
+    /// Create a plan; `p` must not exceed `n` (slab granularity).
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(n.is_power_of_two(), "grid must be a power of two");
+        assert!(p >= 1 && p <= n, "slab decomposition needs p <= n");
+        Fft3Plan { n, p }
+    }
+
+    /// Per-rank compute work of one forward transform: each rank owns n/p
+    /// planes and performs its share of the three transform passes.
+    pub fn local_work(&self) -> Work {
+        let lines_per_rank = (3 * self.n * self.n).div_ceil(self.p) as u64;
+        fft_work(self.n) * lines_per_rank
+    }
+
+    /// Bytes each rank sends to each other rank in the transpose alltoall.
+    pub fn alltoall_bytes_per_pair(&self) -> u64 {
+        // Each rank holds n^3/p points and must scatter them evenly.
+        let per_rank_points = (self.n * self.n * self.n / self.p) as u64;
+        (per_rank_points / self.p as u64) * 16
+    }
+
+    /// Number of alltoall transposes per forward transform (slab: 1; plus 1
+    /// to return to the original layout when required).
+    pub fn transposes(&self) -> u32 {
+        if self.p == 1 {
+            0
+        } else {
+            2
+        }
+    }
+}
+
+/// A 2-D pencil-decomposed distributed 3-D FFT plan: ranks form a
+/// `p1 × p2` grid, each holding an `n × (n/p1) × (n/p2)` pencil. Unlike the
+/// slab plan, the rank count can scale to `n²` — the layout production FFT
+/// stacks (and CASTEP at large core counts) switch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PencilPlan {
+    /// Cube edge (power of two).
+    pub n: usize,
+    /// Process-grid rows.
+    pub p1: usize,
+    /// Process-grid columns.
+    pub p2: usize,
+}
+
+impl PencilPlan {
+    /// Build a pencil plan for `p` ranks: factor `p` into the squarest
+    /// `p1 × p2` grid with both factors ≤ `n`.
+    ///
+    /// # Panics
+    /// Panics if `p > n²` (no legal pencil) or `n` is not a power of two.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(n.is_power_of_two(), "grid must be a power of two");
+        assert!(p >= 1 && p <= n * n, "pencil decomposition needs p <= n^2");
+        let mut best = (1usize, p);
+        let mut best_score = usize::MAX;
+        for p1 in 1..=p {
+            if p % p1 != 0 {
+                continue;
+            }
+            let p2 = p / p1;
+            if p1 > n || p2 > n {
+                continue;
+            }
+            let score = p1.abs_diff(p2);
+            if score < best_score {
+                best_score = score;
+                best = (p1, p2);
+            }
+        }
+        assert!(best.0 <= n && best.1 <= n, "no legal pencil factorisation for p={p}, n={n}");
+        PencilPlan { n, p1: best.0, p2: best.1 }
+    }
+
+    /// Ranks in the plan.
+    pub fn ranks(&self) -> usize {
+        self.p1 * self.p2
+    }
+
+    /// Per-rank compute work of one forward transform.
+    pub fn local_work(&self) -> Work {
+        let lines_per_rank = (3 * self.n * self.n).div_ceil(self.ranks()) as u64;
+        fft_work(self.n) * lines_per_rank
+    }
+
+    /// Transposes per forward transform: two (x→y pencils, y→z pencils),
+    /// each an alltoall within a process-grid row or column of size p1/p2.
+    pub fn transposes(&self) -> u32 {
+        u32::from(self.p1 > 1) + u32::from(self.p2 > 1)
+    }
+
+    /// Bytes per (src, dst) pair in the row-wise transpose alltoall (the
+    /// communicator has `p1` members and redistributes each rank's pencil).
+    pub fn alltoall_bytes_per_pair_row(&self) -> u64 {
+        if self.p1 <= 1 {
+            return 0;
+        }
+        let per_rank_points = (self.n * self.n * self.n / self.ranks()) as u64;
+        (per_rank_points / self.p1 as u64) * 16
+    }
+
+    /// Bytes per pair in the column-wise transpose.
+    pub fn alltoall_bytes_per_pair_col(&self) -> u64 {
+        if self.p2 <= 1 {
+            return 0;
+        }
+        let per_rank_points = (self.n * self.n * self.n / self.ranks()) as u64;
+        (per_rank_points / self.p2 as u64) * 16
+    }
+}
+
+#[cfg(test)]
+mod pencil_tests {
+    use super::*;
+
+    #[test]
+    fn pencil_scales_past_slab_limit() {
+        // Slab caps at p = n; pencil reaches n^2.
+        let n = 64;
+        assert!(std::panic::catch_unwind(|| Fft3Plan::new(n, 128)).is_err());
+        let plan = PencilPlan::new(n, 128);
+        assert_eq!(plan.ranks(), 128);
+        assert!(plan.p1 <= n && plan.p2 <= n);
+    }
+
+    #[test]
+    fn pencil_prefers_square_grids() {
+        let plan = PencilPlan::new(64, 64);
+        assert_eq!((plan.p1, plan.p2), (8, 8));
+        assert_eq!(plan.transposes(), 2);
+    }
+
+    #[test]
+    fn single_rank_pencil_needs_no_transpose() {
+        let plan = PencilPlan::new(32, 1);
+        assert_eq!(plan.transposes(), 0);
+        assert_eq!(plan.alltoall_bytes_per_pair_row(), 0);
+    }
+
+    #[test]
+    fn pencil_work_sums_to_serial_work() {
+        let n = 64;
+        for p in [1usize, 4, 16, 64, 256] {
+            let plan = PencilPlan::new(n, p);
+            let total = plan.local_work() * p as u64;
+            assert!(total.flops >= fft3_work(n).flops, "p={p}");
+            assert!(total.flops <= fft3_work(n).flops + p as u64 * fft_work(n).flops);
+        }
+    }
+
+    #[test]
+    fn pencil_transpose_volume_bounded_by_grid() {
+        let plan = PencilPlan::new(64, 64);
+        let grid_bytes = 64u64.pow(3) * 16;
+        let row_total = plan.alltoall_bytes_per_pair_row() * (plan.p1 * (plan.p1 - 1)) as u64 * plan.p2 as u64;
+        assert!(row_total <= grid_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(n: usize) -> Vec<Complex64> {
+        (0..n * n * n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn fft3_round_trip() {
+        let n = 8;
+        let x = cube(n);
+        let mut y = x.clone();
+        fft3_inplace(n, &mut y);
+        ifft3_inplace(n, &mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft3_of_constant_is_delta() {
+        let n = 4;
+        let mut x = vec![Complex64::ONE; n * n * n];
+        fft3_inplace(n, &mut x);
+        assert!((x[0].re - (n * n * n) as f64).abs() < 1e-9);
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft3_separable_plane_wave() {
+        // e^{2πi(k·r)/n} concentrates at bin (kx, ky, kz).
+        let n = 8;
+        let (kx, ky, kz) = (1usize, 2, 3);
+        let mut x = vec![Complex64::ZERO; n * n * n];
+        for z in 0..n {
+            for y in 0..n {
+                for xx in 0..n {
+                    let phase = 2.0 * std::f64::consts::PI * (kx * xx + ky * y + kz * z) as f64 / n as f64;
+                    x[(z * n + y) * n + xx] = Complex64::cis(phase);
+                }
+            }
+        }
+        fft3_inplace(n, &mut x);
+        let peak = (kz * n + ky) * n + kx;
+        assert!((x[peak].abs() - (n * n * n) as f64).abs() < 1e-6);
+        let total: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        assert!((x[peak].norm_sq() / total - 1.0).abs() < 1e-9, "all energy in one bin");
+    }
+
+    #[test]
+    fn fft3_work_matches_model() {
+        let n = 8;
+        let mut x = cube(n);
+        let w = fft3_inplace(n, &mut x);
+        assert_eq!(w, fft3_work(n));
+    }
+
+    #[test]
+    fn plan_work_sums_to_serial_work() {
+        let n = 64;
+        for p in [1usize, 2, 4, 8] {
+            let plan = Fft3Plan::new(n, p);
+            let total = plan.local_work() * p as u64;
+            // Per-rank share x p >= serial work (ceiling effects only).
+            assert!(total.flops >= fft3_work(n).flops);
+            assert!(total.flops <= fft3_work(n).flops + p as u64 * fft_work(n).flops);
+        }
+    }
+
+    #[test]
+    fn alltoall_volume_conserves_grid() {
+        let plan = Fft3Plan::new(64, 8);
+        // Every rank sends (p-1)/p of its slab: total on the wire is close
+        // to the full grid (16 bytes per point), once per transpose.
+        let per_pair = plan.alltoall_bytes_per_pair();
+        let total_sent = per_pair * (plan.p * (plan.p - 1)) as u64;
+        let grid_bytes = (64u64 * 64 * 64) * 16;
+        assert!(total_sent <= grid_bytes);
+        assert!(total_sent >= grid_bytes / 2);
+    }
+
+    #[test]
+    fn single_rank_plan_needs_no_transpose() {
+        assert_eq!(Fft3Plan::new(32, 1).transposes(), 0);
+        assert_eq!(Fft3Plan::new(32, 4).transposes(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # fftsim — fast Fourier transform substrate
+//!
+//! CASTEP is built on 3-D FFTs (the paper used Fujitsu's early FFTW3 port on
+//! the A64FX, MKL/FFTW elsewhere). This crate implements the transform from
+//! scratch:
+//!
+//! * [`complex`] — a minimal `Complex64` (kept dependency-free).
+//! * [`fft1d`] — iterative radix-2 Cooley–Tukey, forward and inverse.
+//! * [`fft3d`] — 3-D transforms applied axis by axis, plus the slab
+//!   decomposition model that determines the MPI alltoall traffic of a
+//!   distributed transform.
+//! * [`real`] — real-to-complex transforms (half the work; the charge-
+//!   density path in plane-wave DFT).
+//!
+//! All kernels return [`densela::Work`] so the cost model can charge them as
+//! the `Fft` kernel class (5 n log₂ n flops per 1-D transform).
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod fft1d;
+pub mod fft3d;
+pub mod real;
+
+pub use complex::Complex64;
+pub use fft1d::{fft, ifft};
+pub use fft3d::{fft3_inplace, Fft3Plan};

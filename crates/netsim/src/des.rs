@@ -1,0 +1,212 @@
+//! A small deterministic discrete-event simulation engine.
+//!
+//! Events carry a timestamp in microseconds of virtual time and a payload.
+//! Ties are broken by insertion sequence number, so a simulation that pushes
+//! events in a deterministic order replays identically — a property the
+//! integration tests assert.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped event with payload `T`.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// Virtual time of the event in microseconds.
+    pub time_us: f64,
+    /// Monotonic sequence number used for deterministic tie-breaking.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // NaN times are rejected at push, so partial_cmp is total here.
+        other
+            .time_us
+            .partial_cmp(&self.time_us)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of events ordered by (time, sequence).
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+    now_us: f64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue at virtual time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now_us: 0.0 }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event, or 0.
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Schedule `payload` at absolute virtual time `time_us`.
+    ///
+    /// # Panics
+    /// Panics if `time_us` is NaN or earlier than the current virtual time
+    /// (causality violation).
+    pub fn schedule_at(&mut self, time_us: f64, payload: T) {
+        assert!(!time_us.is_nan(), "event time must not be NaN");
+        assert!(
+            time_us >= self.now_us,
+            "causality violation: scheduling at {time_us} before now {}",
+            self.now_us
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time_us, seq, payload });
+    }
+
+    /// Schedule `payload` at `delay_us` after the current virtual time.
+    pub fn schedule_after(&mut self, delay_us: f64, payload: T) {
+        let now = self.now_us;
+        self.schedule_at(now + delay_us.max(0.0), payload);
+    }
+
+    /// Pop the earliest event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let ev = self.heap.pop()?;
+        self.now_us = ev.time_us;
+        Some(ev)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(2.0, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, 1);
+        q.schedule_at(5.0, 2);
+        q.schedule_at(5.0, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn time_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, ());
+        q.schedule_at(20.0, ());
+        assert_eq!(q.now_us(), 0.0);
+        q.pop();
+        assert_eq!(q.now_us(), 10.0);
+        q.pop();
+        assert_eq!(q.now_us(), 20.0);
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, "first");
+        q.pop();
+        q.schedule_after(5.0, "second");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time_us, 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, ());
+        q.pop();
+        q.schedule_at(5.0, ());
+    }
+
+    #[test]
+    fn negative_delay_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, ());
+        q.pop();
+        q.schedule_after(-3.0, ());
+        assert_eq!(q.pop().unwrap().time_us, 10.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pops_are_globally_time_ordered(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule_at(*t, i);
+            }
+            let mut last = -1.0;
+            while let Some(e) = q.pop() {
+                prop_assert!(e.time_us >= last);
+                last = e.time_us;
+            }
+        }
+
+        #[test]
+        fn len_tracks_push_pop(times in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            let mut q = EventQueue::new();
+            for t in &times {
+                q.schedule_at(*t, ());
+            }
+            prop_assert_eq!(q.len(), times.len());
+            let mut n = times.len();
+            while q.pop().is_some() {
+                n -= 1;
+                prop_assert_eq!(q.len(), n);
+            }
+            prop_assert!(q.is_empty());
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Interconnect topologies: TofuD 6-D torus, Aries dragonfly, and fat trees.
+//!
+//! A topology maps compute-node indices to switch-hop counts between them.
+//! Hop counts feed the per-hop latency term of the LogGP link model; the
+//! bisection-bandwidth factor derates large collective operations that cross
+//! the network's narrowest cut.
+
+use archsim::InterconnectKind;
+
+/// A network topology over `num_nodes` compute nodes.
+pub trait Topology: Send + Sync + std::fmt::Debug {
+    /// Number of compute nodes the topology connects.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of switch/router hops on the route between two nodes.
+    /// `hops(a, a) == 0`.
+    fn hops(&self, a: usize, b: usize) -> u32;
+
+    /// The worst-case hop count (network diameter).
+    fn diameter(&self) -> u32;
+
+    /// Ratio of bisection bandwidth to full injection bandwidth, in (0, 1].
+    /// 1.0 means non-blocking (full bisection, e.g. Fulhame's fat tree).
+    fn bisection_factor(&self) -> f64;
+
+    /// Human-readable topology name.
+    fn name(&self) -> &'static str;
+}
+
+/// A 6-dimensional torus as used by Fujitsu's TofuD (coordinates
+/// (x, y, z, a, b, c) with the (a, b, c) sub-torus of shape 2×3×2 forming
+/// the 12-node unit group, as on Fugaku).
+#[derive(Debug, Clone)]
+pub struct Torus6d {
+    dims: [usize; 6],
+}
+
+impl Torus6d {
+    /// Build a torus with the given per-dimension sizes.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(dims: [usize; 6]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "torus dimensions must be positive");
+        Torus6d { dims }
+    }
+
+    /// The TofuD layout for an `n`-node system: fills the unit-group
+    /// dimensions (2, 3, 2) first, then extends x, y, z as needed. The
+    /// 48-node A64FX test system becomes a 2×2×1 arrangement of unit groups.
+    pub fn tofu_d(n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        let group = 12; // 2*3*2 unit group
+        let groups = n.div_ceil(group);
+        // Factor `groups` into x*y*z as close to a cube as possible.
+        let mut best = (groups, 1, 1);
+        let mut best_score = usize::MAX;
+        for x in 1..=groups {
+            if groups % x != 0 {
+                continue;
+            }
+            let yz = groups / x;
+            for y in 1..=yz {
+                if yz % y != 0 {
+                    continue;
+                }
+                let z = yz / y;
+                let score = x.max(y).max(z) - x.min(y).min(z);
+                if score < best_score {
+                    best_score = score;
+                    best = (x, y, z);
+                }
+            }
+        }
+        Torus6d::new([best.0, best.1, best.2, 2, 3, 2])
+    }
+
+    fn coords(&self, mut idx: usize) -> [usize; 6] {
+        let mut c = [0usize; 6];
+        for (i, &d) in self.dims.iter().enumerate() {
+            c[i] = idx % d;
+            idx /= d;
+        }
+        c
+    }
+
+    fn ring_dist(len: usize, a: usize, b: usize) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(len - d) as u32
+    }
+}
+
+impl Topology for Torus6d {
+    fn num_nodes(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        (0..6).map(|i| Self::ring_dist(self.dims[i], ca[i], cb[i])).sum()
+    }
+
+    fn diameter(&self) -> u32 {
+        (0..6).map(|i| (self.dims[i] / 2) as u32).sum()
+    }
+
+    fn bisection_factor(&self) -> f64 {
+        // A torus halves; the cut in the largest dimension carries
+        // 2 * (product of other dims) links for N/2 nodes each side.
+        let max_dim = *self.dims.iter().max().unwrap();
+        if max_dim <= 2 {
+            1.0
+        } else {
+            (4.0 / max_dim as f64).min(1.0)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TofuD 6-D torus"
+    }
+}
+
+/// A dragonfly topology (Cray Aries): all-to-all connected groups of
+/// routers, each router hosting a few nodes.
+#[derive(Debug, Clone)]
+pub struct Dragonfly {
+    nodes_per_router: usize,
+    routers_per_group: usize,
+    num_nodes: usize,
+}
+
+impl Dragonfly {
+    /// Build a dragonfly for `n` nodes with the Aries-like shape of 4 nodes
+    /// per router and 96 routers per group.
+    pub fn aries(n: usize) -> Self {
+        assert!(n > 0);
+        Dragonfly { nodes_per_router: 4, routers_per_group: 96, num_nodes: n }
+    }
+
+    /// Build with explicit shape (used by tests and ablations).
+    pub fn new(n: usize, nodes_per_router: usize, routers_per_group: usize) -> Self {
+        assert!(n > 0 && nodes_per_router > 0 && routers_per_group > 0);
+        Dragonfly { nodes_per_router, routers_per_group, num_nodes: n }
+    }
+
+    fn router_of(&self, node: usize) -> usize {
+        node / self.nodes_per_router
+    }
+
+    fn group_of(&self, node: usize) -> usize {
+        self.router_of(node) / self.routers_per_group
+    }
+}
+
+impl Topology for Dragonfly {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            0
+        } else if self.router_of(a) == self.router_of(b) {
+            1 // through the shared router
+        } else if self.group_of(a) == self.group_of(b) {
+            2 // router -> router inside the group (all-to-all in 2 tiers)
+        } else {
+            // router -> group gateway -> remote group -> router: minimal
+            // global route is 3–5 hops; Aries adaptive routing averages ~4.
+            4
+        }
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.num_nodes <= self.nodes_per_router {
+            1
+        } else if self.num_nodes <= self.nodes_per_router * self.routers_per_group {
+            2
+        } else {
+            5
+        }
+    }
+
+    fn bisection_factor(&self) -> f64 {
+        // Aries dragonfly is provisioned at roughly half bisection.
+        0.5
+    }
+
+    fn name(&self) -> &'static str {
+        "Aries dragonfly"
+    }
+}
+
+/// A two-level fat tree (leaf + spine), as used by the InfiniBand and
+/// OmniPath systems. `oversubscription` of 1.0 is non-blocking.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    nodes_per_leaf: usize,
+    num_nodes: usize,
+    oversubscription: f64,
+}
+
+impl FatTree {
+    /// A non-blocking fat tree with 32-port leaf switches (Fulhame EDR).
+    pub fn nonblocking(n: usize) -> Self {
+        FatTree { nodes_per_leaf: 32, num_nodes: n, oversubscription: 1.0 }
+    }
+
+    /// A fat tree with explicit leaf size and oversubscription ratio
+    /// (Cirrus FDR and NGIO OmniPath are mildly oversubscribed).
+    pub fn with_oversubscription(n: usize, nodes_per_leaf: usize, ratio: f64) -> Self {
+        assert!(n > 0 && nodes_per_leaf > 0 && ratio >= 1.0);
+        FatTree { nodes_per_leaf, num_nodes: n, oversubscription: ratio }
+    }
+
+    fn leaf_of(&self, node: usize) -> usize {
+        node / self.nodes_per_leaf
+    }
+}
+
+impl Topology for FatTree {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            0
+        } else if self.leaf_of(a) == self.leaf_of(b) {
+            1 // up-down through the leaf switch
+        } else {
+            3 // leaf -> spine -> leaf
+        }
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.num_nodes <= self.nodes_per_leaf {
+            1
+        } else {
+            3
+        }
+    }
+
+    fn bisection_factor(&self) -> f64 {
+        1.0 / self.oversubscription
+    }
+
+    fn name(&self) -> &'static str {
+        "fat tree"
+    }
+}
+
+/// Build the topology appropriate to an interconnect family, sized for
+/// `n` nodes. This is how `simmpi` instantiates networks for the five paper
+/// systems.
+pub fn build_topology(kind: InterconnectKind, n: usize) -> Box<dyn Topology> {
+    match kind {
+        InterconnectKind::TofuD => Box::new(Torus6d::tofu_d(n)),
+        InterconnectKind::Aries => Box::new(Dragonfly::aries(n)),
+        // Cirrus FDR: 36-port leafs, ~2:1 blocking above the rack.
+        InterconnectKind::FdrInfiniband => Box::new(FatTree::with_oversubscription(n, 36, 2.0)),
+        InterconnectKind::EdrInfiniband => Box::new(FatTree::nonblocking(n)),
+        // OmniPath on NGIO: 48-port edge, mild oversubscription.
+        InterconnectKind::OmniPath => Box::new(FatTree::with_oversubscription(n, 48, 1.5)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_self_distance_zero() {
+        let t = Torus6d::new([2, 2, 1, 2, 3, 2]);
+        for i in 0..t.num_nodes() {
+            assert_eq!(t.hops(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn tofu_d_48_nodes() {
+        let t = Torus6d::tofu_d(48);
+        assert!(t.num_nodes() >= 48);
+        assert!(t.diameter() <= 6);
+    }
+
+    #[test]
+    fn torus_wraparound_shortens_routes() {
+        let t = Torus6d::new([8, 1, 1, 1, 1, 1]);
+        // 0 -> 7 is 1 hop via wraparound, not 7.
+        assert_eq!(t.hops(0, 7), 1);
+        assert_eq!(t.hops(0, 4), 4);
+    }
+
+    #[test]
+    fn dragonfly_hop_tiers() {
+        let d = Dragonfly::new(2000, 4, 96);
+        assert_eq!(d.hops(0, 0), 0);
+        assert_eq!(d.hops(0, 1), 1); // same router
+        assert_eq!(d.hops(0, 5), 2); // same group, different router
+        assert_eq!(d.hops(0, 4 * 96), 4); // different group
+    }
+
+    #[test]
+    fn fat_tree_hop_tiers() {
+        let f = FatTree::nonblocking(128);
+        assert_eq!(f.hops(3, 3), 0);
+        assert_eq!(f.hops(0, 31), 1);
+        assert_eq!(f.hops(0, 32), 3);
+        assert_eq!(f.bisection_factor(), 1.0);
+    }
+
+    #[test]
+    fn oversubscribed_tree_derates_bisection() {
+        let f = FatTree::with_oversubscription(128, 36, 2.0);
+        assert!((f.bisection_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_topology_covers_all_kinds() {
+        for kind in [
+            InterconnectKind::TofuD,
+            InterconnectKind::Aries,
+            InterconnectKind::FdrInfiniband,
+            InterconnectKind::EdrInfiniband,
+            InterconnectKind::OmniPath,
+        ] {
+            let t = build_topology(kind, 16);
+            assert!(t.num_nodes() >= 16);
+            assert!(t.hops(0, 15) >= 1);
+            assert!(t.hops(0, 15) <= t.diameter());
+            assert!(t.bisection_factor() > 0.0 && t.bisection_factor() <= 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_topo() -> impl Strategy<Value = (Box<dyn Topology>, usize)> {
+        (1usize..5, 1usize..5, 1usize..4, 0usize..3).prop_map(|(x, y, z, kind)| {
+            let topo: Box<dyn Topology> = match kind {
+                0 => Box::new(Torus6d::new([x, y, z, 2, 3, 2])),
+                1 => Box::new(Dragonfly::new(x * y * z * 12, 4, 8)),
+                _ => Box::new(FatTree::nonblocking(x * y * z * 12)),
+            };
+            let n = topo.num_nodes();
+            (topo, n)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn hops_symmetric_and_bounded((topo, n) in arb_topo(), a_s in 0usize..1000, b_s in 0usize..1000) {
+            let a = a_s % n;
+            let b = b_s % n;
+            prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+            prop_assert!(topo.hops(a, b) <= topo.diameter());
+            prop_assert_eq!(topo.hops(a, a), 0);
+            if a != b {
+                prop_assert!(topo.hops(a, b) >= 1);
+            }
+        }
+
+        #[test]
+        fn torus_triangle_inequality(
+            dims in proptest::array::uniform6(1usize..4),
+            seeds in proptest::array::uniform3(0usize..10_000),
+        ) {
+            let t = Torus6d::new(dims);
+            let n = t.num_nodes();
+            let (a, b, c) = (seeds[0] % n, seeds[1] % n, seeds[2] % n);
+            prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        }
+    }
+}

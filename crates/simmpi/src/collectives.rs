@@ -1,0 +1,300 @@
+//! Cost models for MPI collective operations.
+//!
+//! Real MPI libraries pick algorithms by message size and communicator
+//! shape; we model the common choices:
+//!
+//! * **Barrier / small allreduce / small bcast** — binomial or recursive
+//!   doubling: `ceil(log2 p)` latency-dominated rounds.
+//! * **Large allreduce** — Rabenseifner (reduce-scatter + allgather):
+//!   `2·(p-1)/p · n` bytes on the wire per rank plus `2·log2 p` latencies.
+//! * **Large bcast** — scatter + allgather (van de Geijn), similar shape.
+//! * **Alltoall** — `p-1` pairwise exchanges of `n` bytes, derated by the
+//!   topology's bisection factor (alltoall is the pattern that stresses it).
+//!
+//! All models are **hierarchical**: ranks on one node communicate through
+//! shared memory first (reduce to a node leader), then leaders cross the
+//! network, then results fan back out on-node. This is what MPICH/OpenMPI
+//! actually do, and it is why fully-populated single-node runs in the paper
+//! see almost no "network" cost.
+
+use netsim::Network;
+
+/// Which algorithm a collective cost model used (reported for ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveAlgorithm {
+    /// Latency-optimal recursive doubling / binomial tree.
+    RecursiveDoubling,
+    /// Bandwidth-optimal ring / Rabenseifner.
+    Ring,
+}
+
+/// Message size (bytes) above which bandwidth-optimal algorithms win.
+pub const ALGORITHM_CUTOVER_BYTES: u64 = 16 * 1024;
+
+/// Shared-memory cost of reducing/gathering `bytes` across `local_ranks`
+/// ranks on one node, microseconds. Tree depth log2, each step a shm copy.
+fn shm_tree_time_us(net: &Network, local_ranks: u32, bytes: u64) -> f64 {
+    if local_ranks <= 1 {
+        return 0.0;
+    }
+    let rounds = 32 - (local_ranks - 1).leading_zeros(); // ceil(log2)
+    f64::from(rounds) * net.flight_time_us(0, 0, bytes)
+}
+
+/// Representative inter-node flight time for the leaders of `nodes`,
+/// microseconds: averages the distance from node 0 to the others so that
+/// larger jobs on low-diameter topologies see realistic hop counts.
+fn leader_flight_us(net: &Network, nodes: &[usize], bytes: u64) -> f64 {
+    if nodes.len() <= 1 {
+        return 0.0;
+    }
+    let from = nodes[0];
+    let sum: f64 = nodes[1..].iter().map(|&n| net.flight_time_us(from, n, bytes)).sum();
+    sum / (nodes.len() - 1) as f64
+}
+
+fn dedup_nodes(node_of_rank: &[usize]) -> Vec<usize> {
+    let mut v = node_of_rank.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn max_ranks_per_node(node_of_rank: &[usize]) -> u32 {
+    let mut counts = std::collections::HashMap::new();
+    for &n in node_of_rank {
+        *counts.entry(n).or_insert(0u32) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+/// Time for an `MPI_Allreduce` of `bytes` bytes per rank over the ranks whose
+/// node placements are given by `node_of_rank`. Returns microseconds.
+pub fn allreduce_time_us(net: &Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+    let p = node_of_rank.len() as u32;
+    if p <= 1 {
+        return 0.0;
+    }
+    let nodes = dedup_nodes(node_of_rank);
+    let local = max_ranks_per_node(node_of_rank);
+    // Phase 1+3: on-node reduce then on-node bcast of the result.
+    let shm = 2.0 * shm_tree_time_us(net, local, bytes);
+    // Phase 2: leaders allreduce across nodes.
+    let inter = if nodes.len() > 1 {
+        let n = nodes.len() as u64;
+        let rounds = (64 - (n - 1).leading_zeros()) as f64; // ceil(log2)
+        if bytes < ALGORITHM_CUTOVER_BYTES {
+            // Recursive doubling: log2(n) full-size exchanges.
+            rounds * leader_flight_us(net, &nodes, bytes)
+        } else {
+            // Rabenseifner: 2*(n-1)/n of the payload over the wire, plus
+            // 2*log2(n) latency terms; derate by bisection for big jobs.
+            let eff_bw = net.global_traffic_bw_gbs() * 1e3; // bytes/us
+            let wire = 2.0 * ((n - 1) as f64 / n as f64) * bytes as f64 / eff_bw;
+            let lat = 2.0 * rounds * leader_flight_us(net, &nodes, 0);
+            wire + lat
+        }
+    } else {
+        0.0
+    };
+    shm + inter
+}
+
+/// Time for an `MPI_Bcast` of `bytes` from rank 0, microseconds.
+pub fn bcast_time_us(net: &Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+    let p = node_of_rank.len() as u32;
+    if p <= 1 {
+        return 0.0;
+    }
+    let nodes = dedup_nodes(node_of_rank);
+    let local = max_ranks_per_node(node_of_rank);
+    let shm = shm_tree_time_us(net, local, bytes);
+    let inter = if nodes.len() > 1 {
+        let n = nodes.len() as u64;
+        let rounds = (64 - (n - 1).leading_zeros()) as f64;
+        if bytes < ALGORITHM_CUTOVER_BYTES {
+            rounds * leader_flight_us(net, &nodes, bytes)
+        } else {
+            let eff_bw = net.global_traffic_bw_gbs() * 1e3;
+            let wire = 2.0 * ((n - 1) as f64 / n as f64) * bytes as f64 / eff_bw;
+            wire + rounds * leader_flight_us(net, &nodes, 0)
+        }
+    } else {
+        0.0
+    };
+    shm + inter
+}
+
+/// Time for an `MPI_Barrier`, microseconds: an allreduce of zero payload.
+pub fn barrier_time_us(net: &Network, node_of_rank: &[usize]) -> f64 {
+    allreduce_time_us(net, node_of_rank, 8)
+}
+
+/// Time for an `MPI_Allgather` where each rank contributes `bytes`,
+/// microseconds. Ring algorithm: (p-1) steps each moving `bytes`.
+pub fn allgather_time_us(net: &Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+    let p = node_of_rank.len();
+    if p <= 1 {
+        return 0.0;
+    }
+    let nodes = dedup_nodes(node_of_rank);
+    if nodes.len() == 1 {
+        return (p - 1) as f64 * net.flight_time_us(0, 0, bytes);
+    }
+    let eff_bw = net.global_traffic_bw_gbs() * 1e3;
+    let wire = (p - 1) as f64 * bytes as f64 / eff_bw;
+    let lat = (nodes.len() - 1) as f64 * leader_flight_us(net, &nodes, 0);
+    wire + lat
+}
+
+/// Time for an `MPI_Alltoall` with `bytes` per (rank, rank) pair,
+/// microseconds. This is the transpose pattern of parallel 3-D FFTs
+/// (CASTEP); it stresses bisection bandwidth.
+pub fn alltoall_time_us(net: &Network, node_of_rank: &[usize], bytes_per_pair: u64) -> f64 {
+    let p = node_of_rank.len();
+    if p <= 1 {
+        return 0.0;
+    }
+    let nodes = dedup_nodes(node_of_rank);
+    let total_out = (p - 1) as u64 * bytes_per_pair;
+    if nodes.len() == 1 {
+        // Pure shared-memory alltoall: each rank copies (p-1) blocks.
+        return net.flight_time_us(0, 0, total_out) + (p - 2) as f64 * 0.2;
+    }
+    // Off-node fraction of each rank's traffic crosses the bisection.
+    let local = max_ranks_per_node(node_of_rank) as f64;
+    let off_frac = 1.0 - (local - 1.0) / (p - 1) as f64;
+    let eff_bw = net.global_traffic_bw_gbs() * 1e3;
+    let wire = off_frac * total_out as f64 / eff_bw * (local).max(1.0);
+    let lat = (nodes.len() - 1) as f64 * leader_flight_us(net, &nodes, 0) / nodes.len() as f64;
+    let shm = net.flight_time_us(0, 0, (total_out as f64 * (1.0 - off_frac)) as u64);
+    wire + lat + shm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::InterconnectKind;
+
+    fn net(nodes: usize) -> Network {
+        Network::new(InterconnectKind::EdrInfiniband, nodes.max(1))
+    }
+
+    fn placement(nodes: usize, rpn: usize) -> Vec<usize> {
+        (0..nodes * rpn).map(|r| r / rpn).collect()
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let n = net(1);
+        assert_eq!(allreduce_time_us(&n, &[0], 1024), 0.0);
+        assert_eq!(bcast_time_us(&n, &[0], 1024), 0.0);
+        assert_eq!(alltoall_time_us(&n, &[0], 1024), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_with_ranks_and_bytes() {
+        let n = net(16);
+        let t2 = allreduce_time_us(&n, &placement(2, 1), 8);
+        let t16 = allreduce_time_us(&n, &placement(16, 1), 8);
+        assert!(t16 > t2);
+        let small = allreduce_time_us(&n, &placement(8, 1), 8);
+        let big = allreduce_time_us(&n, &placement(8, 1), 1 << 20);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn single_node_allreduce_avoids_the_wire() {
+        let n = net(16);
+        let on_node = allreduce_time_us(&n, &placement(1, 48), 8);
+        let across = allreduce_time_us(&n, &placement(48, 1), 8);
+        assert!(
+            on_node < across,
+            "48 ranks on one node ({on_node} us) should beat 48 nodes ({across} us)"
+        );
+    }
+
+    #[test]
+    fn allreduce_log_scaling_for_small_messages() {
+        let n = net(64);
+        let t4 = allreduce_time_us(&n, &placement(4, 1), 8);
+        let t64 = allreduce_time_us(&n, &placement(64, 1), 8);
+        // log2(64)/log2(4) = 3: latency-bound allreduce grows ~log p, not p.
+        assert!(t64 < 6.0 * t4, "t64={t64} t4={t4}");
+        assert!(t64 > t4);
+    }
+
+    #[test]
+    fn large_allreduce_uses_bandwidth_term() {
+        let n = net(8);
+        let bytes = 64u64 << 20;
+        let t = allreduce_time_us(&n, &placement(8, 1), bytes);
+        let min_wire = 2.0 * (7.0 / 8.0) * bytes as f64 / (n.global_traffic_bw_gbs() * 1e3);
+        assert!(t >= min_wire);
+        assert!(t < 4.0 * min_wire);
+    }
+
+    #[test]
+    fn barrier_cheaper_than_payload_allreduce() {
+        let n = net(8);
+        let b = barrier_time_us(&n, &placement(8, 4));
+        let a = allreduce_time_us(&n, &placement(8, 4), 1 << 20);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn alltoall_dominates_allgather_per_rank() {
+        let n = net(8);
+        let p = placement(8, 4);
+        let a2a = alltoall_time_us(&n, &p, 64 * 1024);
+        let ag = allgather_time_us(&n, &p, 64 * 1024);
+        assert!(a2a > ag, "alltoall moves p x the data of allgather: {a2a} vs {ag}");
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_for_dense_nodes() {
+        let n = net(4);
+        // 4 nodes x 48 ranks: the hierarchical model should cost far less
+        // than 192 ranks all crossing the wire individually would.
+        let t = allreduce_time_us(&n, &placement(4, 48), 8);
+        let flat_lower_bound = 8.0 * n.flight_time_us(0, 1, 8);
+        assert!(t < flat_lower_bound);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use archsim::InterconnectKind;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn collective_times_nonnegative_and_monotone_in_bytes(
+            nodes in 1usize..16,
+            rpn in 1usize..8,
+            b1 in 0u64..1_000_000,
+            b2 in 0u64..1_000_000,
+        ) {
+            let net = Network::new(InterconnectKind::TofuD, nodes.max(1));
+            let placement: Vec<usize> = (0..nodes * rpn).map(|r| r / rpn).collect();
+            let (lo, hi) = (b1.min(b2), b1.max(b2));
+            for f in [allreduce_time_us, bcast_time_us, allgather_time_us, alltoall_time_us] {
+                let t_lo = f(&net, &placement, lo);
+                let t_hi = f(&net, &placement, hi);
+                prop_assert!(t_lo >= 0.0);
+                prop_assert!(t_hi + 1e-9 >= t_lo, "not monotone: {} vs {}", t_lo, t_hi);
+            }
+        }
+
+        #[test]
+        fn more_nodes_never_cheaper_small_allreduce(nodes in 2usize..32) {
+            let net = Network::new(InterconnectKind::Aries, 32);
+            let p_small: Vec<usize> = (0..nodes - 1).collect();
+            let p_big: Vec<usize> = (0..nodes).collect();
+            prop_assert!(
+                allreduce_time_us(&net, &p_big, 8) + 1e-9 >= allreduce_time_us(&net, &p_small, 8)
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Message-level discrete-event validation of the collective cost models.
+//!
+//! The analytic models in [`crate::collectives`] price collectives with
+//! closed forms. This module simulates the same algorithms **message by
+//! message** on the `netsim` event queue — every send becomes an event, NIC
+//! contention included — and the test suite checks the closed forms against
+//! the event-driven ground truth. This is what keeps the fast analytic path
+//! honest.
+
+use netsim::{EventQueue, Network};
+
+/// One message delivery in the event-driven allreduce.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    rank: usize,
+    round: u32,
+}
+
+/// Simulate a recursive-doubling allreduce of `bytes` per rank, message by
+/// message, over the given rank→node placement. Ranks are padded virtually
+/// to the next power of two (extra ranks are free riders on node 0, as real
+/// implementations fold them in a pre-round we conservatively skip).
+/// Returns the completion time in microseconds.
+pub fn allreduce_recursive_doubling_des(net: &mut Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+    let p = node_of_rank.len();
+    if p <= 1 {
+        return 0.0;
+    }
+    let rounds = usize::BITS - (p - 1).leading_zeros();
+    let mut clock = vec![0.0f64; p];
+    let mut q: EventQueue<Arrival> = EventQueue::new();
+
+    // Round 0 sends are scheduled immediately; later rounds are scheduled
+    // when both partners have finished the previous round. We process
+    // rounds as barriers per pair, which recursive doubling implies.
+    for round in 0..rounds {
+        // Collect this round's exchanges at current clocks.
+        let mask = 1usize << round;
+        let mut arrivals: Vec<(usize, f64)> = Vec::new();
+        for rank in 0..p {
+            let partner = rank ^ mask;
+            if partner >= p {
+                continue; // padded rank: no message this round
+            }
+            let t_send = clock[rank];
+            let done = net.transfer(node_of_rank[rank], node_of_rank[partner], bytes, t_send);
+            q.schedule_at(done.max(q.now_us()), Arrival { rank: partner, round });
+            arrivals.push((partner, done));
+        }
+        // Drain the round's events; each rank advances to its arrival.
+        while let Some(ev) = q.pop() {
+            debug_assert_eq!(ev.payload.round, round);
+            let r = ev.payload.rank;
+            clock[r] = clock[r].max(ev.time_us);
+        }
+        // Pair synchronisation: both sides proceed at the max of the pair.
+        for rank in 0..p {
+            let partner = rank ^ mask;
+            if partner < p {
+                let t = clock[rank].max(clock[partner]);
+                clock[rank] = t;
+                clock[partner] = t;
+            }
+        }
+    }
+    clock.into_iter().fold(0.0, f64::max)
+}
+
+/// Simulate a ring allreduce (reduce-scatter + allgather) message by
+/// message. Returns the completion time in microseconds.
+pub fn allreduce_ring_des(net: &mut Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+    let p = node_of_rank.len();
+    if p <= 1 {
+        return 0.0;
+    }
+    let chunk = (bytes / p as u64).max(1);
+    let mut clock = vec![0.0f64; p];
+    // 2(p-1) steps; in step s, rank r sends a chunk to (r+1) % p.
+    for _step in 0..2 * (p - 1) {
+        let sends: Vec<f64> = (0..p)
+            .map(|r| {
+                let dst = (r + 1) % p;
+                net.transfer(node_of_rank[r], node_of_rank[dst], chunk, clock[r])
+            })
+            .collect();
+        let mut next = clock.clone();
+        for (r, &done) in sends.iter().enumerate() {
+            let dst = (r + 1) % p;
+            next[dst] = next[dst].max(done);
+        }
+        clock = next;
+    }
+    clock.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::allreduce_time_us;
+    use archsim::InterconnectKind;
+
+    fn one_rank_per_node(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn des_and_analytic_agree_for_small_messages() {
+        // Latency-dominated regime: the analytic recursive-doubling model
+        // must agree with the event-driven simulation within 2x.
+        for nodes in [2usize, 4, 8, 16] {
+            let placement = one_rank_per_node(nodes);
+            let mut net = Network::new(InterconnectKind::EdrInfiniband, nodes);
+            let des = allreduce_recursive_doubling_des(&mut net, &placement, 8);
+            let net2 = Network::new(InterconnectKind::EdrInfiniband, nodes);
+            let analytic = allreduce_time_us(&net2, &placement, 8);
+            let ratio = des / analytic;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{nodes} nodes: DES {des:.2}us vs analytic {analytic:.2}us"
+            );
+        }
+    }
+
+    #[test]
+    fn des_and_analytic_agree_for_large_messages() {
+        // Bandwidth-dominated regime: ring DES vs the Rabenseifner closed
+        // form, within 2.5x (different algorithms, same asymptotic volume).
+        for nodes in [4usize, 8] {
+            let placement = one_rank_per_node(nodes);
+            let mut net = Network::new(InterconnectKind::TofuD, nodes);
+            let des = allreduce_ring_des(&mut net, &placement, 8 << 20);
+            let net2 = Network::new(InterconnectKind::TofuD, nodes);
+            let analytic = allreduce_time_us(&net2, &placement, 8 << 20);
+            let ratio = des / analytic;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "{nodes} nodes: DES {des:.1}us vs analytic {analytic:.1}us"
+            );
+        }
+    }
+
+    #[test]
+    fn des_allreduce_grows_logarithmically() {
+        let t4 = {
+            let mut n = Network::new(InterconnectKind::Aries, 4);
+            allreduce_recursive_doubling_des(&mut n, &one_rank_per_node(4), 8)
+        };
+        let t16 = {
+            let mut n = Network::new(InterconnectKind::Aries, 16);
+            allreduce_recursive_doubling_des(&mut n, &one_rank_per_node(16), 8)
+        };
+        // log2(16)/log2(4) = 2: latency-bound growth is logarithmic.
+        assert!(t16 < 3.5 * t4, "t4={t4} t16={t16}");
+        assert!(t16 > t4);
+    }
+
+    #[test]
+    fn des_handles_non_power_of_two() {
+        let mut net = Network::new(InterconnectKind::OmniPath, 6);
+        let t = allreduce_recursive_doubling_des(&mut net, &one_rank_per_node(6), 1024);
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let mut net = Network::new(InterconnectKind::TofuD, 1);
+        assert_eq!(allreduce_recursive_doubling_des(&mut net, &[0], 8), 0.0);
+        assert_eq!(allreduce_ring_des(&mut net, &[0], 8), 0.0);
+    }
+
+    #[test]
+    fn ring_beats_doubling_for_huge_payloads() {
+        // The classic algorithm-selection rule the cutover constant encodes.
+        let placement = one_rank_per_node(8);
+        let bytes = 32 << 20;
+        let mut n1 = Network::new(InterconnectKind::EdrInfiniband, 8);
+        let ring = allreduce_ring_des(&mut n1, &placement, bytes);
+        let mut n2 = Network::new(InterconnectKind::EdrInfiniband, 8);
+        let doubling = allreduce_recursive_doubling_des(&mut n2, &placement, bytes);
+        assert!(ring < doubling, "ring {ring} vs doubling {doubling}");
+    }
+}

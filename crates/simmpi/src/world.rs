@@ -1,0 +1,340 @@
+//! The simulated MPI world: per-rank virtual clocks driven by compute and
+//! communication events.
+//!
+//! Applications describe their execution as a sequence of steps — compute
+//! phases (whose duration the caller obtains from the roofline cost model),
+//! point-to-point exchanges (halo patterns), and collectives. `World`
+//! advances each rank's clock accordingly; the job's runtime is the maximum
+//! clock at the end. Load imbalance (e.g. COSA's uneven block distribution)
+//! appears naturally: ranks with more work arrive late at the next
+//! collective and everyone else waits.
+
+use archsim::Node;
+use netsim::Network;
+
+use crate::collectives;
+use crate::placement::Placement;
+
+/// A simulated MPI job: a network, a placement and one clock per rank.
+pub struct World {
+    net: Network,
+    placement: Placement,
+    clock_us: Vec<f64>,
+    node_map: Vec<usize>,
+    /// Per-rank cumulative time spent waiting (skew absorbed at sync points).
+    wait_us: Vec<f64>,
+    /// Per-rank cumulative compute time.
+    compute_us: Vec<f64>,
+}
+
+impl World {
+    /// Create a world for `placement` on `net`. The network must span at
+    /// least `placement.nodes_used()` nodes.
+    pub fn new(net: Network, placement: Placement) -> Self {
+        assert!(
+            net.topology().num_nodes() >= placement.nodes_used() as usize,
+            "network smaller than the job: {} nodes < {}",
+            net.topology().num_nodes(),
+            placement.nodes_used()
+        );
+        let n = placement.ranks() as usize;
+        let node_map = placement.node_map();
+        World {
+            net,
+            placement,
+            clock_us: vec![0.0; n],
+            node_map,
+            wait_us: vec![0.0; n],
+            compute_us: vec![0.0; n],
+        }
+    }
+
+    /// Convenience: build the network for a system's interconnect and wrap it.
+    pub fn for_system(spec: &archsim::SystemSpec, placement: Placement) -> Self {
+        let net = Network::new(spec.interconnect, placement.nodes_used() as usize);
+        World::new(net, placement)
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.placement.ranks()
+    }
+
+    /// The placement in use.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The network in use.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Current virtual time of `rank`, microseconds.
+    pub fn now_us(&self, rank: u32) -> f64 {
+        self.clock_us[rank as usize]
+    }
+
+    /// Advance `rank`'s clock by a compute phase of `us` microseconds.
+    pub fn compute(&mut self, rank: u32, us: f64) {
+        assert!(us >= 0.0 && !us.is_nan(), "compute time must be non-negative");
+        self.clock_us[rank as usize] += us;
+        self.compute_us[rank as usize] += us;
+    }
+
+    /// Advance every rank by a per-rank compute duration (slice of length
+    /// `ranks()`), the common SPMD pattern.
+    pub fn compute_all(&mut self, us_per_rank: &[f64]) {
+        assert_eq!(us_per_rank.len(), self.clock_us.len());
+        for (r, &us) in us_per_rank.iter().enumerate() {
+            self.compute(r as u32, us);
+        }
+    }
+
+    /// Advance every rank by the same compute duration.
+    pub fn compute_uniform(&mut self, us: f64) {
+        for r in 0..self.clock_us.len() {
+            self.compute(r as u32, us);
+        }
+    }
+
+    /// Perform a set of point-to-point exchanges: `(src, dst, bytes)`
+    /// triples, all logically concurrent (posted at each sender's current
+    /// time). Receivers' clocks advance to the arrival of their last
+    /// message; senders pay a small software overhead per message.
+    pub fn exchange(&mut self, msgs: &[(u32, u32, u64)]) {
+        const SEND_OVERHEAD_US: f64 = 0.2;
+        let mut arrivals: Vec<f64> = self.clock_us.clone();
+        for &(src, dst, bytes) in msgs {
+            let s = src as usize;
+            let d = dst as usize;
+            let done = self.net.transfer(self.node_map[s], self.node_map[d], bytes, self.clock_us[s]);
+            self.clock_us[s] += SEND_OVERHEAD_US;
+            arrivals[d] = arrivals[d].max(done);
+        }
+        for (r, &arr) in arrivals.iter().enumerate() {
+            if arr > self.clock_us[r] {
+                self.wait_us[r] += arr - self.clock_us[r];
+                self.clock_us[r] = arr;
+            }
+        }
+    }
+
+    /// A symmetric halo exchange: every `(a, b, bytes)` pair exchanges
+    /// `bytes` in both directions.
+    pub fn halo_exchange(&mut self, pairs: &[(u32, u32, u64)]) {
+        let mut msgs = Vec::with_capacity(pairs.len() * 2);
+        for &(a, b, bytes) in pairs {
+            msgs.push((a, b, bytes));
+            msgs.push((b, a, bytes));
+        }
+        self.exchange(&msgs);
+    }
+
+    fn synchronise(&mut self) -> f64 {
+        let t = self.clock_us.iter().copied().fold(0.0, f64::max);
+        for (r, c) in self.clock_us.iter_mut().enumerate() {
+            self.wait_us[r] += t - *c;
+            *c = t;
+        }
+        t
+    }
+
+    /// `MPI_Allreduce` of `bytes` per rank across all ranks.
+    pub fn allreduce(&mut self, bytes: u64) {
+        let start = self.synchronise();
+        let t = collectives::allreduce_time_us(&self.net, &self.node_map, bytes);
+        self.set_all(start + t);
+    }
+
+    /// `MPI_Bcast` of `bytes` from rank 0.
+    pub fn bcast(&mut self, bytes: u64) {
+        let start = self.synchronise();
+        let t = collectives::bcast_time_us(&self.net, &self.node_map, bytes);
+        self.set_all(start + t);
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self) {
+        let start = self.synchronise();
+        let t = collectives::barrier_time_us(&self.net, &self.node_map);
+        self.set_all(start + t);
+    }
+
+    /// `MPI_Allgather`, `bytes` contributed per rank.
+    pub fn allgather(&mut self, bytes: u64) {
+        let start = self.synchronise();
+        let t = collectives::allgather_time_us(&self.net, &self.node_map, bytes);
+        self.set_all(start + t);
+    }
+
+    /// `MPI_Alltoall`, `bytes` per (src, dst) pair.
+    pub fn alltoall(&mut self, bytes_per_pair: u64) {
+        let start = self.synchronise();
+        let t = collectives::alltoall_time_us(&self.net, &self.node_map, bytes_per_pair);
+        self.set_all(start + t);
+    }
+
+    fn set_all(&mut self, t: f64) {
+        for c in &mut self.clock_us {
+            *c = t;
+        }
+    }
+
+    /// Elapsed job time so far: the maximum rank clock, microseconds.
+    pub fn elapsed_us(&self) -> f64 {
+        self.clock_us.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Elapsed job time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_us() / 1e6
+    }
+
+    /// Total wait (load-imbalance + communication skew) time of `rank`.
+    pub fn wait_us(&self, rank: u32) -> f64 {
+        self.wait_us[rank as usize]
+    }
+
+    /// Total compute time of `rank`.
+    pub fn compute_us(&self, rank: u32) -> f64 {
+        self.compute_us[rank as usize]
+    }
+
+    /// Aggregate parallel efficiency estimate: mean compute / elapsed.
+    pub fn compute_efficiency(&self) -> f64 {
+        let e = self.elapsed_us();
+        if e == 0.0 {
+            return 1.0;
+        }
+        let mean: f64 = self.compute_us.iter().sum::<f64>() / self.compute_us.len() as f64;
+        mean / e
+    }
+
+    /// Bandwidth share (GB/s) available to `rank` for streaming memory
+    /// traffic, given the node layout: the domain's sustained bandwidth
+    /// divided by the ranks sharing that domain, derated if too few cores
+    /// are active to saturate the domain.
+    pub fn rank_bw_share_gbs(&self, rank: u32, node: &Node, saturation_cores: u32) -> f64 {
+        let dom = self.placement.domain_of(rank);
+        let active = self.placement.cores_active_in_domain(rank);
+        let domain_bw = node.memory.domain_bw_for_cores(dom, active, saturation_cores);
+        domain_bw / f64::from(self.placement.ranks_in_domain(rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{Placement, PlacementPolicy};
+    use archsim::{system, InterconnectKind, SystemId};
+
+    fn world(nodes: u32, rpn: u32) -> World {
+        let node = system(SystemId::A64fx).node;
+        let p = Placement::new(nodes * rpn, rpn, 1, &node, PlacementPolicy::RoundRobinDomain).unwrap();
+        let net = Network::new(InterconnectKind::TofuD, nodes as usize);
+        World::new(net, p)
+    }
+
+    #[test]
+    fn compute_advances_only_that_rank() {
+        let mut w = world(1, 4);
+        w.compute(2, 100.0);
+        assert_eq!(w.now_us(2), 100.0);
+        assert_eq!(w.now_us(0), 0.0);
+        assert_eq!(w.elapsed_us(), 100.0);
+    }
+
+    #[test]
+    fn allreduce_synchronises_stragglers() {
+        let mut w = world(2, 4);
+        w.compute(0, 1000.0); // rank 0 is the straggler
+        w.allreduce(8);
+        let t = w.now_us(0);
+        for r in 0..w.ranks() {
+            assert_eq!(w.now_us(r), t, "all ranks aligned after allreduce");
+        }
+        assert!(t > 1000.0);
+        // Rank 1 waited at least the straggler's lead.
+        assert!(w.wait_us(1) >= 1000.0);
+    }
+
+    #[test]
+    fn exchange_delays_receiver_not_sender() {
+        let mut w = world(2, 1);
+        w.exchange(&[(0, 1, 1 << 20)]);
+        assert!(w.now_us(1) > w.now_us(0));
+        assert!(w.now_us(0) < 1.0, "sender only pays overhead");
+    }
+
+    #[test]
+    fn halo_exchange_is_symmetric() {
+        let mut w = world(2, 1);
+        w.halo_exchange(&[(0, 1, 64 * 1024)]);
+        assert!((w.now_us(0) - w.now_us(1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn imbalance_lowers_compute_efficiency() {
+        let mut balanced = world(2, 4);
+        balanced.compute_uniform(1000.0);
+        balanced.barrier();
+        let mut skewed = world(2, 4);
+        let mut us = vec![500.0; 8];
+        us[0] = 1000.0;
+        skewed.compute_all(&us);
+        skewed.barrier();
+        assert!(balanced.compute_efficiency() > skewed.compute_efficiency());
+    }
+
+    #[test]
+    fn bw_share_splits_domain_among_ranks() {
+        let spec = system(SystemId::A64fx);
+        let node = &spec.node;
+        // 48 ranks, round-robin over 4 CMGs: 12 per CMG.
+        let p = Placement::mpi_only_full_node(1, node);
+        let net = Network::new(InterconnectKind::TofuD, 1);
+        let w = World::new(net, p);
+        let share = w.rank_bw_share_gbs(0, node, spec.bw_saturation_cores);
+        assert!((share - 210.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_per_domain_gets_full_domain_bandwidth_with_threads() {
+        let spec = system(SystemId::A64fx);
+        let node = &spec.node;
+        let p = Placement::one_rank_per_domain(1, node);
+        let net = Network::new(InterconnectKind::TofuD, 1);
+        let w = World::new(net, p);
+        let share = w.rank_bw_share_gbs(0, node, spec.bw_saturation_cores);
+        // 12 threads saturate the CMG; the single rank owns all of it.
+        assert!((share - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underpopulated_domain_sees_reduced_bandwidth() {
+        let spec = system(SystemId::A64fx);
+        let node = &spec.node;
+        // 4 single-thread ranks: one per CMG, each using 1 of 12 cores.
+        let p = Placement::new(4, 4, 1, node, PlacementPolicy::RoundRobinDomain).unwrap();
+        let net = Network::new(InterconnectKind::TofuD, 1);
+        let w = World::new(net, p);
+        let share = w.rank_bw_share_gbs(0, node, spec.bw_saturation_cores);
+        assert!(share < 210.0, "one core cannot saturate HBM: {share}");
+    }
+
+    #[test]
+    fn elapsed_is_max_clock() {
+        let mut w = world(1, 4);
+        w.compute(3, 42.0);
+        assert_eq!(w.elapsed_us(), 42.0);
+        assert!((w.elapsed_s() - 42e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_compute_rejected() {
+        let mut w = world(1, 1);
+        w.compute(0, -1.0);
+    }
+}

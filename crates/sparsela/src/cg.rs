@@ -1,0 +1,273 @@
+//! Conjugate gradient solvers with work accounting.
+//!
+//! Plain CG is minikab's default solver; preconditioned CG with a multigrid
+//! V-cycle is HPCG; CG with a diagonal preconditioner and a matrix-free
+//! operator is Nekbone. All three reuse this module (Nekbone through the
+//! [`cg_matfree`] entry point).
+
+use crate::csr::CsrMatrix;
+use densela::vecops;
+use densela::Work;
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual norm ‖r‖/‖b‖.
+    pub rel_residual: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+    /// Total numerical work performed (flops/bytes).
+    pub work: Work,
+    /// Residual-norm history, one entry per iteration (‖r_k‖).
+    pub history: Vec<f64>,
+}
+
+/// Plain conjugate gradient on `A x = b` starting from `x` (usually zeros).
+pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], max_iter: usize, rtol: f64) -> CgResult {
+    cg_matfree(
+        |p, out| a.spmv(p, out),
+        b,
+        x,
+        max_iter,
+        rtol,
+        None::<fn(&[f64], &mut [f64]) -> Work>,
+    )
+}
+
+/// Preconditioned CG: `precond(r, z)` must apply `z ≈ M⁻¹ r` and report its
+/// work (HPCG passes the multigrid V-cycle here).
+pub fn pcg_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    max_iter: usize,
+    rtol: f64,
+    precond: impl FnMut(&[f64], &mut [f64]) -> Work,
+) -> CgResult {
+    cg_matfree(|p, out| a.spmv(p, out), b, x, max_iter, rtol, Some(precond))
+}
+
+/// Matrix-free (P)CG: `apply_a(p, out)` computes `out = A p` and reports its
+/// work. This is the Nekbone structure, where `A` is applied element by
+/// element and never assembled.
+pub fn cg_matfree(
+    mut apply_a: impl FnMut(&[f64], &mut [f64]) -> Work,
+    b: &[f64],
+    x: &mut [f64],
+    max_iter: usize,
+    rtol: f64,
+    mut precond: Option<impl FnMut(&[f64], &mut [f64]) -> Work>,
+) -> CgResult {
+    let n = b.len();
+    assert_eq!(x.len(), n, "x/b length mismatch");
+    let mut work = Work::ZERO;
+    let mut history = Vec::new();
+
+    let (bnorm_sq, w) = vecops::norm2_sq(b);
+    work += w;
+    let bnorm = bnorm_sq.sqrt();
+    if bnorm == 0.0 {
+        x.fill(0.0);
+        return CgResult { iterations: 0, rel_residual: 0.0, converged: true, work, history };
+    }
+
+    // r = b - A x
+    let mut r = vec![0.0; n];
+    work += apply_a(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    work += Work::new(n as u64, 2 * n as u64 * 8, n as u64 * 8);
+
+    fn apply_m<M: FnMut(&[f64], &mut [f64]) -> Work>(
+        r: &[f64],
+        z: &mut [f64],
+        precond: &mut Option<M>,
+    ) -> Work {
+        match precond {
+            Some(m) => m(r, z),
+            None => vecops::copy(r, z),
+        }
+    }
+    let mut z = vec![0.0; n];
+    work += apply_m(&r, &mut z, &mut precond);
+
+    let mut p = z.clone();
+    let (mut rz, w) = vecops::dot(&r, &z);
+    work += w;
+    let mut ap = vec![0.0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _ in 0..max_iter {
+        iterations += 1;
+        work += apply_a(&p, &mut ap);
+        let (pap, w) = vecops::dot(&p, &ap);
+        work += w;
+        if pap <= 0.0 {
+            // Operator is not SPD along p (or breakdown): stop honestly.
+            break;
+        }
+        let alpha = rz / pap;
+        work += vecops::axpy(alpha, &p, x);
+        work += vecops::axpy(-alpha, &ap, &mut r);
+        let (rnorm_sq, w) = vecops::norm2_sq(&r);
+        work += w;
+        let rnorm = rnorm_sq.sqrt();
+        history.push(rnorm);
+        if rnorm <= rtol * bnorm {
+            converged = true;
+            break;
+        }
+        work += apply_m(&r, &mut z, &mut precond);
+        let (rz_new, w) = vecops::dot(&r, &z);
+        work += w;
+        let beta = rz_new / rz;
+        rz = rz_new;
+        // p = z + beta p
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        work += Work::new(2 * n as u64, 2 * n as u64 * 8, n as u64 * 8);
+    }
+
+    let rel = history.last().copied().unwrap_or(0.0) / bnorm;
+    CgResult { iterations, rel_residual: rel, converged, work, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{poisson7, stencil27, structural3d};
+    use crate::symgs::{residual_norm, symgs_sweep};
+
+    #[test]
+    fn cg_solves_poisson_exactly_within_n_iterations() {
+        let a = poisson7(4, 4, 4);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let mut b = vec![0.0; a.rows()];
+        a.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; a.rows()];
+        let res = cg_solve(&a, &b, &mut x, a.rows(), 1e-12);
+        assert!(res.converged, "CG must converge on SPD: {res:?}");
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cg_converges_on_hpcg_operator() {
+        let a = stencil27(8, 8, 8);
+        let b = vec![1.0; a.rows()];
+        let mut x = vec![0.0; a.rows()];
+        let res = cg_solve(&a, &b, &mut x, 200, 1e-9);
+        assert!(res.converged);
+        assert!(residual_norm(&a, &b, &x) < 1e-6);
+    }
+
+    #[test]
+    fn cg_converges_on_structural_matrix() {
+        let a = structural3d(3, 3, 3);
+        let b: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut x = vec![0.0; a.rows()];
+        let res = cg_solve(&a, &b, &mut x, 500, 1e-10);
+        assert!(res.converged, "structural CG: {} iters, rel {}", res.iterations, res.rel_residual);
+    }
+
+    #[test]
+    fn symgs_preconditioner_cuts_iterations() {
+        let a = stencil27(8, 8, 8);
+        let b = vec![1.0; a.rows()];
+        let mut x_plain = vec![0.0; a.rows()];
+        let plain = cg_solve(&a, &b, &mut x_plain, 500, 1e-9);
+        let mut x_pre = vec![0.0; a.rows()];
+        let pre = pcg_solve(&a, &b, &mut x_pre, 500, 1e-9, |r, z| {
+            z.fill(0.0);
+            symgs_sweep(&a, r, z)
+        });
+        assert!(pre.converged && plain.converged);
+        assert!(
+            pre.iterations < plain.iterations,
+            "SymGS-PCG ({}) should beat CG ({})",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn residual_history_is_recorded() {
+        let a = poisson7(3, 3, 3);
+        let b = vec![1.0; a.rows()];
+        let mut x = vec![0.0; a.rows()];
+        let res = cg_solve(&a, &b, &mut x, 100, 1e-10);
+        assert_eq!(res.history.len(), res.iterations);
+        assert!(res.history.last().unwrap() < res.history.first().unwrap());
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = poisson7(3, 3, 3);
+        let b = vec![0.0; a.rows()];
+        let mut x = vec![5.0; a.rows()];
+        let res = cg_solve(&a, &b, &mut x, 10, 1e-10);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn work_accumulates_spmv_per_iteration() {
+        let a = stencil27(5, 5, 5);
+        let b = vec![1.0; a.rows()];
+        let mut x = vec![0.0; a.rows()];
+        let res = cg_solve(&a, &b, &mut x, 30, 1e-9);
+        // At least iterations x spmv flops.
+        let spmv_flops = a.spmv_work().flops;
+        assert!(res.work.flops >= res.iterations as u64 * spmv_flops);
+    }
+
+    #[test]
+    fn non_spd_operator_stops_without_panicking() {
+        // -I is symmetric negative definite: p^T A p < 0 on iteration 1.
+        let a = CsrMatrix::from_coo(4, 4, (0..4).map(|i| (i, i, -1.0)).collect());
+        let b = vec![1.0; 4];
+        let mut x = vec![0.0; 4];
+        let res = cg_solve(&a, &b, &mut x, 10, 1e-10);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gen::poisson7;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn cg_residuals_eventually_decrease(
+            nx in 2usize..5, ny in 2usize..5, nz in 2usize..5,
+            seed in 0u64..100,
+        ) {
+            let a = poisson7(nx, ny, nz);
+            let b: Vec<f64> = (0..a.rows())
+                .map(|i| (((i as u64 + seed) * 2654435761) % 19) as f64 - 9.0)
+                .collect();
+            if b.iter().all(|&v| v == 0.0) {
+                return Ok(());
+            }
+            let mut x = vec![0.0; a.rows()];
+            let res = cg_solve(&a, &b, &mut x, a.rows() * 2, 1e-10);
+            prop_assert!(res.converged);
+            // Final residual below the first (CG is not monotone in the
+            // 2-norm per step, but must end lower).
+            if res.history.len() >= 2 {
+                prop_assert!(res.history.last().unwrap() <= res.history.first().unwrap());
+            }
+        }
+    }
+}

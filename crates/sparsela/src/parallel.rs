@@ -1,0 +1,263 @@
+//! Shared-memory parallel kernels (the "OpenMP" half of the paper's
+//! MPI+OpenMP configurations), built on `crossbeam` scoped threads.
+//!
+//! The paper's hybrid minikab runs give each MPI rank a team of threads
+//! that cooperate on the rank's rows. These kernels are that team: a row
+//! partition per thread, no locks on the hot path (each thread owns a
+//! disjoint output slice), and a final reduction for dot products.
+
+use crate::csr::CsrMatrix;
+use crate::partition::RowPartition;
+use densela::Work;
+
+/// A thread team for shared-memory kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct Team {
+    threads: usize,
+}
+
+impl Team {
+    /// A team of `threads` workers (1 = serial fallback).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a team needs at least one thread");
+        Team { threads }
+    }
+
+    /// Workers in the team.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel SpMV `y = A x`: rows are block-partitioned over the team;
+    /// every thread writes only its own slice of `y`.
+    pub fn spmv(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> Work {
+        assert_eq!(x.len(), a.cols(), "spmv: x length mismatch");
+        assert_eq!(y.len(), a.rows(), "spmv: y length mismatch");
+        if self.threads == 1 || a.rows() < 2 * self.threads {
+            return a.spmv(x, y);
+        }
+        let part = RowPartition::new(a.rows(), self.threads);
+        // Split y into disjoint per-thread slices.
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.threads);
+        let mut rest = y;
+        for t in 0..self.threads {
+            let (lo, hi) = part.range(t);
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            slices.push(head);
+            rest = tail;
+        }
+        crossbeam::thread::scope(|scope| {
+            for (t, slice) in slices.into_iter().enumerate() {
+                let (lo, _hi) = part.range(t);
+                scope.spawn(move |_| {
+                    for (i, out) in slice.iter_mut().enumerate() {
+                        let r = lo + i;
+                        let mut acc = 0.0;
+                        for (c, v) in a.row(r) {
+                            acc += v * x[c];
+                        }
+                        *out = acc;
+                    }
+                });
+            }
+        })
+        .expect("spmv worker panicked");
+        a.spmv_work()
+    }
+
+    /// Parallel dot product with a per-thread partial reduction.
+    pub fn dot(&self, x: &[f64], y: &[f64]) -> (f64, Work) {
+        assert_eq!(x.len(), y.len(), "dot: length mismatch");
+        if self.threads == 1 || x.len() < 2 * self.threads {
+            return densela::vecops::dot(x, y);
+        }
+        let part = RowPartition::new(x.len(), self.threads);
+        let mut partials = vec![0.0f64; self.threads];
+        crossbeam::thread::scope(|scope| {
+            for (t, p) in partials.iter_mut().enumerate() {
+                let (lo, hi) = part.range(t);
+                scope.spawn(move |_| {
+                    let mut acc = 0.0;
+                    for i in lo..hi {
+                        acc += x[i] * y[i];
+                    }
+                    *p = acc;
+                });
+            }
+        })
+        .expect("dot worker panicked");
+        let n = x.len() as u64;
+        (partials.iter().sum(), Work::new(2 * n, 16 * n, 0))
+    }
+
+    /// Parallel AXPY `y += alpha x`.
+    pub fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) -> Work {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        if self.threads == 1 || x.len() < 2 * self.threads {
+            return densela::vecops::axpy(alpha, x, y);
+        }
+        let part = RowPartition::new(x.len(), self.threads);
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.threads);
+        let mut rest = y;
+        for t in 0..self.threads {
+            let (lo, hi) = part.range(t);
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            slices.push(head);
+            rest = tail;
+        }
+        crossbeam::thread::scope(|scope| {
+            for (t, slice) in slices.into_iter().enumerate() {
+                let (lo, _) = part.range(t);
+                scope.spawn(move |_| {
+                    for (i, out) in slice.iter_mut().enumerate() {
+                        *out += alpha * x[lo + i];
+                    }
+                });
+            }
+        })
+        .expect("axpy worker panicked");
+        let n = x.len() as u64;
+        Work::new(2 * n, 16 * n, 8 * n)
+    }
+
+    /// Parallel CG on an SPD matrix; identical mathematics to
+    /// [`crate::cg::cg_solve`] but with team-parallel kernels. Returns
+    /// (iterations, relative residual, work).
+    pub fn cg_solve(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        max_iter: usize,
+        rtol: f64,
+    ) -> (usize, f64, Work) {
+        let n = b.len();
+        assert_eq!(x.len(), n);
+        let mut work = Work::ZERO;
+        let (bnorm_sq, w) = self.dot(b, b);
+        work += w;
+        let bnorm = bnorm_sq.sqrt();
+        if bnorm == 0.0 {
+            x.fill(0.0);
+            return (0, 0.0, work);
+        }
+        let mut r = vec![0.0; n];
+        work += self.spmv(a, x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let mut p = r.clone();
+        let (mut rr, w) = self.dot(&r, &r);
+        work += w;
+        let mut ap = vec![0.0; n];
+        let mut iters = 0;
+        let mut rel = (rr.sqrt()) / bnorm;
+        while iters < max_iter && rel > rtol {
+            iters += 1;
+            work += self.spmv(a, &p, &mut ap);
+            let (pap, w) = self.dot(&p, &ap);
+            work += w;
+            if pap <= 0.0 {
+                break;
+            }
+            let alpha = rr / pap;
+            work += self.axpy(alpha, &p, x);
+            work += self.axpy(-alpha, &ap, &mut r);
+            let (rr_new, w) = self.dot(&r, &r);
+            work += w;
+            let beta = rr_new / rr;
+            rr = rr_new;
+            rel = rr.sqrt() / bnorm;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            work += Work::new(2 * n as u64, 16 * n as u64, 8 * n as u64);
+        }
+        (iters, rel, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{poisson7, stencil27, structural3d};
+
+    #[test]
+    fn parallel_spmv_matches_serial() {
+        let a = stencil27(10, 9, 8);
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut y_serial = vec![0.0; a.rows()];
+        a.spmv(&x, &mut y_serial);
+        for threads in [2usize, 3, 4, 7] {
+            let team = Team::new(threads);
+            let mut y_par = vec![0.0; a.rows()];
+            team.spmv(&a, &x, &mut y_par);
+            assert_eq!(y_serial, y_par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_dot_matches_serial_to_roundoff() {
+        let x: Vec<f64> = (0..10_001).map(|i| (i as f64 * 0.01).cos()).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 1.5 - 0.25).collect();
+        let (serial, _) = densela::vecops::dot(&x, &y);
+        for threads in [2usize, 5, 8] {
+            let (par, _) = Team::new(threads).dot(&x, &y);
+            assert!((par - serial).abs() < 1e-9 * (1.0 + serial.abs()), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_axpy_matches_serial() {
+        let x: Vec<f64> = (0..5_000).map(|i| i as f64).collect();
+        let mut y1: Vec<f64> = x.iter().map(|v| -v).collect();
+        let mut y2 = y1.clone();
+        densela::vecops::axpy(0.5, &x, &mut y1);
+        Team::new(4).axpy(0.5, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parallel_cg_converges_like_serial() {
+        let a = poisson7(6, 6, 6);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let mut b = vec![0.0; a.rows()];
+        a.spmv(&x_true, &mut b);
+        for threads in [1usize, 4] {
+            let mut x = vec![0.0; a.rows()];
+            let (iters, rel, work) = Team::new(threads).cg_solve(&a, &b, &mut x, 400, 1e-10);
+            assert!(rel <= 1e-10, "{threads} threads: rel {rel} after {iters} iters");
+            assert!(work.flops > 0);
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cg_on_structural_matrix() {
+        // The minikab shape: structural matrix, hybrid rank = a Team.
+        let a = structural3d(3, 3, 3);
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let mut x = vec![0.0; a.rows()];
+        let (_, rel, _) = Team::new(4).cg_solve(&a, &b, &mut x, 600, 1e-9);
+        assert!(rel <= 1e-9, "rel {rel}");
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_serial() {
+        let a = poisson7(2, 1, 1);
+        let x = vec![1.0, 2.0];
+        let mut y = vec![0.0; 2];
+        Team::new(8).spmv(&a, &x, &mut y);
+        let mut y2 = vec![0.0; 2];
+        a.spmv(&x, &mut y2);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Team::new(0);
+    }
+}

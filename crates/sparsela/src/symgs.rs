@@ -1,0 +1,123 @@
+//! Symmetric Gauss–Seidel sweeps — HPCG's smoother and preconditioner core.
+//!
+//! One symmetric sweep is a forward substitution pass followed by a backward
+//! pass. Its data dependencies make it hard to vectorise, which is one of
+//! the reasons HPCG achieves so little of peak everywhere (1–3% in the
+//! paper's Table III); the cost model charges it as the `SymGS` kernel
+//! class.
+
+use crate::csr::CsrMatrix;
+use densela::Work;
+
+const F64B: u64 = 8;
+const IDXB: u64 = 4;
+
+/// One symmetric Gauss–Seidel sweep on `A x = b`, updating `x` in place.
+/// Rows with a zero diagonal are skipped (they cannot be relaxed).
+pub fn symgs_sweep(a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> Work {
+    assert_eq!(a.rows(), a.cols(), "symgs needs a square matrix");
+    assert_eq!(b.len(), a.rows());
+    assert_eq!(x.len(), a.rows());
+    let n = a.rows();
+    // Forward sweep.
+    for r in 0..n {
+        let d = a.diag(r);
+        if d == 0.0 {
+            continue;
+        }
+        let mut acc = b[r];
+        for (c, v) in a.row(r) {
+            if c != r {
+                acc -= v * x[c];
+            }
+        }
+        x[r] = acc / d;
+    }
+    // Backward sweep.
+    for r in (0..n).rev() {
+        let d = a.diag(r);
+        if d == 0.0 {
+            continue;
+        }
+        let mut acc = b[r];
+        for (c, v) in a.row(r) {
+            if c != r {
+                acc -= v * x[c];
+            }
+        }
+        x[r] = acc / d;
+    }
+    symgs_work(a)
+}
+
+/// Closed-form work of one symmetric sweep: both directions touch every
+/// non-zero once (2 flops each) plus the vectors.
+pub fn symgs_work(a: &CsrMatrix) -> Work {
+    let nnz = a.nnz() as u64;
+    let n = a.rows() as u64;
+    Work::new(4 * nnz + 2 * n, 2 * (nnz * (F64B + IDXB) + 2 * n * F64B), 2 * n * F64B)
+}
+
+/// Residual `b - A x` 2-norm (test helper).
+pub fn residual_norm(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    let mut ax = vec![0.0; a.rows()];
+    a.spmv(x, &mut ax);
+    b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{poisson7, stencil27};
+
+    #[test]
+    fn sweep_reduces_residual() {
+        let a = stencil27(6, 6, 6);
+        let b = vec![1.0; a.rows()];
+        let mut x = vec![0.0; a.rows()];
+        let r0 = residual_norm(&a, &b, &x);
+        symgs_sweep(&a, &b, &mut x);
+        let r1 = residual_norm(&a, &b, &x);
+        assert!(r1 < r0, "one sweep must reduce the residual: {r1} vs {r0}");
+        symgs_sweep(&a, &b, &mut x);
+        let r2 = residual_norm(&a, &b, &x);
+        assert!(r2 < r1);
+    }
+
+    #[test]
+    fn repeated_sweeps_converge_on_dominant_system() {
+        let a = poisson7(4, 4, 4);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut b = vec![0.0; a.rows()];
+        a.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; a.rows()];
+        for _ in 0..300 {
+            symgs_sweep(&a, &b, &mut x);
+        }
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exact_solution_is_fixed_point() {
+        let a = poisson7(3, 3, 3);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| i as f64 * 0.1).collect();
+        let mut b = vec![0.0; a.rows()];
+        a.spmv(&x_true, &mut b);
+        let mut x = x_true.clone();
+        symgs_sweep(&a, &b, &mut x);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn work_model_is_4_flops_per_nnz() {
+        let a = stencil27(4, 4, 4);
+        let w = symgs_work(&a);
+        assert_eq!(w.flops, 4 * a.nnz() as u64 + 2 * a.rows() as u64);
+        // SymGS AI is ~0.16: memory-bound like SpMV but unvectorisable.
+        assert!(w.arithmetic_intensity() < 0.25);
+    }
+}

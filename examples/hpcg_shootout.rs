@@ -1,0 +1,34 @@
+//! HPCG shoot-out: regenerate the paper's headline comparison (Tables III
+//! and IV) across all five systems and print who wins at every node count.
+//!
+//! ```sh
+//! cargo run --release --example hpcg_shootout
+//! ```
+
+use a64fx_repro::archsim::SystemId;
+use a64fx_repro::core::experiments::hpcg::{hpcg_gflops, table3, table4};
+
+fn main() {
+    println!("{}", table3().render());
+    println!("{}", table4().render());
+
+    // Who wins at each node count, and by how much over the runner-up?
+    for nodes in [1u32, 2, 4, 8, 16] {
+        let mut results: Vec<(SystemId, f64)> = SystemId::all()
+            .iter()
+            .map(|&sys| {
+                let optimised = matches!(sys, SystemId::Ngio | SystemId::Fulhame);
+                (sys, hpcg_gflops(sys, nodes, optimised))
+            })
+            .collect();
+        results.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let (winner, best) = results[0];
+        let (_, second) = results[1];
+        println!(
+            "{nodes:>2} node(s): {} wins at {:.1} GFLOP/s ({:.0}% ahead of the runner-up)",
+            winner.name(),
+            best,
+            100.0 * (best / second - 1.0)
+        );
+    }
+}

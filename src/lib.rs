@@ -1,0 +1,24 @@
+//! # a64fx-repro — umbrella crate
+//!
+//! Re-exports every crate of the reproduction of *Investigating Applications
+//! on the A64FX* (Jackson et al., IEEE CLUSTER 2020) under one roof, so the
+//! examples and integration tests have a single dependency.
+//!
+//! See the individual crates for documentation:
+//!
+//! * [`archsim`] — machine models of the five benchmarked systems.
+//! * [`netsim`] — interconnect topologies and the discrete-event simulator.
+//! * [`simmpi`] — the simulated MPI layer.
+//! * [`densela`], [`sparsela`], [`fftsim`] — the numerical substrates.
+//! * [`apps`] — the six benchmark applications.
+//! * [`core`] — the evaluation framework: cost model, calibration,
+//!   experiments, and report generation.
+
+pub use a64fx_apps as apps;
+pub use a64fx_core as core;
+pub use archsim;
+pub use densela;
+pub use fftsim;
+pub use netsim;
+pub use simmpi;
+pub use sparsela;

@@ -1,0 +1,77 @@
+//! Integration tests: simulation determinism and end-to-end pipeline
+//! smoke tests. The benchmarking methodology (§III.a of the paper) demands
+//! reproducibility; for a simulator that means bit-identical replays.
+
+use a64fx_repro::apps::{cosa, hpcg, minikab, nekbone, opensbli};
+use a64fx_repro::archsim::{paper_toolchain, system, SystemId};
+use a64fx_repro::core::experiments;
+use a64fx_repro::core::{Executor, JobLayout};
+
+#[test]
+fn executor_replays_are_bit_identical() {
+    let spec = system(SystemId::A64fx);
+    let tc = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
+    let ex = Executor::new(&spec, &tc);
+    let layout = JobLayout::mpi_full(2, &spec);
+    let trace = hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks);
+    let r1 = ex.run(&trace, layout);
+    let r2 = ex.run(&trace, layout);
+    assert_eq!(r1.runtime_s.to_bits(), r2.runtime_s.to_bits());
+    assert_eq!(r1.gflops.to_bits(), r2.gflops.to_bits());
+}
+
+#[test]
+fn traces_are_deterministic() {
+    assert_eq!(hpcg::trace(hpcg::HpcgConfig::paper(), 96), hpcg::trace(hpcg::HpcgConfig::paper(), 96));
+    assert_eq!(
+        cosa::trace(cosa::CosaConfig::paper(), 768),
+        cosa::trace(cosa::CosaConfig::paper(), 768)
+    );
+    assert_eq!(
+        minikab::trace(minikab::MinikabConfig::paper(), 48),
+        minikab::trace(minikab::MinikabConfig::paper(), 48)
+    );
+    assert_eq!(
+        nekbone::trace(nekbone::NekboneConfig::paper(), 64),
+        nekbone::trace(nekbone::NekboneConfig::paper(), 64)
+    );
+    assert_eq!(
+        opensbli::trace(opensbli::OpensbliConfig::paper(), 48),
+        opensbli::trace(opensbli::OpensbliConfig::paper(), 48)
+    );
+}
+
+#[test]
+fn every_experiment_produces_a_table() {
+    for id in experiments::all_ids() {
+        let t = experiments::run_one(id).unwrap_or_else(|| panic!("{id} missing"));
+        assert!(!t.rows.is_empty(), "{id} produced no rows");
+        assert!(!t.headers.is_empty());
+        for row in &t.rows {
+            assert_eq!(row.len(), t.headers.len(), "{id} row width");
+        }
+        // Every table renders in both formats without panicking.
+        assert!(t.render().contains(&t.id));
+        assert!(t.render_markdown().contains(&t.title));
+    }
+}
+
+#[test]
+fn experiment_results_stable_across_invocations() {
+    let a = experiments::run_one("t3").unwrap();
+    let b = experiments::run_one("t3").unwrap();
+    assert_eq!(a, b, "experiment outputs must be reproducible");
+}
+
+#[test]
+fn real_solvers_are_deterministic() {
+    let r1 = minikab::run_real(3, 200, 1e-8);
+    let r2 = minikab::run_real(3, 200, 1e-8);
+    assert_eq!(r1.iterations, r2.iterations);
+    assert_eq!(r1.rel_residual.to_bits(), r2.rel_residual.to_bits());
+
+    let (res1, mean1) = cosa::run_real(cosa::CosaConfig::test());
+    let (res2, mean2) = cosa::run_real(cosa::CosaConfig::test());
+    assert_eq!(res1.to_bits(), res2.to_bits());
+    assert_eq!(mean1.to_bits(), mean2.to_bits());
+}

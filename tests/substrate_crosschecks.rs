@@ -1,0 +1,119 @@
+//! Integration tests crossing substrate boundaries: the optimised and
+//! reference kernel paths must agree, the parallel team must match serial
+//! mathematics, and the alternative storage formats must be
+//! interchangeable inside the solvers.
+
+use a64fx_repro::apps::hpcg;
+use a64fx_repro::densela::vecops;
+use a64fx_repro::fftsim::complex::Complex64;
+use a64fx_repro::fftsim::fft1d::fft;
+use a64fx_repro::fftsim::real::{irfft, rfft};
+use a64fx_repro::sparsela::cg::cg_matfree;
+use a64fx_repro::sparsela::coloring::{mc_symgs_sweep, Coloring};
+use a64fx_repro::sparsela::ell::SellMatrix;
+use a64fx_repro::sparsela::gen::stencil27;
+use a64fx_repro::sparsela::parallel::Team;
+use a64fx_repro::sparsela::symgs::{residual_norm, symgs_sweep};
+
+#[test]
+fn optimised_and_reference_hpcg_agree_on_the_answer() {
+    let cfg = hpcg::HpcgConfig { local: (8, 8, 8), mg_levels: 3, iterations: 40 };
+    let reference = hpcg::run_real(cfg);
+    let optimised = hpcg::run_real_optimised(cfg);
+    assert!(reference.rel_residual < 1e-8);
+    assert!(optimised.rel_residual < 1e-8);
+}
+
+#[test]
+fn sell_matrix_inside_cg_matches_csr_cg() {
+    let a = stencil27(6, 6, 6);
+    let sell = SellMatrix::from_csr(&a, 8, 16);
+    let b = vec![1.0; a.rows()];
+
+    let mut x_csr = vec![0.0; a.rows()];
+    let r1 = cg_matfree(
+        |p, out| a.spmv(p, out),
+        &b,
+        &mut x_csr,
+        100,
+        1e-10,
+        None::<fn(&[f64], &mut [f64]) -> a64fx_repro::densela::Work>,
+    );
+    let mut x_sell = vec![0.0; a.rows()];
+    let r2 = cg_matfree(
+        |p, out| sell.spmv(p, out),
+        &b,
+        &mut x_sell,
+        100,
+        1e-10,
+        None::<fn(&[f64], &mut [f64]) -> a64fx_repro::densela::Work>,
+    );
+    assert!(r1.converged && r2.converged);
+    for (u, v) in x_csr.iter().zip(&x_sell) {
+        assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+    }
+}
+
+#[test]
+fn multicolor_and_plain_symgs_converge_to_the_same_fixed_point() {
+    let a = stencil27(5, 5, 5);
+    let coloring = Coloring::stencil8(5, 5, 5);
+    let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
+    let mut x_plain = vec![0.0; a.rows()];
+    let mut x_mc = vec![0.0; a.rows()];
+    for _ in 0..400 {
+        symgs_sweep(&a, &b, &mut x_plain);
+        mc_symgs_sweep(&a, &coloring, &b, &mut x_mc);
+    }
+    // Both iterations converge to the unique solution of A x = b.
+    assert!(residual_norm(&a, &b, &x_plain) < 1e-8);
+    assert!(residual_norm(&a, &b, &x_mc) < 1e-8);
+    for (u, v) in x_plain.iter().zip(&x_mc) {
+        assert!((u - v).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn team_kernels_compose_with_dense_kernels() {
+    // Mixed pipeline: team SpMV into serial waxpby into team dot.
+    let a = stencil27(4, 4, 4);
+    let team = Team::new(3);
+    let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.11).sin()).collect();
+    let mut ax = vec![0.0; a.rows()];
+    team.spmv(&a, &x, &mut ax);
+    let mut w = vec![0.0; a.rows()];
+    vecops::waxpby(1.0, &ax, -26.0, &x, &mut w);
+    let (d_team, _) = team.dot(&w, &w);
+    let (d_serial, _) = vecops::dot(&w, &w);
+    assert!((d_team - d_serial).abs() < 1e-9 * (1.0 + d_serial));
+}
+
+#[test]
+fn real_fft_agrees_with_complex_fft_on_real_input() {
+    let n = 64;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() * (i as f64 * 0.05).cos()).collect();
+    let (r2c, _) = rfft(&x);
+    let mut c: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+    fft(&mut c);
+    for k in 0..=n / 2 {
+        assert!((r2c[k] - c[k]).abs() < 1e-10, "bin {k}");
+    }
+    let (back, _) = irfft(&r2c, n);
+    for (a, b) in x.iter().zip(&back) {
+        assert!((a - b).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn work_accounting_consistent_between_formats() {
+    // SELL does at least the CSR flops (padding can only add work).
+    let a = stencil27(6, 5, 4);
+    let sell = SellMatrix::from_csr(&a, 8, 32);
+    assert!(sell.spmv_work().flops >= a.spmv_work().flops);
+    // Team SpMV reports the same work as serial CSR (same true flops).
+    let team = Team::new(4);
+    let x = vec![1.0; a.cols()];
+    let mut y = vec![0.0; a.rows()];
+    let w = team.spmv(&a, &x, &mut y);
+    assert_eq!(w, a.spmv_work());
+}

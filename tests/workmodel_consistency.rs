@@ -1,0 +1,90 @@
+//! Integration tests: the analytic work models the paper-scale traces use
+//! must agree with the instrumented real kernels, at sizes where both run.
+
+use a64fx_repro::apps::{hpcg, nekbone};
+use a64fx_repro::densela::tensor::{
+    gll_derivative_matrix, local_ax, local_ax_work, AxScratch,
+};
+use a64fx_repro::fftsim::complex::Complex64;
+use a64fx_repro::fftsim::fft3d::{fft3_inplace, fft3_work};
+use a64fx_repro::sparsela::gen::stencil27;
+use a64fx_repro::sparsela::mg::MgHierarchy;
+use a64fx_repro::sparsela::symgs::symgs_work;
+
+#[test]
+fn hpcg_analytic_spmv_matches_generated_matrix() {
+    for dims in [(4, 4, 4), (6, 5, 4), (8, 8, 8)] {
+        let a = stencil27(dims.0, dims.1, dims.2);
+        assert_eq!(hpcg::spmv_work_analytic(dims), a.spmv_work(), "{dims:?}");
+        assert_eq!(hpcg::symgs_work_analytic(dims), symgs_work(&a), "{dims:?}");
+    }
+}
+
+#[test]
+fn hpcg_vcycle_work_model_matches_instrumented_vcycle() {
+    let mg = MgHierarchy::new(16, 16, 16, 4);
+    let n = mg.fine_operator().rows();
+    let r = vec![1.0; n];
+    let mut z = vec![0.0; n];
+    let measured = mg.vcycle(&r, &mut z);
+    assert_eq!(measured, mg.vcycle_work());
+}
+
+#[test]
+fn nekbone_ax_work_model_matches_kernel_at_paper_order() {
+    // Run one real element at the paper's polynomial order 16 and check the
+    // closed form used by the paper-scale trace.
+    let n = 16;
+    let d = gll_derivative_matrix(n);
+    let dt = d.transpose();
+    let g = vec![1.0; n * n * n];
+    let u = vec![0.5; n * n * n];
+    let mut w = vec![0.0; n * n * n];
+    let mut s = AxScratch::new(n);
+    let measured = local_ax(&d, &dt, n, &g, &u, &mut w, &mut s);
+    assert_eq!(measured, local_ax_work(n));
+}
+
+#[test]
+fn nekbone_trace_ax_equals_elements_times_kernel() {
+    let cfg = nekbone::NekboneConfig::paper();
+    let t = nekbone::trace(cfg, 1);
+    let kernel = local_ax_work(cfg.poly);
+    let mut found = false;
+    for p in &t.body {
+        if let a64fx_repro::apps::trace::Phase::Compute {
+            class: a64fx_repro::apps::trace::KernelClass::SmallGemm,
+            work,
+        } = p
+        {
+            assert_eq!(work.of_rank(0).flops, kernel.flops * cfg.elements_per_rank as u64);
+            found = true;
+        }
+    }
+    assert!(found, "trace must contain the ax phase");
+}
+
+#[test]
+fn fft3_work_model_matches_instrumented_transform() {
+    for n in [4usize, 8, 16] {
+        let mut data: Vec<Complex64> =
+            (0..n * n * n).map(|i| Complex64::new(i as f64 * 0.01, -(i as f64) * 0.02)).collect();
+        let measured = fft3_inplace(n, &mut data);
+        assert_eq!(measured, fft3_work(n), "n={n}");
+    }
+}
+
+#[test]
+fn hpcg_real_run_flops_close_to_trace_model() {
+    // Run real HPCG at 16^3 (3 MG levels) and compare against a trace built
+    // for the same configuration: counted flops should agree within a few
+    // per cent (the real run's convergence checks add a little).
+    let cfg = hpcg::HpcgConfig { local: (16, 16, 16), mg_levels: 3, iterations: 25 };
+    let real = hpcg::run_real(cfg);
+    let trace = hpcg::trace(cfg, 1);
+    // The real solver may converge early; normalise per iteration.
+    let real_per_iter = real.work.flops as f64 / real.iterations as f64;
+    let trace_per_iter = trace.total_work().flops as f64 / f64::from(trace.iterations);
+    let rel = (real_per_iter - trace_per_iter).abs() / trace_per_iter;
+    assert!(rel < 0.10, "per-iteration flops: real {real_per_iter}, model {trace_per_iter} ({rel:.2})");
+}
