@@ -41,12 +41,22 @@ impl CastepConfig {
     /// H-applications per band per cycle — sized so one SCF cycle's work
     /// matches the TiN benchmark's order of magnitude.
     pub fn paper() -> Self {
-        CastepConfig { grid: 64, bands: 384, h_applies: 7, scf_cycles: 10 }
+        CastepConfig {
+            grid: 64,
+            bands: 384,
+            h_applies: 7,
+            scf_cycles: 10,
+        }
     }
 
     /// Reduced configuration for tests.
     pub fn test() -> Self {
-        CastepConfig { grid: 8, bands: 4, h_applies: 2, scf_cycles: 8 }
+        CastepConfig {
+            grid: 8,
+            bands: 4,
+            h_applies: 2,
+            scf_cycles: 8,
+        }
     }
 }
 
@@ -76,7 +86,11 @@ impl PlaneWaveSolver {
                             + (two_pi * y as f64 / n as f64).cos()
                             + (two_pi * z as f64 / n as f64).cos());
                     let kf = |j: usize| {
-                        let k = if j <= n / 2 { j as f64 } else { j as f64 - n as f64 };
+                        let k = if j <= n / 2 {
+                            j as f64
+                        } else {
+                            j as f64 - n as f64
+                        };
                         two_pi * k / n as f64
                     };
                     let (kx, ky, kz) = (kf(x), kf(y), kf(z));
@@ -89,12 +103,20 @@ impl PlaneWaveSolver {
             let psi: Vec<Complex64> = (0..n3)
                 .map(|i| {
                     let h = ((i * 31 + b * 977 + 7) as u64).wrapping_mul(0x9E3779B97F4A7C15);
-                    Complex64::new(((h >> 20) % 1000) as f64 / 500.0 - 1.0, ((h >> 40) % 1000) as f64 / 500.0 - 1.0)
+                    Complex64::new(
+                        ((h >> 20) % 1000) as f64 / 500.0 - 1.0,
+                        ((h >> 40) % 1000) as f64 / 500.0 - 1.0,
+                    )
                 })
                 .collect();
             bands.push(psi);
         }
-        let mut s = PlaneWaveSolver { n, bands, potential, kinetic };
+        let mut s = PlaneWaveSolver {
+            n,
+            bands,
+            potential,
+            kinetic,
+        };
         s.orthonormalise();
         s
     }
@@ -231,24 +253,52 @@ pub fn trace(cfg: CastepConfig, ranks: u32) -> Trace {
         blas3_total.bytes_written / p as u64,
     );
     // Density build + mixing.
-    let dens = Work::new(4 * nb * n3 / p as u64, nb * n3 * C64B / p as u64, n3 * 8 / p as u64);
+    let dens = Work::new(
+        4 * nb * n3 / p as u64,
+        nb * n3 * C64B / p as u64,
+        n3 * 8 / p as u64,
+    );
 
     let mut body = Vec::new();
     // Distributed FFTs: the transposes are alltoalls (2 per transform).
     if plan.transposes() > 0 {
         let a2a_per_cycle = nb * cfg.h_applies as u64 * 2 * u64::from(plan.transposes());
         // Fold the repeated alltoalls into one phase with scaled volume.
-        body.push(Phase::Alltoall { bytes_per_pair: plan.alltoall_bytes_per_pair() * a2a_per_cycle });
+        body.push(Phase::Alltoall {
+            bytes_per_pair: plan.alltoall_bytes_per_pair() * a2a_per_cycle,
+        });
     }
-    body.push(Phase::Compute { class: KernelClass::Fft, work: WorkDist::Uniform(fft_per_rank) });
-    body.push(Phase::Compute { class: KernelClass::VectorOp, work: WorkDist::Uniform(point) });
+    body.push(Phase::Compute {
+        class: KernelClass::Fft,
+        work: WorkDist::Uniform(fft_per_rank),
+    });
+    body.push(Phase::Compute {
+        class: KernelClass::VectorOp,
+        work: WorkDist::Uniform(point),
+    });
     // Overlap matrix reduction (nb x nb complex).
-    body.push(Phase::Compute { class: KernelClass::Blas3, work: WorkDist::Uniform(blas3_per_rank) });
-    body.push(Phase::Allreduce { bytes: nb * nb * C64B });
-    body.push(Phase::Compute { class: KernelClass::VectorOp, work: WorkDist::Uniform(dens) });
-    body.push(Phase::Allreduce { bytes: n3 * 8 / p as u64 });
+    body.push(Phase::Compute {
+        class: KernelClass::Blas3,
+        work: WorkDist::Uniform(blas3_per_rank),
+    });
+    body.push(Phase::Allreduce {
+        bytes: nb * nb * C64B,
+    });
+    body.push(Phase::Compute {
+        class: KernelClass::VectorOp,
+        work: WorkDist::Uniform(dens),
+    });
+    body.push(Phase::Allreduce {
+        bytes: n3 * 8 / p as u64,
+    });
 
-    Trace { ranks, prologue: Vec::new(), body, iterations: cfg.scf_cycles, fom_flops: 0.0 }
+    Trace {
+        ranks,
+        prologue: Vec::new(),
+        body,
+        iterations: cfg.scf_cycles,
+        fom_flops: 0.0,
+    }
 }
 
 /// The paper's note that the TiN benchmark "can only be run with total core
@@ -265,7 +315,11 @@ mod tests {
     fn energy_decreases_monotonically() {
         let energies = run_real(CastepConfig::test());
         for w in energies.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "SCF energy must not increase: {:?}", energies);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "SCF energy must not increase: {:?}",
+                energies
+            );
         }
         assert!(
             energies.last().unwrap() < &(energies[0] - 1e-3),
@@ -333,7 +387,10 @@ mod tests {
                 }
             }
         }
-        assert!(fft * 2 > rest, "FFT work should be within 2x of everything else: {fft} vs {rest}");
+        assert!(
+            fft * 2 > rest,
+            "FFT work should be within 2x of everything else: {fft} vs {rest}"
+        );
     }
 
     #[test]
@@ -351,6 +408,9 @@ mod tests {
         let w1 = t1.total_work().flops;
         let w8 = t8.total_work().flops;
         let rel = (w1 as f64 - w8 as f64).abs() / w1 as f64;
-        assert!(rel < 0.05, "strong scaling conserves total flops: {w1} vs {w8}");
+        assert!(
+            rel < 0.05,
+            "strong scaling conserves total flops: {w1} vs {w8}"
+        );
     }
 }

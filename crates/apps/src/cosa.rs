@@ -44,12 +44,24 @@ impl CosaConfig {
     /// 100 iterations. Block edge 68 gives 800 × 68² = 3,699,200 cells,
     /// within 0.25% of the paper's 3,690,218.
     pub fn paper() -> Self {
-        CosaConfig { blocks: 800, block_grid: (40, 20), block_edge: 68, harmonics: 4, iterations: 100 }
+        CosaConfig {
+            blocks: 800,
+            block_grid: (40, 20),
+            block_edge: 68,
+            harmonics: 4,
+            iterations: 100,
+        }
     }
 
     /// Reduced configuration for tests.
     pub fn test() -> Self {
-        CosaConfig { blocks: 8, block_grid: (4, 2), block_edge: 8, harmonics: 1, iterations: 50 }
+        CosaConfig {
+            blocks: 8,
+            block_grid: (4, 2),
+            block_edge: 8,
+            harmonics: 1,
+            iterations: 50,
+        }
     }
 
     /// Coupled time instances (2·N_H + 1).
@@ -130,7 +142,8 @@ impl BlockSolver {
                 if bx + 1 < gx {
                     let r = self.block_at(bx + 1, by);
                     for row in 1..=e {
-                        let (left_val, right_val) = (self.fields[b][row * m + e], self.fields[r][row * m + 1]);
+                        let (left_val, right_val) =
+                            (self.fields[b][row * m + e], self.fields[r][row * m + 1]);
                         self.fields[r][row * m] = left_val;
                         self.fields[b][row * m + e + 1] = right_val;
                     }
@@ -138,7 +151,8 @@ impl BlockSolver {
                 if by + 1 < gy {
                     let u = self.block_at(bx, by + 1);
                     for col in 1..=e {
-                        let (lo_val, hi_val) = (self.fields[b][e * m + col], self.fields[u][m + col]);
+                        let (lo_val, hi_val) =
+                            (self.fields[b][e * m + col], self.fields[u][m + col]);
                         self.fields[u][col] = lo_val;
                         self.fields[b][(e + 1) * m + col] = hi_val;
                     }
@@ -157,7 +171,11 @@ impl BlockSolver {
             let old = f.clone();
             for r in 1..=e {
                 for c in 1..=e {
-                    let avg = 0.25 * (old[(r - 1) * m + c] + old[(r + 1) * m + c] + old[r * m + c - 1] + old[r * m + c + 1]);
+                    let avg = 0.25
+                        * (old[(r - 1) * m + c]
+                            + old[(r + 1) * m + c]
+                            + old[r * m + c - 1]
+                            + old[r * m + c + 1]);
                     let nv = 0.8 * avg + 0.2 * old[r * m + c];
                     max_delta = max_delta.max((nv - old[r * m + c]).abs());
                     f[r * m + c] = nv;
@@ -229,14 +247,17 @@ pub fn trace(cfg: CosaConfig, ranks: u32) -> Trace {
         cells_per_block * cfg.bytes_per_cell() * 4 / 3,
         cells_per_block * (cfg.instances() as u64) * 4 * F64B,
     );
-    let works: Vec<Work> = (0..ranks as usize).map(|r| per_block * part.blocks_of(r) as u64).collect();
+    let works: Vec<Work> = (0..ranks as usize)
+        .map(|r| per_block * part.blocks_of(r) as u64)
+        .collect();
 
     // Halo exchange: block faces crossing rank boundaries. Blocks are laid
     // out on a (gx, gy) grid and dealt contiguously to ranks.
     let nh = cfg.instances() as u64;
     let face_bytes = cfg.block_edge as u64 * nh * 4 * F64B;
     let (gx, gy) = cfg.block_grid;
-    let mut pair_bytes: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+    let mut pair_bytes: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
     for by in 0..gy {
         for bx in 0..gx {
             let b = by * gx + bx;
@@ -256,17 +277,29 @@ pub fn trace(cfg: CosaConfig, ranks: u32) -> Trace {
             }
         }
     }
-    let mut pairs: Vec<(u32, u32, u64)> = pair_bytes.into_iter().map(|((a, b), v)| (a, b, v)).collect();
+    let mut pairs: Vec<(u32, u32, u64)> = pair_bytes
+        .into_iter()
+        .map(|((a, b), v)| (a, b, v))
+        .collect();
     pairs.sort_unstable();
 
     let body = vec![
         Phase::Halo { pairs },
-        Phase::Compute { class: KernelClass::CfdFlux, work: WorkDist::PerRank(works) },
+        Phase::Compute {
+            class: KernelClass::CfdFlux,
+            work: WorkDist::PerRank(works),
+        },
         // Residual log (one global reduction per iteration).
         Phase::Allreduce { bytes: 8 },
     ];
 
-    Trace { ranks, prologue: Vec::new(), body, iterations: cfg.iterations, fom_flops: 0.0 }
+    Trace {
+        ranks,
+        prologue: Vec::new(),
+        body,
+        iterations: cfg.iterations,
+        fom_flops: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -320,7 +353,11 @@ mod tests {
     #[test]
     fn trace_imbalance_at_768_ranks() {
         let t = trace(CosaConfig::paper(), 768);
-        if let Phase::Compute { work: WorkDist::PerRank(v), .. } = &t.body[1] {
+        if let Phase::Compute {
+            work: WorkDist::PerRank(v),
+            ..
+        } = &t.body[1]
+        {
             let max = v.iter().map(|w| w.flops).max().unwrap();
             let min = v.iter().map(|w| w.flops).min().unwrap();
             assert_eq!(max, 2 * min, "32 ranks carry two blocks");
@@ -333,7 +370,11 @@ mod tests {
     #[test]
     fn trace_idle_ranks_at_1024() {
         let t = trace(CosaConfig::paper(), 1024);
-        if let Phase::Compute { work: WorkDist::PerRank(v), .. } = &t.body[1] {
+        if let Phase::Compute {
+            work: WorkDist::PerRank(v),
+            ..
+        } = &t.body[1]
+        {
             assert_eq!(v.iter().filter(|w| w.flops == 0).count(), 224);
         } else {
             panic!("expected per-rank compute phase");
@@ -358,7 +399,11 @@ mod tests {
     fn total_work_independent_of_rank_count() {
         let t96 = trace(CosaConfig::paper(), 96);
         let t768 = trace(CosaConfig::paper(), 768);
-        assert_eq!(t96.total_work().flops, t768.total_work().flops, "strong scaling conserves work");
+        assert_eq!(
+            t96.total_work().flops,
+            t768.total_work().flops,
+            "strong scaling conserves work"
+        );
     }
 
     #[test]

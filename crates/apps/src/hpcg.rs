@@ -15,9 +15,10 @@
 use crate::trace::{KernelClass, Phase, Trace, WorkDist};
 use densela::Work;
 use sparsela::cg::{cg_matfree, pcg_solve};
-use sparsela::coloring::{mc_symgs_sweep, Coloring};
+use sparsela::coloring::Coloring;
 use sparsela::ell::SellMatrix;
 use sparsela::mg::MgHierarchy;
+use sparsela::parallel::Team;
 use sparsela::partition::Partition3d;
 
 const F64B: u64 = 8;
@@ -38,12 +39,20 @@ impl HpcgConfig {
     /// The paper's configuration: 80³ local grid, 4 MG levels, 50-iteration
     /// CG sets.
     pub fn paper() -> Self {
-        HpcgConfig { local: (80, 80, 80), mg_levels: 4, iterations: 50 }
+        HpcgConfig {
+            local: (80, 80, 80),
+            mg_levels: 4,
+            iterations: 50,
+        }
     }
 
     /// A reduced configuration for tests and examples.
     pub fn test(n: usize) -> Self {
-        HpcgConfig { local: (n, n, n), mg_levels: 3, iterations: 25 }
+        HpcgConfig {
+            local: (n, n, n),
+            mg_levels: 3,
+            iterations: 25,
+        }
     }
 }
 
@@ -73,7 +82,9 @@ pub fn run_real(cfg: HpcgConfig) -> HpcgRealResult {
     let mut b = vec![0.0; n];
     let mut w = a.spmv(&ones, &mut b);
     let mut x = vec![0.0; n];
-    let res = pcg_solve(&a, &b, &mut x, cfg.iterations as usize, 1e-12, |r, z| mg.vcycle(r, z));
+    let res = pcg_solve(&a, &b, &mut x, cfg.iterations as usize, 1e-12, |r, z| {
+        mg.vcycle(r, z)
+    });
     w += res.work;
     HpcgRealResult {
         iterations: res.iterations,
@@ -89,24 +100,33 @@ pub fn run_real(cfg: HpcgConfig) -> HpcgRealResult {
 /// rewrites behind the vendor variants in the paper's Table III. Solves the
 /// same problem as [`run_real`]; the tests check both agree.
 pub fn run_real_optimised(cfg: HpcgConfig) -> HpcgRealResult {
+    run_real_optimised_threaded(cfg, 1)
+}
+
+/// The optimised kernel path on a `threads`-wide persistent kernel-pool
+/// [`Team`]: slice-parallel SELL-C-σ SpMV and colour-parallel multicolour
+/// SymGS, both bit-identical to their serial counterparts, so the result is
+/// exactly [`run_real_optimised`]'s for any thread count.
+pub fn run_real_optimised_threaded(cfg: HpcgConfig, threads: usize) -> HpcgRealResult {
     let (nx, ny, nz) = cfg.local;
     let a = sparsela::gen::stencil27(nx, ny, nz);
     let sell = SellMatrix::from_csr(&a, 8, 32);
     let coloring = Coloring::stencil8(nx, ny, nz);
+    let team = Team::new(threads);
     let n = a.rows();
     let ones = vec![1.0; n];
     let mut b = vec![0.0; n];
     let mut w = a.spmv(&ones, &mut b);
     let mut x = vec![0.0; n];
     let res = cg_matfree(
-        |p, out| sell.spmv(p, out),
+        |p, out| team.sell_spmv(&sell, p, out),
         &b,
         &mut x,
         cfg.iterations as usize,
         1e-12,
         Some(|r: &[f64], z: &mut [f64]| {
             z.fill(0.0);
-            mc_symgs_sweep(&a, &coloring, r, z)
+            team.mc_symgs_sweep(&a, &coloring, r, z)
         }),
     );
     w += res.work;
@@ -136,7 +156,11 @@ pub fn spmv_work_analytic(dims: (usize, usize, usize)) -> Work {
 pub fn symgs_work_analytic(dims: (usize, usize, usize)) -> Work {
     let nnz = stencil27_nnz(dims.0, dims.1, dims.2);
     let n = (dims.0 * dims.1 * dims.2) as u64;
-    Work::new(4 * nnz + 2 * n, 2 * (nnz * (F64B + IDXB) + 2 * n * F64B), 2 * n * F64B)
+    Work::new(
+        4 * nnz + 2 * n,
+        2 * (nnz * (F64B + IDXB) + 2 * n * F64B),
+        2 * n * F64B,
+    )
 }
 
 /// Per-rank memory footprint of the HPCG problem in bytes: all MG level
@@ -157,7 +181,11 @@ pub fn memory_bytes_per_rank(cfg: HpcgConfig) -> u64 {
 }
 
 fn level_dims(cfg: HpcgConfig, level: usize) -> (usize, usize, usize) {
-    (cfg.local.0 >> level, cfg.local.1 >> level, cfg.local.2 >> level)
+    (
+        cfg.local.0 >> level,
+        cfg.local.1 >> level,
+        cfg.local.2 >> level,
+    )
 }
 
 /// Halo pairs for one MG level: face exchange of one ghost layer over the
@@ -172,13 +200,25 @@ fn level_halo(part: &Partition3d, cfg: HpcgConfig, level: usize) -> Vec<(u32, u3
         let (cx, cy, cz) = part.coords_of(r);
         let (px, py, pz) = part.pgrid;
         if cx + 1 < px {
-            pairs.push((r as u32, part.rank_of((cx + 1, cy, cz)) as u32, (d.1 * d.2) as u64 * F64B));
+            pairs.push((
+                r as u32,
+                part.rank_of((cx + 1, cy, cz)) as u32,
+                (d.1 * d.2) as u64 * F64B,
+            ));
         }
         if cy + 1 < py {
-            pairs.push((r as u32, part.rank_of((cx, cy + 1, cz)) as u32, (d.0 * d.2) as u64 * F64B));
+            pairs.push((
+                r as u32,
+                part.rank_of((cx, cy + 1, cz)) as u32,
+                (d.0 * d.2) as u64 * F64B,
+            ));
         }
         if cz + 1 < pz {
-            pairs.push((r as u32, part.rank_of((cx, cy, cz + 1)) as u32, (d.0 * d.1) as u64 * F64B));
+            pairs.push((
+                r as u32,
+                part.rank_of((cx, cy, cz + 1)) as u32,
+                (d.0 * d.1) as u64 * F64B,
+            ));
         }
     }
     pairs
@@ -199,7 +239,9 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
         let halo = level_halo(&part, cfg, level);
         if level + 1 < cfg.mg_levels {
             // Pre-smooth + post-smooth + residual SpMV.
-            body.push(Phase::Halo { pairs: halo.clone() });
+            body.push(Phase::Halo {
+                pairs: halo.clone(),
+            });
             body.push(Phase::Compute {
                 class: KernelClass::SymGS,
                 work: WorkDist::Uniform(symgs_work_analytic(d) * 2),
@@ -237,7 +279,9 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
         work: WorkDist::Uniform(Work::new(3 * n_local, 2 * vec_bytes, vec_bytes)),
     });
     // SpMV(A, p) with halo
-    body.push(Phase::Halo { pairs: level_halo(&part, cfg, 0) });
+    body.push(Phase::Halo {
+        pairs: level_halo(&part, cfg, 0),
+    });
     body.push(Phase::Compute {
         class: KernelClass::SpMV,
         work: WorkDist::Uniform(spmv_work_analytic(cfg.local)),
@@ -261,8 +305,13 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
 
     // Prologue: b = A*ones, initial residual.
     let prologue = vec![
-        Phase::Halo { pairs: level_halo(&part, cfg, 0) },
-        Phase::Compute { class: KernelClass::SpMV, work: WorkDist::Uniform(spmv_work_analytic(cfg.local)) },
+        Phase::Halo {
+            pairs: level_halo(&part, cfg, 0),
+        },
+        Phase::Compute {
+            class: KernelClass::SpMV,
+            work: WorkDist::Uniform(spmv_work_analytic(cfg.local)),
+        },
         Phase::Compute {
             class: KernelClass::VectorOp,
             work: WorkDist::Uniform(Work::new(n_local, 2 * vec_bytes, vec_bytes)),
@@ -270,7 +319,13 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
         Phase::Allreduce { bytes: 8 },
     ];
 
-    let mut t = Trace { ranks, prologue, body, iterations: cfg.iterations, fom_flops: 0.0 };
+    let mut t = Trace {
+        ranks,
+        prologue,
+        body,
+        iterations: cfg.iterations,
+        fom_flops: 0.0,
+    };
     // HPCG's figure of merit counts the flops of the phases above.
     t.fom_flops = t.total_work().flops as f64;
     t
@@ -301,6 +356,21 @@ mod tests {
     }
 
     #[test]
+    fn threaded_optimised_path_is_bit_identical_to_serial() {
+        // Slice-parallel SELL SpMV and colour-parallel MC-SymGS both match
+        // their serial kernels bit-for-bit, so the whole solve must too.
+        let cfg = HpcgConfig::test(6);
+        let serial = run_real_optimised(cfg);
+        let threaded = run_real_optimised_threaded(cfg, 4);
+        assert_eq!(serial.iterations, threaded.iterations);
+        assert_eq!(
+            serial.rel_residual.to_bits(),
+            threaded.rel_residual.to_bits()
+        );
+        assert_eq!(serial.work, threaded.work);
+    }
+
+    #[test]
     fn nnz_formula_matches_generator() {
         for (nx, ny, nz) in [(3, 4, 5), (8, 8, 8), (5, 5, 5), (2, 2, 2)] {
             let a = stencil27(nx, ny, nz);
@@ -321,9 +391,17 @@ mod tests {
         // 48 ranks x 80^3 must fit in 32 GB (the paper chose 80^3 for this).
         let per_rank = memory_bytes_per_rank(HpcgConfig::paper());
         let node_total = 48 * per_rank;
-        assert!(node_total < 30 * (1u64 << 30), "total {} GiB", node_total >> 30);
+        assert!(
+            node_total < 30 * (1u64 << 30),
+            "total {} GiB",
+            node_total >> 30
+        );
         // ... while 128^3 would not fit.
-        let big = HpcgConfig { local: (128, 128, 128), mg_levels: 4, iterations: 50 };
+        let big = HpcgConfig {
+            local: (128, 128, 128),
+            mg_levels: 4,
+            iterations: 50,
+        };
         assert!(48 * memory_bytes_per_rank(big) > 32 * (1u64 << 30));
     }
 
@@ -333,7 +411,11 @@ mod tests {
         assert_eq!(t.ranks, 48);
         assert_eq!(t.iterations, 50);
         // 3 allreduces per CG iteration (2 dots + residual norm).
-        let allreduces = t.body.iter().filter(|p| matches!(p, Phase::Allreduce { .. })).count();
+        let allreduces = t
+            .body
+            .iter()
+            .filter(|p| matches!(p, Phase::Allreduce { .. }))
+            .count();
         assert_eq!(allreduces, 3);
         assert!(t.fom_flops > 0.0);
     }
@@ -371,6 +453,9 @@ mod tests {
         // HPCG: ~0.3 GFLOP per iteration per 80^3 rank... order of 1e8-1e9).
         let t = trace(HpcgConfig::paper(), 1);
         let per_iter = t.total_work().flops as f64 / f64::from(t.iterations);
-        assert!(per_iter > 1e8 && per_iter < 2e9, "per-iteration flops {per_iter}");
+        assert!(
+            per_iter > 1e8 && per_iter < 2e9,
+            "per-iteration flops {per_iter}"
+        );
     }
 }

@@ -92,9 +92,11 @@ pub fn run_real(n: usize, max_iter: usize, rtol: f64) -> CgResult {
 }
 
 /// Execute a real *hybrid* solve: one rank's share of the problem handled
-/// by a `threads`-wide crossbeam team — the shared-memory half of the
-/// paper's MPI+OpenMP configurations (Figure 1's 8×12 setup). Returns
-/// (iterations, relative residual).
+/// by a `threads`-wide persistent kernel-pool [`Team`] — the shared-memory
+/// half of the paper's MPI+OpenMP configurations (Figure 1's 8×12 setup).
+/// The team's threads are spawned once for the whole solve and every CG
+/// iteration runs fused pooled kernels. Returns (iterations, relative
+/// residual).
 pub fn run_real_hybrid(n: usize, threads: usize, max_iter: usize, rtol: f64) -> (usize, f64) {
     let a = structural3d(n, n, n);
     let b: Vec<f64> = (0..a.rows()).map(|i| ((i as f64) * 0.37).sin()).collect();
@@ -133,7 +135,10 @@ pub fn trace(cfg: MinikabConfig, ranks: u32) -> Trace {
     let body = vec![
         // Halo then SpMV.
         Phase::Halo { pairs },
-        Phase::Compute { class: KernelClass::SpMV, work: WorkDist::Uniform(spmv) },
+        Phase::Compute {
+            class: KernelClass::SpMV,
+            work: WorkDist::Uniform(spmv),
+        },
         // dot(p, Ap) + allreduce.
         Phase::Compute {
             class: KernelClass::Dot,
@@ -157,7 +162,13 @@ pub fn trace(cfg: MinikabConfig, ranks: u32) -> Trace {
         },
     ];
 
-    Trace { ranks, prologue: Vec::new(), body, iterations: cfg.iterations, fom_flops: 0.0 }
+    Trace {
+        ranks,
+        prologue: Vec::new(),
+        body,
+        iterations: cfg.iterations,
+        fom_flops: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +178,11 @@ mod tests {
     #[test]
     fn real_solve_converges_on_structural_matrix() {
         let res = run_real(4, 400, 1e-8);
-        assert!(res.converged, "CG on structural3d: {} iters", res.iterations);
+        assert!(
+            res.converged,
+            "CG on structural3d: {} iters",
+            res.iterations
+        );
     }
 
     #[test]
@@ -177,7 +192,11 @@ mod tests {
         assert!(rel <= 1e-8, "hybrid CG must converge: {rel}");
         // Same operator, same rhs: iteration counts agree to within
         // round-off-induced wobble.
-        assert!((iters as i64 - serial.iterations as i64).abs() <= 2, "{iters} vs {}", serial.iterations);
+        assert!(
+            (iters as i64 - serial.iterations as i64).abs() <= 2,
+            "{iters} vs {}",
+            serial.iterations
+        );
     }
 
     #[test]
@@ -193,12 +212,21 @@ mod tests {
         let cfg = MinikabConfig::paper();
         // Paper: on 2 A64FX nodes (32 GB each) the largest plain-MPI
         // configuration is 48 ranks; full population (96) does not fit.
-        assert!(fits_in_memory(cfg, 48, 2, 32.0), "48 ranks on 2 nodes must fit");
-        assert!(!fits_in_memory(cfg, 96, 2, 32.0), "96 ranks on 2 nodes must not fit");
+        assert!(
+            fits_in_memory(cfg, 48, 2, 32.0),
+            "48 ranks on 2 nodes must fit"
+        );
+        assert!(
+            !fits_in_memory(cfg, 96, 2, 32.0),
+            "96 ranks on 2 nodes must not fit"
+        );
         // The hybrid setup (8 ranks x 12 threads) fits comfortably.
         assert!(fits_in_memory(cfg, 8, 2, 32.0));
         // Single core on one A64FX node fits (Table V ran there).
-        assert!(fits_in_memory(cfg, 1, 1, 32.0), "single-core run must fit on one node");
+        assert!(
+            fits_in_memory(cfg, 1, 1, 32.0),
+            "single-core run must fit on one node"
+        );
         // Fulhame (256 GB nodes) can fully populate.
         assert!(fits_in_memory(cfg, 64, 1, 256.0));
         assert!(fits_in_memory(cfg, 384, 6, 256.0));
@@ -207,7 +235,11 @@ mod tests {
     #[test]
     fn trace_is_balanced_and_has_two_allreduces() {
         let t = trace(MinikabConfig::paper(), 48);
-        let allreduces = t.body.iter().filter(|p| matches!(p, Phase::Allreduce { .. })).count();
+        let allreduces = t
+            .body
+            .iter()
+            .filter(|p| matches!(p, Phase::Allreduce { .. }))
+            .count();
         assert_eq!(allreduces, 2, "CG has two reductions per iteration");
         assert_eq!(t.iterations, 1000);
         // Total flops ~ iterations * (2nnz + ~10n).
@@ -238,6 +270,9 @@ mod tests {
         let f1 = t1.total_work().flops;
         let f8 = t8.total_work().flops;
         let rel = (f1 as f64 - f8 as f64).abs() / f1 as f64;
-        assert!(rel < 0.01, "strong scaling conserves total work: {f1} vs {f8}");
+        assert!(
+            rel < 0.01,
+            "strong scaling conserves total work: {f1} vs {f8}"
+        );
     }
 }

@@ -37,12 +37,20 @@ pub struct NekboneConfig {
 impl NekboneConfig {
     /// The paper's largest-test-case configuration.
     pub fn paper() -> Self {
-        NekboneConfig { elements_per_rank: 200, poly: 16, iterations: 100 }
+        NekboneConfig {
+            elements_per_rank: 200,
+            poly: 16,
+            iterations: 100,
+        }
     }
 
     /// Reduced configuration for tests.
     pub fn test() -> Self {
-        NekboneConfig { elements_per_rank: 4, poly: 6, iterations: 80 }
+        NekboneConfig {
+            elements_per_rank: 4,
+            poly: 6,
+            iterations: 80,
+        }
     }
 
     /// Grid points per rank (elements × n³, local duplicated storage as in
@@ -68,7 +76,13 @@ impl ElementChain {
         assert!(elements >= 1 && n >= 2);
         let d = gll_derivative_matrix(n);
         let dt = d.transpose();
-        ElementChain { n, elements, d, dt, geo: vec![1.0; n * n * n] }
+        ElementChain {
+            n,
+            elements,
+            d,
+            dt,
+            geo: vec![1.0; n * n * n],
+        }
     }
 
     /// Assembled (global, shared-face) degrees of freedom.
@@ -185,7 +199,10 @@ pub fn trace(cfg: NekboneConfig, ranks: u32) -> Trace {
     let body = vec![
         // ax = A p (element contractions + neighbour exchange).
         Phase::Halo { pairs },
-        Phase::Compute { class: KernelClass::SmallGemm, work: WorkDist::Uniform(ax) },
+        Phase::Compute {
+            class: KernelClass::SmallGemm,
+            work: WorkDist::Uniform(ax),
+        },
         // Nekbone's glsc3 reductions: 2 dot products + residual norm.
         Phase::Compute {
             class: KernelClass::Dot,
@@ -201,7 +218,13 @@ pub fn trace(cfg: NekboneConfig, ranks: u32) -> Trace {
         },
     ];
 
-    let mut t = Trace { ranks, prologue: Vec::new(), body, iterations: cfg.iterations, fom_flops: 0.0 };
+    let mut t = Trace {
+        ranks,
+        prologue: Vec::new(),
+        body,
+        iterations: cfg.iterations,
+        fom_flops: 0.0,
+    };
     // Nekbone reports GFLOP/s over the CG work it counts.
     t.fom_flops = t.total_work().flops as f64;
     t
@@ -219,7 +242,9 @@ mod tests {
         let mk = |seed: u64| -> Vec<f64> {
             (0..ndof)
                 .map(|i| {
-                    let h = (i as u64).wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+                    let h = (i as u64)
+                        .wrapping_add(seed)
+                        .wrapping_mul(0x9E3779B97F4A7C15);
                     ((h >> 40) % 100) as f64 / 50.0 - 1.0
                 })
                 .collect()
@@ -238,7 +263,10 @@ mod tests {
         chain.mask(&mut vm);
         let uav: f64 = um.iter().zip(&av).map(|(a, b)| a * b).sum();
         let vau: f64 = vm.iter().zip(&au).map(|(a, b)| a * b).sum();
-        assert!((uav - vau).abs() < 1e-8 * (1.0 + uav.abs()), "{uav} vs {vau}");
+        assert!(
+            (uav - vau).abs() < 1e-8 * (1.0 + uav.abs()),
+            "{uav} vs {vau}"
+        );
     }
 
     #[test]
@@ -249,7 +277,9 @@ mod tests {
         for seed in 0..5u64 {
             let u: Vec<f64> = (0..ndof)
                 .map(|i| {
-                    let h = (i as u64).wrapping_add(seed).wrapping_mul(0xBF58476D1CE4E5B9);
+                    let h = (i as u64)
+                        .wrapping_add(seed)
+                        .wrapping_mul(0xBF58476D1CE4E5B9);
                     ((h >> 33) % 64) as f64 / 32.0 - 1.0
                 })
                 .collect();
@@ -276,7 +306,10 @@ mod tests {
         // The unpreconditioned spectral operator is ill-conditioned (~n^4),
         // so like the real Nekbone a fixed-iteration solve gains a couple of
         // orders, not machine precision.
-        assert!(last < &(0.1 * first), "CG must make progress: {first} -> {last}");
+        assert!(
+            last < &(0.1 * first),
+            "CG must make progress: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -285,12 +318,19 @@ mod tests {
         let total = t.total_work().flops;
         let mut ax = 0u64;
         for p in &t.body {
-            if let Phase::Compute { class: KernelClass::SmallGemm, work } = p {
+            if let Phase::Compute {
+                class: KernelClass::SmallGemm,
+                work,
+            } = p
+            {
                 ax += work.total(48).flops;
             }
         }
         let frac = (ax * u64::from(t.iterations)) as f64 / total as f64;
-        assert!(frac > 0.75, "paper: ax is >75% of runtime; flop share {frac}");
+        assert!(
+            frac > 0.75,
+            "paper: ax is >75% of runtime; flop share {frac}"
+        );
     }
 
     #[test]
@@ -305,7 +345,11 @@ mod tests {
         // 48 ranks x 200 elements x 16^3 x 100 iterations of ~12n^4 MACs per
         // element: ~8e11 flops for a node run.
         let t = trace(NekboneConfig::paper(), 48);
-        assert!(t.fom_flops > 3e11 && t.fom_flops < 1e14, "fom {}", t.fom_flops);
+        assert!(
+            t.fom_flops > 3e11 && t.fom_flops < 1e14,
+            "fom {}",
+            t.fom_flops
+        );
     }
 
     #[test]

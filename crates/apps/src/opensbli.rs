@@ -42,12 +42,22 @@ impl OpensbliConfig {
     /// (seconds over the whole run) correspond to a short fixed-step run;
     /// we use 100 steps.
     pub fn paper() -> Self {
-        OpensbliConfig { grid: 64, steps: 100, viscosity: 1.0 / 1600.0, dt: 1e-3 }
+        OpensbliConfig {
+            grid: 64,
+            steps: 100,
+            viscosity: 1.0 / 1600.0,
+            dt: 1e-3,
+        }
     }
 
     /// Reduced configuration for tests.
     pub fn test() -> Self {
-        OpensbliConfig { grid: 12, steps: 10, viscosity: 0.01, dt: 5e-4 }
+        OpensbliConfig {
+            grid: 12,
+            steps: 10,
+            viscosity: 0.01,
+            dt: 5e-4,
+        }
     }
 }
 
@@ -78,7 +88,8 @@ impl TgvSolver {
                     let u = xx.sin() * yy.cos() * zz.cos();
                     let v = -xx.cos() * yy.sin() * zz.cos();
                     let w = 0.0;
-                    let p = p0 + ((2.0 * xx).cos() + (2.0 * yy).cos()) * ((2.0 * zz).cos() + 2.0) / 16.0;
+                    let p = p0
+                        + ((2.0 * xx).cos() + (2.0 * yy).cos()) * ((2.0 * zz).cos() + 2.0) / 16.0;
                     let rho = 1.0;
                     fields[0][i] = rho;
                     fields[1][i] = rho * u;
@@ -88,7 +99,11 @@ impl TgvSolver {
                 }
             }
         }
-        TgvSolver { n, nu: cfg.viscosity, fields }
+        TgvSolver {
+            n,
+            nu: cfg.viscosity,
+            fields,
+        }
     }
 
     #[inline]
@@ -163,7 +178,9 @@ impl TgvSolver {
                             }
                             f[self.idx(self.wrap(xx), self.wrap(yy), self.wrap(zz))]
                         };
-                        acc -= eps * (sample(-2) - 4.0 * sample(-1) + 6.0 * sample(0) - 4.0 * sample(1) + sample(2));
+                        acc -= eps
+                            * (sample(-2) - 4.0 * sample(-1) + 6.0 * sample(0) - 4.0 * sample(1)
+                                + sample(2));
                     }
                     out[self.idx(x, y, z)] = acc;
                 }
@@ -190,6 +207,7 @@ impl TgvSolver {
         let mut rhs = vec![vec![0.0; n3]; NFIELDS];
         let mut flux = vec![0.0; n3];
         let mut dflux = vec![0.0; n3];
+        #[allow(clippy::needless_range_loop)] // `axis` also selects the derivative direction
         for axis in 0..3 {
             let va = &vel[axis];
             for f in 0..NFIELDS {
@@ -279,7 +297,8 @@ impl TgvSolver {
         (0..n3)
             .map(|i| {
                 let rho = self.fields[0][i];
-                (self.fields[1][i].powi(2) + self.fields[2][i].powi(2) + self.fields[3][i].powi(2)) / (2.0 * rho)
+                (self.fields[1][i].powi(2) + self.fields[2][i].powi(2) + self.fields[3][i].powi(2))
+                    / (2.0 * rho)
             })
             .sum()
     }
@@ -334,14 +353,27 @@ pub fn trace(cfg: OpensbliConfig, ranks: u32) -> Trace {
 
     let mut body = Vec::new();
     for _stage in 0..3 {
-        body.push(Phase::Halo { pairs: halo.clone() });
-        body.push(Phase::Compute { class: KernelClass::StencilFD, work: WorkDist::Uniform(per_stage) });
-        body.push(Phase::Overhead { us: STAGE_OVERHEAD_US });
+        body.push(Phase::Halo {
+            pairs: halo.clone(),
+        });
+        body.push(Phase::Compute {
+            class: KernelClass::StencilFD,
+            work: WorkDist::Uniform(per_stage),
+        });
+        body.push(Phase::Overhead {
+            us: STAGE_OVERHEAD_US,
+        });
     }
     // One reduction per step (CFL / diagnostics).
     body.push(Phase::Allreduce { bytes: 8 });
 
-    Trace { ranks, prologue: Vec::new(), body, iterations: cfg.steps, fom_flops: 0.0 }
+    Trace {
+        ranks,
+        prologue: Vec::new(),
+        body,
+        iterations: cfg.steps,
+        fom_flops: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -358,7 +390,11 @@ mod tests {
             s.step(cfg.dt);
         }
         let m1 = s.total_mass();
-        assert!(((m1 - m0) / m0).abs() < 1e-10, "mass drift {}", (m1 - m0) / m0);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-10,
+            "mass drift {}",
+            (m1 - m0) / m0
+        );
         // TGV total momentum is zero by symmetry and stays there.
         assert!(px0.abs() < 1e-9);
         assert!(s.total_momentum_x().abs() < 1e-8);
@@ -371,14 +407,23 @@ mod tests {
         for _ in 0..cfg.steps {
             s.step(cfg.dt);
         }
-        assert!(s.min_density() > 0.5, "density must stay near 1: {}", s.min_density());
+        assert!(
+            s.min_density() > 0.5,
+            "density must stay near 1: {}",
+            s.min_density()
+        );
         assert!(s.kinetic_energy().is_finite());
     }
 
     #[test]
     fn kinetic_energy_decays_viscously() {
         // With viscosity and no forcing, TGV kinetic energy must decrease.
-        let cfg = OpensbliConfig { grid: 12, steps: 40, viscosity: 0.05, dt: 5e-4 };
+        let cfg = OpensbliConfig {
+            grid: 12,
+            steps: 40,
+            viscosity: 0.05,
+            dt: 5e-4,
+        };
         let (ke0, ke1, drift) = run_real(cfg);
         assert!(ke1 < ke0, "KE must decay: {ke0} -> {ke1}");
         assert!(ke1 > 0.5 * ke0, "but only slowly at these parameters");
@@ -411,7 +456,15 @@ mod tests {
         let stencil_phases = t
             .body
             .iter()
-            .filter(|p| matches!(p, Phase::Compute { class: KernelClass::StencilFD, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Phase::Compute {
+                        class: KernelClass::StencilFD,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(stencil_phases, 3, "SSP-RK3 has three stages");
         assert_eq!(t.body_collectives(), 1);

@@ -194,7 +194,10 @@ impl Trace {
             .filter(|p| {
                 matches!(
                     p,
-                    Phase::Allreduce { .. } | Phase::Alltoall { .. } | Phase::Allgather { .. } | Phase::Barrier
+                    Phase::Allreduce { .. }
+                        | Phase::Alltoall { .. }
+                        | Phase::Allgather { .. }
+                        | Phase::Barrier
                 )
             })
             .count()
@@ -224,9 +227,14 @@ mod tests {
                 work: WorkDist::Uniform(Work::new(100, 0, 0)),
             }],
             body: vec![
-                Phase::Compute { class: KernelClass::SpMV, work: WorkDist::Uniform(Work::new(10, 0, 0)) },
+                Phase::Compute {
+                    class: KernelClass::SpMV,
+                    work: WorkDist::Uniform(Work::new(10, 0, 0)),
+                },
                 Phase::Allreduce { bytes: 8 },
-                Phase::Halo { pairs: vec![(0, 1, 50)] },
+                Phase::Halo {
+                    pairs: vec![(0, 1, 50)],
+                },
             ],
             iterations: 5,
             fom_flops: 0.0,
@@ -239,7 +247,8 @@ mod tests {
     #[test]
     fn kernel_classes_enumerate() {
         assert_eq!(KernelClass::all().len(), 9);
-        let names: std::collections::HashSet<_> = KernelClass::all().iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> =
+            KernelClass::all().iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 9, "names must be unique");
     }
 

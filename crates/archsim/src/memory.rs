@@ -82,7 +82,10 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Build a memory system of `n` identical domains.
     pub fn uniform(domain: MemoryDomain, n: usize, caches: Vec<CacheLevel>) -> Self {
-        MemorySystem { domains: vec![domain; n], caches }
+        MemorySystem {
+            domains: vec![domain; n],
+            caches,
+        }
     }
 
     /// Total node capacity in GiB.
@@ -122,7 +125,12 @@ impl MemorySystem {
     ///
     /// `saturation_cores` is the number of cores needed to reach the domain's
     /// sustained bandwidth — about 4 for DDR sockets and 8–10 for an HBM CMG.
-    pub fn domain_bw_for_cores(&self, domain: usize, cores_used: u32, saturation_cores: u32) -> f64 {
+    pub fn domain_bw_for_cores(
+        &self,
+        domain: usize,
+        cores_used: u32,
+        saturation_cores: u32,
+    ) -> f64 {
         let d = &self.domains[domain.min(self.domains.len() - 1)];
         let frac = f64::from(cores_used.min(saturation_cores)) / f64::from(saturation_cores.max(1));
         d.sustained_bw_gbs * frac.min(1.0)
@@ -144,7 +152,8 @@ impl MemorySystem {
             .iter()
             .max_by_key(|c| c.level)
             .map(|c| {
-                let instances = (f64::from(self.total_cores()) / f64::from(c.shared_by_cores)).ceil() as u64;
+                let instances =
+                    (f64::from(self.total_cores()) / f64::from(c.shared_by_cores)).ceil() as u64;
                 c.capacity_kib * 1024 * instances
             })
             .unwrap_or(0)
@@ -167,8 +176,18 @@ mod tests {
             },
             4,
             vec![
-                CacheLevel { level: 1, capacity_kib: 64, line_bytes: 256, shared_by_cores: 1 },
-                CacheLevel { level: 2, capacity_kib: 8 * 1024, line_bytes: 256, shared_by_cores: 12 },
+                CacheLevel {
+                    level: 1,
+                    capacity_kib: 64,
+                    line_bytes: 256,
+                    shared_by_cores: 1,
+                },
+                CacheLevel {
+                    level: 2,
+                    capacity_kib: 8 * 1024,
+                    line_bytes: 256,
+                    shared_by_cores: 12,
+                },
             ],
         )
     }

@@ -86,7 +86,10 @@ mod tests {
         ];
         for (id, want) in cases {
             let got = system(id).node.peak_dp_gflops();
-            assert!((got - want).abs() / want < 5e-3, "{id:?}: got {got}, want {want}");
+            assert!(
+                (got - want).abs() / want < 5e-3,
+                "{id:?}: got {got}, want {want}"
+            );
         }
     }
 
@@ -105,7 +108,12 @@ mod tests {
         // The paper's central observation: HBM2 gives the A64FX by far the
         // best bandwidth, which is why memory-bound codes win there.
         let a64fx = system(SystemId::A64fx).node.balance_bytes_per_flop();
-        for id in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+        for id in [
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ] {
             let other = system(id).node;
             assert!(
                 system(SystemId::A64fx).node.sustained_bw_gbs() > 2.0 * other.sustained_bw_gbs(),

@@ -42,7 +42,10 @@ impl RooflinePoint {
 impl Roofline {
     /// Construct a roofline envelope.
     pub fn new(gflops: f64, bw_gbs: f64) -> Self {
-        assert!(gflops > 0.0 && bw_gbs > 0.0, "roofline ceilings must be positive");
+        assert!(
+            gflops > 0.0 && bw_gbs > 0.0,
+            "roofline ceilings must be positive"
+        );
         Roofline { gflops, bw_gbs }
     }
 
@@ -90,7 +93,10 @@ mod tests {
     #[test]
     fn memory_bound_kernel_time_set_by_bandwidth() {
         let r = Roofline::new(1000.0, 100.0); // ridge at 10 flops/byte
-        let p = RooflinePoint { flops: 1e9, bytes: 4e9 }; // AI = 0.25
+        let p = RooflinePoint {
+            flops: 1e9,
+            bytes: 4e9,
+        }; // AI = 0.25
         assert!(r.memory_bound(p));
         assert!((r.time_s(p) - 4e9 / 100e9).abs() < 1e-12);
         // Achieved flops = AI * BW = 0.25 * 100 = 25 GFLOP/s.
@@ -100,7 +106,10 @@ mod tests {
     #[test]
     fn compute_bound_kernel_time_set_by_flops() {
         let r = Roofline::new(1000.0, 100.0);
-        let p = RooflinePoint { flops: 100e9, bytes: 1e9 }; // AI = 100
+        let p = RooflinePoint {
+            flops: 100e9,
+            bytes: 1e9,
+        }; // AI = 100
         assert!(!r.memory_bound(p));
         assert!((r.time_s(p) - 0.1).abs() < 1e-12);
         assert!((r.achieved_gflops(p) - 1000.0).abs() < 1e-9);
@@ -115,7 +124,10 @@ mod tests {
     #[test]
     fn zero_byte_kernel_is_compute_bound() {
         let r = Roofline::new(10.0, 10.0);
-        let p = RooflinePoint { flops: 1e9, bytes: 0.0 };
+        let p = RooflinePoint {
+            flops: 1e9,
+            bytes: 0.0,
+        };
         assert_eq!(p.arithmetic_intensity(), f64::INFINITY);
         assert!(!r.memory_bound(p));
     }

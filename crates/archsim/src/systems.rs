@@ -39,7 +39,13 @@ pub enum SystemId {
 impl SystemId {
     /// All five systems in the paper's presentation order.
     pub fn all() -> [SystemId; 5] {
-        [SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame]
+        [
+            SystemId::A64fx,
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ]
     }
 
     /// Display name as used in the paper's tables.
@@ -123,14 +129,28 @@ fn a64fx() -> SystemSpec {
         },
         4,
         vec![
-            CacheLevel { level: 1, capacity_kib: 64, line_bytes: 256, shared_by_cores: 1 },
-            CacheLevel { level: 2, capacity_kib: 8 * 1024, line_bytes: 256, shared_by_cores: 12 },
+            CacheLevel {
+                level: 1,
+                capacity_kib: 64,
+                line_bytes: 256,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_kib: 8 * 1024,
+                line_bytes: 256,
+                shared_by_cores: 12,
+            },
         ],
     );
     SystemSpec {
         id: SystemId::A64fx,
         name: "A64FX".into(),
-        node: Node { sockets: 1, processor: proc, memory },
+        node: Node {
+            sockets: 1,
+            processor: proc,
+            memory,
+        },
         interconnect: InterconnectKind::TofuD,
         total_nodes: 48,
         bw_saturation_cores: 9,
@@ -159,15 +179,34 @@ fn archer() -> SystemSpec {
         },
         2,
         vec![
-            CacheLevel { level: 1, capacity_kib: 32, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 2, capacity_kib: 256, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 3, capacity_kib: 30 * 1024, line_bytes: 64, shared_by_cores: 12 },
+            CacheLevel {
+                level: 1,
+                capacity_kib: 32,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_kib: 256,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 3,
+                capacity_kib: 30 * 1024,
+                line_bytes: 64,
+                shared_by_cores: 12,
+            },
         ],
     );
     SystemSpec {
         id: SystemId::Archer,
         name: "ARCHER".into(),
-        node: Node { sockets: 2, processor: proc, memory },
+        node: Node {
+            sockets: 2,
+            processor: proc,
+            memory,
+        },
         interconnect: InterconnectKind::Aries,
         total_nodes: 4920,
         bw_saturation_cores: 5,
@@ -196,15 +235,34 @@ fn cirrus() -> SystemSpec {
         },
         2,
         vec![
-            CacheLevel { level: 1, capacity_kib: 32, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 2, capacity_kib: 256, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 3, capacity_kib: 45 * 1024, line_bytes: 64, shared_by_cores: 18 },
+            CacheLevel {
+                level: 1,
+                capacity_kib: 32,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_kib: 256,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 3,
+                capacity_kib: 45 * 1024,
+                line_bytes: 64,
+                shared_by_cores: 18,
+            },
         ],
     );
     SystemSpec {
         id: SystemId::Cirrus,
         name: "Cirrus".into(),
-        node: Node { sockets: 2, processor: proc, memory },
+        node: Node {
+            sockets: 2,
+            processor: proc,
+            memory,
+        },
         interconnect: InterconnectKind::FdrInfiniband,
         total_nodes: 280,
         bw_saturation_cores: 6,
@@ -236,15 +294,34 @@ fn ngio() -> SystemSpec {
         },
         2,
         vec![
-            CacheLevel { level: 1, capacity_kib: 32, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 2, capacity_kib: 1024, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 3, capacity_kib: 36 * 1024, line_bytes: 64, shared_by_cores: 24 },
+            CacheLevel {
+                level: 1,
+                capacity_kib: 32,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_kib: 1024,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 3,
+                capacity_kib: 36 * 1024,
+                line_bytes: 64,
+                shared_by_cores: 24,
+            },
         ],
     );
     SystemSpec {
         id: SystemId::Ngio,
         name: "EPCC NGIO".into(),
-        node: Node { sockets: 2, processor: proc, memory },
+        node: Node {
+            sockets: 2,
+            processor: proc,
+            memory,
+        },
         interconnect: InterconnectKind::OmniPath,
         total_nodes: 64,
         bw_saturation_cores: 10,
@@ -273,15 +350,34 @@ fn fulhame() -> SystemSpec {
         },
         2,
         vec![
-            CacheLevel { level: 1, capacity_kib: 32, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 2, capacity_kib: 256, line_bytes: 64, shared_by_cores: 1 },
-            CacheLevel { level: 3, capacity_kib: 32 * 1024, line_bytes: 64, shared_by_cores: 32 },
+            CacheLevel {
+                level: 1,
+                capacity_kib: 32,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_kib: 256,
+                line_bytes: 64,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                level: 3,
+                capacity_kib: 32 * 1024,
+                line_bytes: 64,
+                shared_by_cores: 32,
+            },
         ],
     );
     SystemSpec {
         id: SystemId::Fulhame,
         name: "Fulhame".into(),
-        node: Node { sockets: 2, processor: proc, memory },
+        node: Node {
+            sockets: 2,
+            processor: proc,
+            memory,
+        },
         interconnect: InterconnectKind::EdrInfiniband,
         total_nodes: 64,
         // The ThunderX2's single-core memory bandwidth is weak (~7 GB/s of
@@ -300,7 +396,9 @@ fn fulhame() -> SystemSpec {
 pub fn paper_toolchain(sys: SystemId, app: &str) -> Option<Toolchain> {
     use SystemId::*;
     use ToolchainFamily::*;
-    let t = |fam, ver: &str, flags: &str, libs: &str| Some(Toolchain::for_family(fam, ver, flags, libs));
+    let t = |fam, ver: &str, flags: &str, libs: &str| {
+        Some(Toolchain::for_family(fam, ver, flags, libs))
+    };
     match (sys, app) {
         (A64fx, "hpcg") => t(Fujitsu, "Fujitsu 1.2.24", "-Nnoclang -O3 -Kfast", "Fujitsu MPI"),
         (Archer, "hpcg") => t(Intel, "Intel 17", "-O3", "Cray MPI"),
@@ -369,11 +467,26 @@ mod tests {
 
     #[test]
     fn paper_interconnects() {
-        assert_eq!(system(SystemId::A64fx).interconnect, InterconnectKind::TofuD);
-        assert_eq!(system(SystemId::Archer).interconnect, InterconnectKind::Aries);
-        assert_eq!(system(SystemId::Cirrus).interconnect, InterconnectKind::FdrInfiniband);
-        assert_eq!(system(SystemId::Ngio).interconnect, InterconnectKind::OmniPath);
-        assert_eq!(system(SystemId::Fulhame).interconnect, InterconnectKind::EdrInfiniband);
+        assert_eq!(
+            system(SystemId::A64fx).interconnect,
+            InterconnectKind::TofuD
+        );
+        assert_eq!(
+            system(SystemId::Archer).interconnect,
+            InterconnectKind::Aries
+        );
+        assert_eq!(
+            system(SystemId::Cirrus).interconnect,
+            InterconnectKind::FdrInfiniband
+        );
+        assert_eq!(
+            system(SystemId::Ngio).interconnect,
+            InterconnectKind::OmniPath
+        );
+        assert_eq!(
+            system(SystemId::Fulhame).interconnect,
+            InterconnectKind::EdrInfiniband
+        );
     }
 
     #[test]
@@ -395,16 +508,66 @@ mod tests {
     fn toolchains_cover_paper_table2() {
         // Every (system, app) pair the paper benchmarked has a toolchain.
         let runs = [
-            ("hpcg", vec![SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame]),
-            ("minikab", vec![SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame]),
-            ("nekbone", vec![SystemId::A64fx, SystemId::Archer, SystemId::Ngio, SystemId::Fulhame]),
-            ("castep", vec![SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame]),
-            ("cosa", vec![SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame]),
-            ("opensbli", vec![SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame]),
+            (
+                "hpcg",
+                vec![
+                    SystemId::A64fx,
+                    SystemId::Archer,
+                    SystemId::Cirrus,
+                    SystemId::Ngio,
+                    SystemId::Fulhame,
+                ],
+            ),
+            (
+                "minikab",
+                vec![SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame],
+            ),
+            (
+                "nekbone",
+                vec![
+                    SystemId::A64fx,
+                    SystemId::Archer,
+                    SystemId::Ngio,
+                    SystemId::Fulhame,
+                ],
+            ),
+            (
+                "castep",
+                vec![
+                    SystemId::A64fx,
+                    SystemId::Archer,
+                    SystemId::Cirrus,
+                    SystemId::Ngio,
+                    SystemId::Fulhame,
+                ],
+            ),
+            (
+                "cosa",
+                vec![
+                    SystemId::A64fx,
+                    SystemId::Archer,
+                    SystemId::Cirrus,
+                    SystemId::Ngio,
+                    SystemId::Fulhame,
+                ],
+            ),
+            (
+                "opensbli",
+                vec![
+                    SystemId::A64fx,
+                    SystemId::Archer,
+                    SystemId::Cirrus,
+                    SystemId::Ngio,
+                    SystemId::Fulhame,
+                ],
+            ),
         ];
         for (app, systems) in runs {
             for sys in systems {
-                assert!(paper_toolchain(sys, app).is_some(), "missing toolchain for {sys:?}/{app}");
+                assert!(
+                    paper_toolchain(sys, app).is_some(),
+                    "missing toolchain for {sys:?}/{app}"
+                );
             }
         }
         assert!(paper_toolchain(SystemId::Archer, "minikab").is_none());
@@ -412,7 +575,11 @@ mod tests {
 
     #[test]
     fn a64fx_toolchains_use_fastmath_where_paper_did() {
-        assert!(paper_toolchain(SystemId::A64fx, "nekbone").unwrap().fastmath);
+        assert!(
+            paper_toolchain(SystemId::A64fx, "nekbone")
+                .unwrap()
+                .fastmath
+        );
         assert!(paper_toolchain(SystemId::A64fx, "hpcg").unwrap().fastmath);
         assert!(!paper_toolchain(SystemId::A64fx, "castep").unwrap().fastmath);
         assert!(!paper_toolchain(SystemId::Ngio, "nekbone").unwrap().fastmath);

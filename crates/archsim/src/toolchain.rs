@@ -78,8 +78,15 @@ pub struct Toolchain {
 impl Toolchain {
     /// Construct the default toolchain used for compute kernels on a given
     /// family, with the paper's flags attached.
-    pub fn for_family(family: ToolchainFamily, version: &str, flags: &str, libraries: &str) -> Self {
-        let fastmath = flags.contains("-Kfast") || flags.contains("-ffast-math") || flags.contains("fp-contract=fast");
+    pub fn for_family(
+        family: ToolchainFamily,
+        version: &str,
+        flags: &str,
+        libraries: &str,
+    ) -> Self {
+        let fastmath = flags.contains("-Kfast")
+            || flags.contains("-ffast-math")
+            || flags.contains("fp-contract=fast");
         let effect = match family {
             // The Fujitsu compiler with -Kfast unlocks software pipelining and
             // SVE FMA contraction; without it SVE utilisation is mediocre.
@@ -143,7 +150,12 @@ mod tests {
 
     #[test]
     fn fastmath_detected_from_flags() {
-        let t = Toolchain::for_family(ToolchainFamily::Fujitsu, "1.2.24", "-O3 -Kfast", "Fujitsu MPI");
+        let t = Toolchain::for_family(
+            ToolchainFamily::Fujitsu,
+            "1.2.24",
+            "-O3 -Kfast",
+            "Fujitsu MPI",
+        );
         assert!(t.fastmath);
         assert!(t.flop_multiplier() > 1.5);
         let t2 = Toolchain::for_family(ToolchainFamily::Intel, "19", "-O3", "Intel MPI");

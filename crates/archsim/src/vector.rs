@@ -28,30 +28,60 @@ impl VectorUnit {
     /// 512-bit SVE as implemented by the A64FX: two FMA pipes, no
     /// downclocking. 32 DP flops/cycle/core.
     pub fn sve_512(clock_ghz: f64) -> Self {
-        VectorUnit { width_bits: 512, pipes: 2, fma: true, sve: true, vector_clock_ghz: clock_ghz }
+        VectorUnit {
+            width_bits: 512,
+            pipes: 2,
+            fma: true,
+            sve: true,
+            vector_clock_ghz: clock_ghz,
+        }
     }
 
     /// 256-bit AVX without FMA (Ivy Bridge): separate multiply and add pipes
     /// give 8 DP flops/cycle/core.
     pub fn avx_256_no_fma(clock_ghz: f64) -> Self {
-        VectorUnit { width_bits: 256, pipes: 2, fma: false, sve: false, vector_clock_ghz: clock_ghz }
+        VectorUnit {
+            width_bits: 256,
+            pipes: 2,
+            fma: false,
+            sve: false,
+            vector_clock_ghz: clock_ghz,
+        }
     }
 
     /// 256-bit AVX2 with FMA (Broadwell): two FMA pipes, 16 DP
     /// flops/cycle/core.
     pub fn avx2_256(clock_ghz: f64) -> Self {
-        VectorUnit { width_bits: 256, pipes: 2, fma: true, sve: false, vector_clock_ghz: clock_ghz }
+        VectorUnit {
+            width_bits: 256,
+            pipes: 2,
+            fma: true,
+            sve: false,
+            vector_clock_ghz: clock_ghz,
+        }
     }
 
     /// 512-bit AVX-512 with two FMA units (Cascade Lake), running at the
     /// (lower) AVX-512 turbo clock. 32 DP flops/cycle/core at `avx_clock`.
     pub fn avx512(avx_clock_ghz: f64) -> Self {
-        VectorUnit { width_bits: 512, pipes: 2, fma: true, sve: false, vector_clock_ghz: avx_clock_ghz }
+        VectorUnit {
+            width_bits: 512,
+            pipes: 2,
+            fma: true,
+            sve: false,
+            vector_clock_ghz: avx_clock_ghz,
+        }
     }
 
     /// 128-bit NEON with two FMA pipes (ThunderX2): 8 DP flops/cycle/core.
     pub fn neon_128(clock_ghz: f64) -> Self {
-        VectorUnit { width_bits: 128, pipes: 2, fma: true, sve: false, vector_clock_ghz: clock_ghz }
+        VectorUnit {
+            width_bits: 128,
+            pipes: 2,
+            fma: true,
+            sve: false,
+            vector_clock_ghz: clock_ghz,
+        }
     }
 
     /// Number of double-precision (64-bit) lanes per vector register.

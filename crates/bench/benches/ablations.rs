@@ -11,11 +11,21 @@ fn bench_ablations(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
-    g.bench_function("a1_bandwidth_sweep", |b| b.iter(|| black_box(ablations::bandwidth_sweep())));
-    g.bench_function("a2_topology_swap", |b| b.iter(|| black_box(ablations::topology_swap())));
-    g.bench_function("a3_cosa_block_sweep", |b| b.iter(|| black_box(ablations::cosa_block_sweep())));
-    g.bench_function("a4_placement_policy", |b| b.iter(|| black_box(ablations::placement_policy())));
-    g.bench_function("a5_fastmath_sweep", |b| b.iter(|| black_box(ablations::fastmath_sweep())));
+    g.bench_function("a1_bandwidth_sweep", |b| {
+        b.iter(|| black_box(ablations::bandwidth_sweep()))
+    });
+    g.bench_function("a2_topology_swap", |b| {
+        b.iter(|| black_box(ablations::topology_swap()))
+    });
+    g.bench_function("a3_cosa_block_sweep", |b| {
+        b.iter(|| black_box(ablations::cosa_block_sweep()))
+    });
+    g.bench_function("a4_placement_policy", |b| {
+        b.iter(|| black_box(ablations::placement_policy()))
+    });
+    g.bench_function("a5_fastmath_sweep", |b| {
+        b.iter(|| black_box(ablations::fastmath_sweep()))
+    });
     g.finish();
 }
 

@@ -13,7 +13,7 @@ use sparsela::coloring::{mc_symgs_sweep, Coloring};
 use sparsela::ell::SellMatrix;
 use sparsela::gen::{stencil27, structural3d};
 use sparsela::mg::MgHierarchy;
-use sparsela::parallel::Team;
+use sparsela::parallel::{SpawnTeam, Team};
 use sparsela::symgs::symgs_sweep;
 use std::hint::black_box;
 
@@ -47,11 +47,25 @@ fn bench_sparse(c: &mut Criterion) {
         b.iter(|| black_box(mc_symgs_sweep(&a, &coloring, &bvec, &mut xc)))
     });
 
-    // The hybrid-rank thread team (crossbeam) on the same SpMV.
+    // The hybrid-rank thread team on the same SpMV: the persistent kernel
+    // pool (threads spawned once) against the old spawn-per-call scheme.
     let team = Team::new(4);
+    let spawn_team = SpawnTeam::new(4);
     let mut yt = vec![0.0; a.rows()];
-    g.bench_function("spmv_team4_32cubed", |b| {
+    g.bench_function("spmv_pool4_32cubed", |b| {
         b.iter(|| black_box(team.spmv(&a, &x, &mut yt)))
+    });
+    g.bench_function("spmv_spawn4_32cubed", |b| {
+        b.iter(|| black_box(spawn_team.spmv(&a, &x, &mut yt)))
+    });
+    // The pooled optimised-HPCG kernels.
+    let mut ysell = vec![0.0; a.rows()];
+    g.bench_function("spmv_sell8_pool4_32cubed", |b| {
+        b.iter(|| black_box(team.sell_spmv(&sell, &x, &mut ysell)))
+    });
+    let mut xmc = vec![0.0; a.rows()];
+    g.bench_function("mc_symgs_pool4_32cubed", |b| {
+        b.iter(|| black_box(team.mc_symgs_sweep(&a, &coloring, &bvec, &mut xmc)))
     });
 
     let s = structural3d(8, 8, 8);
@@ -79,6 +93,26 @@ fn bench_sparse(c: &mut Criterion) {
             black_box(cg_solve(&a, &rhs, &mut x0, 25, 1e-9))
         })
     });
+    // Serial vs spawn-per-call vs persistent-pool CG: the spawn overhead a
+    // pooled solve amortises is 4 spawn/join cycles per iteration.
+    g.bench_function("cg_pool4_16cubed", |b| {
+        let a = stencil27(16, 16, 16);
+        let rhs = vec![1.0; a.rows()];
+        let team = Team::new(4);
+        b.iter(|| {
+            let mut x0 = vec![0.0; a.rows()];
+            black_box(team.cg_solve(&a, &rhs, &mut x0, 25, 1e-9))
+        })
+    });
+    g.bench_function("cg_spawn4_16cubed", |b| {
+        let a = stencil27(16, 16, 16);
+        let rhs = vec![1.0; a.rows()];
+        let team = SpawnTeam::new(4);
+        b.iter(|| {
+            let mut x0 = vec![0.0; a.rows()];
+            black_box(team.cg_solve(&a, &rhs, &mut x0, 25, 1e-9))
+        })
+    });
     g.finish();
 }
 
@@ -103,7 +137,9 @@ fn bench_dense(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(16_000_000));
     g.bench_function("dot_1m", |b| b.iter(|| black_box(vecops::dot(&x, &yv))));
     let mut acc = yv.clone();
-    g.bench_function("axpy_1m", |b| b.iter(|| black_box(vecops::axpy(1.0001, &x, &mut acc))));
+    g.bench_function("axpy_1m", |b| {
+        b.iter(|| black_box(vecops::axpy(1.0001, &x, &mut acc)))
+    });
     g.finish();
 }
 
@@ -111,8 +147,9 @@ fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft");
     g.sample_size(10);
     for n in [16usize, 32] {
-        let mut data: Vec<Complex64> =
-            (0..n * n * n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        let mut data: Vec<Complex64> = (0..n * n * n)
+            .map(|i| Complex64::new((i as f64).sin(), 0.0))
+            .collect();
         g.bench_function(format!("fft3_{n}cubed"), |b| {
             b.iter(|| black_box(fft3_inplace(n, &mut data)))
         });
@@ -123,9 +160,16 @@ fn bench_fft(c: &mut Criterion) {
 fn bench_cfd(c: &mut Criterion) {
     let mut g = c.benchmark_group("cfd");
     g.sample_size(10);
-    let cfg = OpensbliConfig { grid: 16, steps: 1, viscosity: 0.01, dt: 1e-4 };
+    let cfg = OpensbliConfig {
+        grid: 16,
+        steps: 1,
+        viscosity: 0.01,
+        dt: 1e-4,
+    };
     let mut solver = TgvSolver::new(cfg);
-    g.bench_function("tgv_rk3_step_16cubed", |b| b.iter(|| solver.step(black_box(1e-4))));
+    g.bench_function("tgv_rk3_step_16cubed", |b| {
+        b.iter(|| solver.step(black_box(1e-4)))
+    });
     g.finish();
 }
 

@@ -59,7 +59,9 @@ fn bench_tables(c: &mut Criterion) {
     });
 
     // T8 — COSA processes-per-node table.
-    g.bench_function("t8_cosa_procs_table", |b| b.iter(|| black_box(cosa::table8())));
+    g.bench_function("t8_cosa_procs_table", |b| {
+        b.iter(|| black_box(cosa::table8()))
+    });
 
     // F4 — COSA strong scaling (the 16-node crossover cells).
     g.bench_function("f4_cosa_16node_a64fx", |b| {

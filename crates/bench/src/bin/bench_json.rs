@@ -1,0 +1,184 @@
+//! `bench_json` — machine-readable kernel timings, no criterion.
+//!
+//! Times the shared-memory kernel runtime three ways — serial, the old
+//! spawn-a-thread-scope-per-call team, and the persistent kernel pool — on
+//! the paper-shaped kernels (CSR SpMV, SELL-C-σ SpMV, multicolour SymGS,
+//! dot, AXPY, and a full CG solve on the 48³ 27-point stencil), and writes
+//! the results as JSON to `BENCH_kernels.json` (or the path given as the
+//! first argument).
+//!
+//! Each timing is the best of a few repetitions of `std::time::Instant`
+//! around the kernel. The file records `available_parallelism` so readers
+//! can judge the numbers: on a single-core host the pooled kernels cannot
+//! beat serial — what the pool still demonstrates there is the amortised
+//! spawn overhead against the spawn-per-call team.
+
+use sparsela::coloring::Coloring;
+use sparsela::ell::SellMatrix;
+use sparsela::gen::stencil27;
+use sparsela::parallel::{SpawnTeam, Team};
+use std::hint::black_box;
+use std::time::Instant;
+
+const GRID: (usize, usize, usize) = (48, 48, 48);
+const THREADS: usize = 4;
+const CG_ITERS: usize = 30;
+const VEC_REPS: u32 = 5;
+const CG_REPS: u32 = 3;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time<O>(reps: u32, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Row {
+    name: &'static str,
+    serial_s: f64,
+    spawn_s: f64,
+    pooled_s: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.6e}, \"spawn_s\": {:.6e}, \"pooled_s\": {:.6e}, \"pooled_vs_serial\": {:.3}, \"pooled_vs_spawn\": {:.3}}}",
+            self.name,
+            self.serial_s,
+            self.spawn_s,
+            self.pooled_s,
+            self.serial_s / self.pooled_s,
+            self.spawn_s / self.pooled_s,
+        )
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let (nx, ny, nz) = GRID;
+    eprintln!("building {nx}x{ny}x{nz} stencil27 operator...");
+    let a = stencil27(nx, ny, nz);
+    let sell = SellMatrix::from_csr(&a, 8, 32);
+    let coloring = Coloring::stencil8(nx, ny, nz);
+    let n = a.rows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.017).cos()).collect();
+    let mut y = vec![0.0; n];
+
+    let team = Team::new(THREADS);
+    let spawn = SpawnTeam::new(THREADS);
+    let serial_team = Team::new(1);
+
+    // Warm the matrix, vectors, and pool before any timed region so the
+    // first-timed variant doesn't pay the page-fault bill.
+    a.spmv(&x, &mut y);
+    team.spmv(&a, &x, &mut y);
+    spawn.spmv(&a, &x, &mut y);
+
+    eprintln!("timing kernels ({THREADS} threads)...");
+    let mut rows = Vec::new();
+
+    rows.push(Row {
+        name: "spmv_csr",
+        serial_s: time(VEC_REPS, || a.spmv(&x, &mut y)),
+        spawn_s: time(VEC_REPS, || spawn.spmv(&a, &x, &mut y)),
+        pooled_s: time(VEC_REPS, || team.spmv(&a, &x, &mut y)),
+    });
+    rows.push(Row {
+        name: "spmv_sell8",
+        serial_s: time(VEC_REPS, || sell.spmv(&x, &mut y)),
+        // SpawnTeam has no SELL path; the honest baseline is serial SELL.
+        spawn_s: time(VEC_REPS, || sell.spmv(&x, &mut y)),
+        pooled_s: time(VEC_REPS, || team.sell_spmv(&sell, &x, &mut y)),
+    });
+    {
+        let mut xs = vec![0.0; n];
+        let mut xp = vec![0.0; n];
+        rows.push(Row {
+            name: "mc_symgs_sweep",
+            serial_s: time(VEC_REPS, || {
+                sparsela::coloring::mc_symgs_sweep(&a, &coloring, &b, &mut xs)
+            }),
+            spawn_s: time(VEC_REPS, || {
+                sparsela::coloring::mc_symgs_sweep(&a, &coloring, &b, &mut xs)
+            }),
+            pooled_s: time(VEC_REPS, || team.mc_symgs_sweep(&a, &coloring, &b, &mut xp)),
+        });
+    }
+    rows.push(Row {
+        name: "dot",
+        serial_s: time(VEC_REPS, || densela::vecops::dot(&x, &b)),
+        spawn_s: time(VEC_REPS, || spawn.dot(&x, &b)),
+        pooled_s: time(VEC_REPS, || team.dot(&x, &b)),
+    });
+    {
+        let mut acc = b.clone();
+        rows.push(Row {
+            name: "axpy",
+            serial_s: time(VEC_REPS, || densela::vecops::axpy(1.0001, &x, &mut acc)),
+            spawn_s: time(VEC_REPS, || spawn.axpy(1.0001, &x, &mut acc)),
+            pooled_s: time(VEC_REPS, || team.axpy(1.0001, &x, &mut acc)),
+        });
+    }
+
+    eprintln!("timing CG ({CG_ITERS} fixed iterations)...");
+    let cg = Row {
+        name: "cg_stencil27_48cubed",
+        serial_s: time(CG_REPS, || {
+            let mut x0 = vec![0.0; n];
+            serial_team.cg_solve(&a, &b, &mut x0, CG_ITERS, 0.0)
+        }),
+        spawn_s: time(CG_REPS, || {
+            let mut x0 = vec![0.0; n];
+            spawn.cg_solve(&a, &b, &mut x0, CG_ITERS, 0.0)
+        }),
+        pooled_s: time(CG_REPS, || {
+            let mut x0 = vec![0.0; n];
+            team.cg_solve(&a, &b, &mut x0, CG_ITERS, 0.0)
+        }),
+    };
+
+    // A strong-scaling-limit CG: per-rank grids shrink as jobs scale out,
+    // and at small per-rank sizes the spawn-per-call overhead dominates —
+    // the regime the persistent pool exists for.
+    let a_small = stencil27(16, 16, 16);
+    let ns = a_small.rows();
+    let bs: Vec<f64> = (0..ns).map(|i| (i as f64 * 0.017).cos()).collect();
+    {
+        let mut x0 = vec![0.0; ns];
+        a_small.spmv(&bs, &mut x0);
+    }
+    rows.push(Row {
+        name: "cg_stencil27_16cubed",
+        serial_s: time(VEC_REPS, || {
+            let mut x0 = vec![0.0; ns];
+            serial_team.cg_solve(&a_small, &bs, &mut x0, CG_ITERS, 0.0)
+        }),
+        spawn_s: time(VEC_REPS, || {
+            let mut x0 = vec![0.0; ns];
+            spawn.cg_solve(&a_small, &bs, &mut x0, CG_ITERS, 0.0)
+        }),
+        pooled_s: time(VEC_REPS, || {
+            let mut x0 = vec![0.0; ns];
+            team.cg_solve(&a_small, &bs, &mut x0, CG_ITERS, 0.0)
+        }),
+    });
+
+    let kernel_lines: Vec<String> = rows.iter().map(Row::json).collect();
+    let json = format!(
+        "{{\n  \"grid\": [{nx}, {ny}, {nz}],\n  \"rows\": {n},\n  \"threads\": {THREADS},\n  \"available_parallelism\": {ap},\n  \"cg_iterations\": {CG_ITERS},\n  \"cg\":\n{cg_line},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n",
+        ap = densela::pool::available_parallelism(),
+        cg_line = cg.json(),
+        kernels = kernel_lines.join(",\n"),
+    );
+    std::fs::write(&path, &json).expect("writing the benchmark file failed");
+    eprintln!("wrote {path}");
+    println!("{json}");
+}

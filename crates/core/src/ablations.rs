@@ -22,19 +22,30 @@ pub fn bandwidth_sweep() -> Table {
     let mut t = Table::new(
         "A1",
         "Ablation: A64FX sustained bandwidth sweep (fraction of HBM2) vs single-node results",
-        &["BW fraction", "HPCG GFLOP/s", "Nekbone GFLOP/s (fast math)", "equivalent"],
+        &[
+            "BW fraction",
+            "HPCG GFLOP/s",
+            "Nekbone GFLOP/s (fast math)",
+            "equivalent",
+        ],
     );
     let spec = system(SystemId::A64fx);
     for frac in [0.125, 0.25, 0.5, 1.0] {
         let tc_hpcg = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
         let tc_nek = paper_toolchain(SystemId::A64fx, "nekbone").unwrap();
-        let mut calib = crate::Calibration::default();
-        calib.mem_scale = frac;
+        let calib = crate::Calibration {
+            mem_scale: frac,
+            ..Default::default()
+        };
         let layout = JobLayout::mpi_full(1, &spec);
-        let h = Executor::with_calibration(&spec, &tc_hpcg, calib)
-            .run(&hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks), layout);
-        let n = Executor::with_calibration(&spec, &tc_nek, calib)
-            .run(&nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks), layout);
+        let h = Executor::with_calibration(&spec, &tc_hpcg, calib).run(
+            &hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks),
+            layout,
+        );
+        let n = Executor::with_calibration(&spec, &tc_nek, calib).run(
+            &nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks),
+            layout,
+        );
         let label = match frac {
             f if f <= 0.13 => "~DDR4 dual-socket class",
             f if f <= 0.26 => "~Cascade Lake class",
@@ -144,7 +155,10 @@ pub fn placement_policy() -> Table {
     let trace = minikab::trace(cfg, 48);
     let mut base = 0.0;
     for (name, policy) in [
-        ("round-robin CMGs (paper pinning)", PlacementPolicy::RoundRobinDomain),
+        (
+            "round-robin CMGs (paper pinning)",
+            PlacementPolicy::RoundRobinDomain,
+        ),
         ("packed (CMGs 0-1 only)", PlacementPolicy::Packed),
     ] {
         let placement = Placement::new(48, 24, 1, &spec.node, policy).unwrap();
@@ -157,7 +171,11 @@ pub fn placement_policy() -> Table {
         if base == 0.0 {
             base = r;
         }
-        t.push_row(vec![name.to_string(), format!("{r:.2}"), format!("{:.2}x", r / base)]);
+        t.push_row(vec![
+            name.to_string(),
+            format!("{r:.2}"),
+            format!("{:.2}x", r / base),
+        ]);
     }
     t.note("Thread pinning matters: packing ranks into one CMG starves them of bandwidth, which is why the paper pins.");
     t
@@ -171,7 +189,12 @@ pub fn fastmath_sweep() -> Table {
         "Ablation: fast-math flags on/off, Nekbone full node",
         &["System", "plain GFLOP/s", "fast-math GFLOP/s", "gain"],
     );
-    for sys in [SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame, SystemId::Archer] {
+    for sys in [
+        SystemId::A64fx,
+        SystemId::Ngio,
+        SystemId::Fulhame,
+        SystemId::Archer,
+    ] {
         let cores = system(sys).node.cores();
         let plain = crate::experiments::nekbone::nekbone_gflops(sys, 1, cores, false);
         let fast = crate::experiments::nekbone::nekbone_gflops(sys, 1, cores, true);
@@ -188,7 +211,13 @@ pub fn fastmath_sweep() -> Table {
 
 /// Run every ablation.
 pub fn run_all() -> Vec<Table> {
-    vec![bandwidth_sweep(), topology_swap(), cosa_block_sweep(), placement_policy(), fastmath_sweep()]
+    vec![
+        bandwidth_sweep(),
+        topology_swap(),
+        cosa_block_sweep(),
+        placement_policy(),
+        fastmath_sweep(),
+    ]
 }
 
 /// Build the topology for an ablation (re-exported convenience).
@@ -205,7 +234,10 @@ mod tests {
         let t = bandwidth_sweep();
         assert_eq!(t.rows.len(), 4);
         let vals: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
-        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "HPCG must rise with bandwidth: {vals:?}");
+        assert!(
+            vals.windows(2).all(|w| w[0] <= w[1]),
+            "HPCG must rise with bandwidth: {vals:?}"
+        );
         // At DDR-class bandwidth the A64FX loses its HPCG crown (paper value
         // for optimised NGIO: 37.61).
         assert!(vals[0] < 26.0, "DDR-class A64FX HPCG: {}", vals[0]);
@@ -229,10 +261,16 @@ mod tests {
         // must beat the ~800-block row (32 double-loaded stragglers).
         assert_eq!(max_blocks[1], 1, "second row should be perfectly balanced");
         assert!(max_blocks[2] >= 2, "third row should have stragglers");
-        assert!(runtimes[1] < runtimes[2], "balance beats stragglers: {runtimes:?}");
+        assert!(
+            runtimes[1] < runtimes[2],
+            "balance beats stragglers: {runtimes:?}"
+        );
         // Very coarse decomposition (400 blocks on 768 ranks) wastes half
         // the machine.
-        assert!(runtimes[0] > 1.5 * runtimes[1], "coarse blocks waste ranks: {runtimes:?}");
+        assert!(
+            runtimes[0] > 1.5 * runtimes[1],
+            "coarse blocks waste ranks: {runtimes:?}"
+        );
     }
 
     #[test]
@@ -240,7 +278,10 @@ mod tests {
         let t = placement_policy();
         let rr: f64 = t.rows[0][1].parse().unwrap();
         let packed: f64 = t.rows[1][1].parse().unwrap();
-        assert!(packed > 1.2 * rr, "packed placement must starve bandwidth: {rr} vs {packed}");
+        assert!(
+            packed > 1.2 * rr,
+            "packed placement must starve bandwidth: {rr} vs {packed}"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub struct TunedLayout {
 /// cores of a node (no SMT oversubscription; divisors only).
 pub fn full_node_layouts(cores: u32) -> Vec<(u32, u32)> {
     (1..=cores)
-        .filter(|t| cores % t == 0)
+        .filter(|t| cores.is_multiple_of(*t))
         .map(|t| (cores / t, t))
         .collect()
 }
@@ -47,10 +47,18 @@ pub fn tune_minikab(sys: SystemId, nodes: u32) -> Vec<TunedLayout> {
         if !minikab::fits_in_memory(cfg, ranks, nodes, spec.node.memory_gib()) {
             continue;
         }
-        let layout = JobLayout { ranks, ranks_per_node: rpn, threads_per_rank: threads };
+        let layout = JobLayout {
+            ranks,
+            ranks_per_node: rpn,
+            threads_per_rank: threads,
+        };
         let trace = minikab::trace(cfg, ranks);
         let r = ex.run(&trace, layout);
-        out.push(TunedLayout { ranks_per_node: rpn, threads_per_rank: threads, runtime_s: r.runtime_s });
+        out.push(TunedLayout {
+            ranks_per_node: rpn,
+            threads_per_rank: threads,
+            runtime_s: r.runtime_s,
+        });
     }
     out.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
     out
@@ -70,14 +78,22 @@ pub fn tune_nekbone(sys: SystemId, nodes: u32) -> Vec<TunedLayout> {
     let mut out = Vec::new();
     for (rpn, threads) in full_node_layouts(spec.node.cores()) {
         let ranks = rpn * nodes;
-        let layout = JobLayout { ranks, ranks_per_node: rpn, threads_per_rank: threads };
+        let layout = JobLayout {
+            ranks,
+            ranks_per_node: rpn,
+            threads_per_rank: threads,
+        };
         let cfg = nekbone::NekboneConfig {
             elements_per_rank: total_elements / ranks as usize,
             ..nekbone::NekboneConfig::paper()
         };
         let trace = nekbone::trace(cfg, ranks);
         let r = ex.run(&trace, layout);
-        out.push(TunedLayout { ranks_per_node: rpn, threads_per_rank: threads, runtime_s: r.runtime_s });
+        out.push(TunedLayout {
+            ranks_per_node: rpn,
+            threads_per_rank: threads,
+            runtime_s: r.runtime_s,
+        });
     }
     out.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
     out
@@ -87,7 +103,11 @@ pub fn tune_nekbone(sys: SystemId, nodes: u32) -> Vec<TunedLayout> {
 pub fn tune_table(app: &str, sys: SystemId, nodes: u32, ranking: &[TunedLayout]) -> Table {
     let mut t = Table::new(
         "AT",
-        &format!("Autotune: {app} on {} x {} nodes — every full-node layout, best first", sys.name(), nodes),
+        &format!(
+            "Autotune: {app} on {} x {} nodes — every full-node layout, best first",
+            sys.name(),
+            nodes
+        ),
         &["Rank", "Ranks/node", "Threads/rank", "Runtime s", "vs best"],
     );
     let best = ranking.first().map(|l| l.runtime_s).unwrap_or(0.0);
@@ -131,7 +151,9 @@ mod tests {
             "autotune must rediscover the paper's 8x12 setup: got {best:?}"
         );
         // Plain MPI full population must be absent (OOM).
-        assert!(!ranking.iter().any(|l| l.threads_per_rank == 1 && l.ranks_per_node == 48));
+        assert!(!ranking
+            .iter()
+            .any(|l| l.threads_per_rank == 1 && l.ranks_per_node == 48));
     }
 
     #[test]

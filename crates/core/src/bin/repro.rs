@@ -11,6 +11,10 @@
 //! repro --timeline hpcg a64fx   # one iteration, phase by phase
 //! repro --autotune 2            # layout search per system
 //! ```
+//!
+//! `--threads N` (anywhere on the command line) bounds the experiment
+//! runner's worker team; the `A64FX_REPRO_THREADS` environment variable is
+//! the fallback, and the default is `available_parallelism`.
 
 use a64fx_apps::{castep, cosa, hpcg, minikab, nekbone, opensbli};
 use a64fx_core::costmodel::JobLayout;
@@ -19,16 +23,45 @@ use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--all | --exp <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+        "usage: repro [--threads <n>] [--all | --exp <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
     );
     std::process::exit(2);
 }
 
+/// Strip `--threads N` out of `args` (wherever it appears) and resolve the
+/// worker count: flag, then `A64FX_REPRO_THREADS`, then
+/// `available_parallelism`.
+fn take_threads(args: &mut Vec<String>) -> usize {
+    let mut threads = None;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(v) = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        else {
+            eprintln!("--threads needs a positive integer");
+            std::process::exit(2);
+        };
+        threads = Some(v);
+        args.drain(i..=i + 1);
+    }
+    threads
+        .or_else(|| {
+            std::env::var("A64FX_REPRO_THREADS")
+                .ok()?
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+        })
+        .unwrap_or_else(densela::pool::available_parallelism)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads(&mut args);
     match args.first().map(String::as_str) {
         Some("--all") | None => {
-            for t in runner::run_all_parallel() {
+            for t in runner::run_all_parallel_bounded(threads) {
                 println!("{}", t.render());
             }
         }
@@ -63,7 +96,10 @@ fn main() {
             for sys in [SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame] {
                 let ranking = autotune::tune_minikab(sys, nodes);
                 if !ranking.is_empty() {
-                    println!("{}", autotune::tune_table("minikab", sys, nodes, &ranking).render());
+                    println!(
+                        "{}",
+                        autotune::tune_table("minikab", sys, nodes, &ranking).render()
+                    );
                 }
             }
         }
@@ -101,7 +137,10 @@ fn main() {
                 std::process::exit(1);
             };
             let entries = timeline::iteration_timeline(&spec, &tc, &trace, layout);
-            let title = format!("{app} on one {} node: one iteration, phase by phase", spec.name);
+            let title = format!(
+                "{app} on one {} node: one iteration, phase by phase",
+                spec.name
+            );
             println!("{}", timeline::timeline_table(&title, &entries).render());
         }
         Some("--list") => {

@@ -37,7 +37,11 @@ pub struct Calibration {
 
 impl Default for Calibration {
     fn default() -> Self {
-        Calibration { mem_scale: 1.0, flop_scale: 1.0, hpcg_optimised: false }
+        Calibration {
+            mem_scale: 1.0,
+            flop_scale: 1.0,
+            hpcg_optimised: false,
+        }
     }
 }
 
@@ -182,7 +186,10 @@ impl Calibration {
         // CfdFlux (COSA) is excluded: the paper's COSA runs *all* used
         // -Kfast-style flags, so the CfdFlux calibration already includes
         // them.
-        matches!(class, KernelClass::SmallGemm | KernelClass::StencilFD | KernelClass::Fft)
+        matches!(
+            class,
+            KernelClass::SmallGemm | KernelClass::StencilFD | KernelClass::Fft
+        )
     }
 
     /// The fast-math throughput multiplier for a system/toolchain pair.
@@ -248,7 +255,12 @@ mod tests {
         // fraction of peak on generated stencil code.
         let c = Calibration::default();
         let a = c.flop_eff(SystemId::A64fx, KernelClass::StencilFD);
-        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+        for sys in [
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ] {
             assert!(c.flop_eff(sys, KernelClass::StencilFD) > 2.0 * a, "{sys:?}");
         }
     }
@@ -259,7 +271,10 @@ mod tests {
         let fj = Toolchain::for_family(ToolchainFamily::Fujitsu, "1.2.24", "-Kfast", "");
         assert!(c.fastmath_factor(SystemId::A64fx, &fj) > 1.7);
         let intel = Toolchain::for_family(ToolchainFamily::Intel, "19", "-O3", "");
-        assert!(c.fastmath_factor(SystemId::Ngio, &intel) < 1.0, "Intel fast-math hurt Nekbone");
+        assert!(
+            c.fastmath_factor(SystemId::Ngio, &intel) < 1.0,
+            "Intel fast-math hurt Nekbone"
+        );
     }
 
     #[test]
@@ -273,7 +288,9 @@ mod tests {
     #[test]
     fn optimised_hpcg_factors_match_table3_ratios() {
         assert!((Calibration::hpcg_optimised_factor(SystemId::Ngio) - 37.61 / 26.16).abs() < 0.01);
-        assert!((Calibration::hpcg_optimised_factor(SystemId::Fulhame) - 33.80 / 23.58).abs() < 0.01);
+        assert!(
+            (Calibration::hpcg_optimised_factor(SystemId::Fulhame) - 33.80 / 23.58).abs() < 0.01
+        );
         assert_eq!(Calibration::hpcg_optimised_factor(SystemId::A64fx), 1.0);
     }
 

@@ -38,7 +38,11 @@ impl JobLayout {
     /// MPI-only, fully-populated nodes.
     pub fn mpi_full(nodes: u32, spec: &SystemSpec) -> Self {
         let c = spec.node.cores();
-        JobLayout { ranks: nodes * c, ranks_per_node: c, threads_per_rank: 1 }
+        JobLayout {
+            ranks: nodes * c,
+            ranks_per_node: c,
+            threads_per_rank: 1,
+        }
     }
 
     /// One rank per memory domain, threads filling the domain.
@@ -104,12 +108,24 @@ impl<'a> Executor<'a> {
     /// Create an executor for a system/toolchain pair with the default
     /// calibration.
     pub fn new(spec: &'a SystemSpec, toolchain: &'a Toolchain) -> Self {
-        Executor { spec, toolchain, calib: Calibration::default() }
+        Executor {
+            spec,
+            toolchain,
+            calib: Calibration::default(),
+        }
     }
 
     /// Create with an explicit calibration (ablations).
-    pub fn with_calibration(spec: &'a SystemSpec, toolchain: &'a Toolchain, calib: Calibration) -> Self {
-        Executor { spec, toolchain, calib }
+    pub fn with_calibration(
+        spec: &'a SystemSpec,
+        toolchain: &'a Toolchain,
+        calib: Calibration,
+    ) -> Self {
+        Executor {
+            spec,
+            toolchain,
+            calib,
+        }
     }
 
     /// The system this executor prices.
@@ -128,7 +144,10 @@ impl<'a> Executor<'a> {
     /// Panics if the layout is inconsistent with the trace's rank count or
     /// oversubscribes the node.
     pub fn run(&self, trace: &Trace, layout: JobLayout) -> ExecutionResult {
-        assert_eq!(trace.ranks, layout.ranks, "trace built for a different rank count");
+        assert_eq!(
+            trace.ranks, layout.ranks,
+            "trace built for a different rank count"
+        );
         let placement = Placement::new(
             layout.ranks,
             layout.ranks_per_node,
@@ -239,7 +258,8 @@ impl<'a> Executor<'a> {
         }
 
         // Bandwidth ceiling, GB/s.
-        let bw_share = world.rank_bw_share_gbs(rank, &self.spec.node, self.spec.bw_saturation_cores);
+        let bw_share =
+            world.rank_bw_share_gbs(rank, &self.spec.node, self.spec.bw_saturation_cores);
         let bw = bw_share * self.calib.mem_eff(sys, class);
 
         let t_flop_us = w.flops as f64 / (flop_gflops * 1e3);
@@ -274,9 +294,20 @@ mod tests {
     fn more_nodes_more_hpcg_gflops() {
         let (spec, tc) = exec_for(SystemId::A64fx, "hpcg");
         let ex = Executor::new(&spec, &tc);
-        let r1 = ex.run(&hpcg::trace(hpcg::HpcgConfig::paper(), 48), JobLayout::mpi_full(1, &spec));
-        let r4 = ex.run(&hpcg::trace(hpcg::HpcgConfig::paper(), 192), JobLayout::mpi_full(4, &spec));
-        assert!(r4.gflops > 3.0 * r1.gflops, "weak scaling: {} vs {}", r4.gflops, r1.gflops);
+        let r1 = ex.run(
+            &hpcg::trace(hpcg::HpcgConfig::paper(), 48),
+            JobLayout::mpi_full(1, &spec),
+        );
+        let r4 = ex.run(
+            &hpcg::trace(hpcg::HpcgConfig::paper(), 192),
+            JobLayout::mpi_full(4, &spec),
+        );
+        assert!(
+            r4.gflops > 3.0 * r1.gflops,
+            "weak scaling: {} vs {}",
+            r4.gflops,
+            r1.gflops
+        );
     }
 
     #[test]
@@ -302,7 +333,11 @@ mod tests {
         let (spec, tc) = exec_for(SystemId::A64fx, "hpcg");
         let ex = Executor::new(&spec, &tc);
         let t = hpcg::trace(hpcg::HpcgConfig::paper(), 48);
-        let bad = JobLayout { ranks: 96, ranks_per_node: 48, threads_per_rank: 1 };
+        let bad = JobLayout {
+            ranks: 96,
+            ranks_per_node: 48,
+            threads_per_rank: 1,
+        };
         ex.run(&t, bad);
     }
 
@@ -312,7 +347,10 @@ mod tests {
         let ex = Executor::new(&spec, &tc);
         let t = hpcg::trace(hpcg::HpcgConfig::paper(), 48);
         let r = ex.run(&t, JobLayout::mpi_full(1, &spec));
-        assert!(r.compute_s > 0.5 * r.runtime_s, "single node is compute/bandwidth dominated");
+        assert!(
+            r.compute_s > 0.5 * r.runtime_s,
+            "single node is compute/bandwidth dominated"
+        );
     }
 }
 
@@ -334,8 +372,7 @@ mod proptests {
             let layout = JobLayout::mpi_full(1, &spec);
             let trace = hpcg::trace(hpcg::HpcgConfig { local: (16, 16, 16), mg_levels: 3, iterations: 5 }, layout.ranks);
             let base = Executor::new(&spec, &tc).run(&trace, layout);
-            let mut calib = Calibration::default();
-            calib.mem_scale = scale;
+            let calib = Calibration { mem_scale: scale, ..Default::default() };
             let boosted = Executor::with_calibration(&spec, &tc, calib).run(&trace, layout);
             prop_assert!(boosted.runtime_s <= base.runtime_s + 1e-12);
         }

@@ -13,7 +13,11 @@ pub fn castep_scf_per_s(sys: SystemId, cores: u32) -> f64 {
     let spec = system(sys);
     let tc = paper_toolchain(sys, "castep").expect("system ran castep");
     let ex = Executor::new(&spec, &tc);
-    let layout = JobLayout { ranks: cores, ranks_per_node: cores, threads_per_rank: 1 };
+    let layout = JobLayout {
+        ranks: cores,
+        ranks_per_node: cores,
+        threads_per_rank: 1,
+    };
     let cfg = CastepConfig::paper();
     let t = trace(cfg, cores);
     let r = ex.run(&t, layout);
@@ -36,7 +40,13 @@ pub fn figure5() -> Table {
         "CASTEP TiN single-node performance (SCF cycles/s) by core count (paper Figure 5)",
         &["Cores", "A64FX", "ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"],
     );
-    let systems = [SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame];
+    let systems = [
+        SystemId::A64fx,
+        SystemId::Archer,
+        SystemId::Cirrus,
+        SystemId::Ngio,
+        SystemId::Fulhame,
+    ];
     for cores in [1u32, 2, 4, 8, 16, 24, 32, 48, 64] {
         if !core_count_allowed(cores) {
             continue;

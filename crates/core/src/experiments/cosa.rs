@@ -29,11 +29,19 @@ pub fn table8() -> Table {
     let mut t = Table::new(
         "T8",
         "COSA: MPI processes per node (paper Table VIII)",
-        &["System", "Processes per node (paper)", "Processes per node (model)"],
+        &[
+            "System",
+            "Processes per node (paper)",
+            "Processes per node (model)",
+        ],
     );
     for (sys, p) in paper::TABLE8_COSA_PROCS {
         let model = system(sys).node.cores();
-        t.push_row(vec![sys.name().to_string(), p.to_string(), model.to_string()]);
+        t.push_row(vec![
+            sys.name().to_string(),
+            p.to_string(),
+            model.to_string(),
+        ]);
     }
     t
 }
@@ -45,7 +53,13 @@ pub fn figure4() -> Table {
         "COSA strong scaling: runtime in seconds by node count (paper Figure 4)",
         &["Nodes", "A64FX", "ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"],
     );
-    let systems = [SystemId::A64fx, SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame];
+    let systems = [
+        SystemId::A64fx,
+        SystemId::Archer,
+        SystemId::Cirrus,
+        SystemId::Ngio,
+        SystemId::Fulhame,
+    ];
     for nodes in [1u32, 2, 4, 8, 16] {
         let mut row = vec![nodes.to_string()];
         for sys in systems {
@@ -70,7 +84,12 @@ mod tests {
         assert!(cosa_runtime_s(SystemId::A64fx, 1).is_none());
         assert!(cosa_runtime_s(SystemId::A64fx, 2).is_some());
         // Everyone else runs on one node (>= 192 GB).
-        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+        for sys in [
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ] {
             assert!(cosa_runtime_s(sys, 1).is_some(), "{sys:?}");
         }
     }
@@ -79,7 +98,12 @@ mod tests {
     fn f4_a64fx_fastest_from_2_to_8_nodes() {
         for nodes in [2u32, 4, 8] {
             let a = cosa_runtime_s(SystemId::A64fx, nodes).unwrap();
-            for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+            for sys in [
+                SystemId::Archer,
+                SystemId::Cirrus,
+                SystemId::Ngio,
+                SystemId::Fulhame,
+            ] {
                 let o = cosa_runtime_s(sys, nodes).unwrap();
                 assert!(a < o, "{sys:?} at {nodes} nodes: A64FX {a} vs {o}");
             }
@@ -93,13 +117,21 @@ mod tests {
         // A64FX (768 ranks, 32 of them with double work).
         let a = cosa_runtime_s(SystemId::A64fx, 16).unwrap();
         let f = cosa_runtime_s(SystemId::Fulhame, 16).unwrap();
-        assert!(f < a, "Fulhame ({f}) must overtake the A64FX ({a}) at 16 nodes");
+        assert!(
+            f < a,
+            "Fulhame ({f}) must overtake the A64FX ({a}) at 16 nodes"
+        );
     }
 
     #[test]
     fn f4_scaling_monotone_until_imbalance() {
         // Runtime decreases with node count through 8 nodes on every system.
-        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+        for sys in [
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ] {
             let mut prev = f64::INFINITY;
             for nodes in [1u32, 2, 4, 8] {
                 let s = cosa_runtime_s(sys, nodes).unwrap();
@@ -116,7 +148,10 @@ mod tests {
         let s8 = cosa_runtime_s(SystemId::A64fx, 8).unwrap();
         let s16 = cosa_runtime_s(SystemId::A64fx, 16).unwrap();
         let speedup = s8 / s16;
-        assert!(speedup < 1.5, "imbalance caps the 16-node speedup: {speedup}");
+        assert!(
+            speedup < 1.5,
+            "imbalance caps the 16-node speedup: {speedup}"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ use crate::report::{pair, Table};
 pub fn hpcg_gflops(sys: SystemId, nodes: u32, optimised: bool) -> f64 {
     let spec = system(sys);
     let tc = paper_toolchain(sys, "hpcg").expect("every system ran HPCG");
-    let calib = Calibration { hpcg_optimised: optimised, ..Calibration::default() };
+    let calib = Calibration {
+        hpcg_optimised: optimised,
+        ..Calibration::default()
+    };
     let ex = Executor::with_calibration(&spec, &tc, calib);
     let layout = JobLayout::mpi_full(nodes, &spec);
     let t = trace(HpcgConfig::paper(), layout.ranks);
@@ -31,8 +34,16 @@ pub fn table3() -> Table {
     for (sys, optimised, p_gflops, p_pct) in paper::TABLE3_HPCG_SINGLE_NODE {
         let sim = hpcg_gflops(sys, 1, optimised);
         let peak = system(sys).node.peak_dp_gflops();
-        let label = if optimised { format!("{} (optimised)", sys.name()) } else { sys.name().to_string() };
-        t.push_row(vec![label, pair(p_gflops, sim), pair(p_pct, 100.0 * sim / peak)]);
+        let label = if optimised {
+            format!("{} (optimised)", sys.name())
+        } else {
+            sys.name().to_string()
+        };
+        t.push_row(vec![
+            label,
+            pair(p_gflops, sim),
+            pair(p_pct, 100.0 * sim / peak),
+        ]);
     }
     // Shape notes the paper calls out.
     let a64fx = hpcg_gflops(SystemId::A64fx, 1, false);
@@ -79,8 +90,16 @@ mod tests {
         // The paper's headline: A64FX beats every unoptimised x86/Arm system
         // and even the optimised ones on a single node.
         let a64fx = hpcg_gflops(SystemId::A64fx, 1, false);
-        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
-            assert!(a64fx > hpcg_gflops(sys, 1, false), "{sys:?} must trail the A64FX");
+        for sys in [
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ] {
+            assert!(
+                a64fx > hpcg_gflops(sys, 1, false),
+                "{sys:?} must trail the A64FX"
+            );
         }
         assert!(a64fx > hpcg_gflops(SystemId::Ngio, 1, true));
         assert!(a64fx > hpcg_gflops(SystemId::Fulhame, 1, true));

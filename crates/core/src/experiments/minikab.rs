@@ -22,7 +22,11 @@ pub fn minikab_runtime_s(sys: SystemId, nodes: u32, ranks: u32, threads: u32) ->
     }
     let tc = paper_toolchain(sys, "minikab")?;
     let ex = Executor::new(&spec, &tc);
-    let layout = JobLayout { ranks, ranks_per_node: rpn, threads_per_rank: threads };
+    let layout = JobLayout {
+        ranks,
+        ranks_per_node: rpn,
+        threads_per_rank: threads,
+    };
     let t = trace(cfg, ranks);
     Some(ex.run(&t, layout).runtime_s)
 }
@@ -45,7 +49,13 @@ pub fn table5() -> Table {
 /// The five execution setups of Figure 1 on 2 A64FX nodes: plain MPI and
 /// 2/6/12/24 threads per rank, for a given total core count.
 pub fn figure1_configs() -> [(&'static str, u32); 5] {
-    [("MPI only", 1), ("2 threads", 2), ("6 threads", 6), ("12 threads", 12), ("24 threads", 24)]
+    [
+        ("MPI only", 1),
+        ("2 threads", 2),
+        ("6 threads", 6),
+        ("12 threads", 12),
+        ("24 threads", 24),
+    ]
 }
 
 /// F1 — solver runtime for different process/thread mixes on 2 A64FX nodes.
@@ -53,7 +63,14 @@ pub fn figure1() -> Table {
     let mut t = Table::new(
         "F1",
         "minikab on 2 A64FX nodes: runtime (s) by cores and ranks-x-threads setup (paper Figure 1)",
-        &["Cores", "MPI only", "2 thr/rank", "6 thr/rank", "12 thr/rank", "24 thr/rank"],
+        &[
+            "Cores",
+            "MPI only",
+            "2 thr/rank",
+            "6 thr/rank",
+            "12 thr/rank",
+            "24 thr/rank",
+        ],
     );
     for cores in [8u32, 16, 24, 48, 96] {
         let mut row = vec![cores.to_string()];
@@ -81,7 +98,13 @@ pub fn figure2() -> Table {
     let mut t = Table::new(
         "F2",
         "minikab strong scaling: A64FX vs ThunderX2/Fulhame (paper Figure 2)",
-        &["Cores", "A64FX nodes", "A64FX runtime s", "Fulhame nodes", "Fulhame runtime s"],
+        &[
+            "Cores",
+            "A64FX nodes",
+            "A64FX runtime s",
+            "Fulhame nodes",
+            "Fulhame runtime s",
+        ],
     );
     // A64FX: nodes 2,4,6,8 with the best (per-CMG) layout: cores = 48*nodes.
     // Fulhame: nodes 1..6 plain MPI: cores = 64*nodes.
@@ -90,13 +113,27 @@ pub fn figure2() -> Table {
         .iter()
         .map(|&n| {
             let ranks = 4 * n;
-            (48 * n, n, minikab_runtime_s(SystemId::A64fx, n, ranks, 12).expect("hybrid fits"))
+            (
+                48 * n,
+                n,
+                minikab_runtime_s(SystemId::A64fx, n, ranks, 12).expect("hybrid fits"),
+            )
         })
         .collect();
     let fulhame: Vec<(u32, u32, f64)> = (1u32..=6)
-        .map(|n| (64 * n, n, minikab_runtime_s(SystemId::Fulhame, n, 64 * n, 1).expect("fits")))
+        .map(|n| {
+            (
+                64 * n,
+                n,
+                minikab_runtime_s(SystemId::Fulhame, n, 64 * n, 1).expect("fits"),
+            )
+        })
         .collect();
-    let mut cores: Vec<u32> = a64fx.iter().map(|x| x.0).chain(fulhame.iter().map(|x| x.0)).collect();
+    let mut cores: Vec<u32> = a64fx
+        .iter()
+        .map(|x| x.0)
+        .chain(fulhame.iter().map(|x| x.0))
+        .collect();
     cores.sort_unstable();
     cores.dedup();
     for c in cores {
@@ -110,7 +147,9 @@ pub fn figure2() -> Table {
             f.map(|x| secs(x.2)).unwrap_or_else(|| "-".into()),
         ]);
     }
-    t.note("Paper: A64FX outperforms Fulhame at matching core counts but scales slightly less well.");
+    t.note(
+        "Paper: A64FX outperforms Fulhame at matching core counts but scales slightly less well.",
+    );
     t
 }
 
@@ -142,8 +181,14 @@ mod tests {
 
     #[test]
     fn f1_memory_blocks_full_mpi_population() {
-        assert!(minikab_runtime_s(SystemId::A64fx, 2, 96, 1).is_none(), "96 ranks OOM");
-        assert!(minikab_runtime_s(SystemId::A64fx, 2, 48, 1).is_some(), "48 ranks fits");
+        assert!(
+            minikab_runtime_s(SystemId::A64fx, 2, 96, 1).is_none(),
+            "96 ranks OOM"
+        );
+        assert!(
+            minikab_runtime_s(SystemId::A64fx, 2, 48, 1).is_some(),
+            "48 ranks fits"
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn run_one(id: &str) -> Option<Table> {
 
 /// All experiment ids, in paper order.
 pub fn all_ids() -> [&'static str; 15] {
-    ["t1", "t2", "t3", "t4", "t5", "f1", "f2", "t6", "f3", "t7", "t8", "f4", "f5", "t9", "t10"]
+    [
+        "t1", "t2", "t3", "t4", "t5", "f1", "f2", "t6", "f3", "t7", "t8", "f4", "f5", "t9", "t10",
+    ]
 }
 
 #[cfg(test)]

@@ -8,16 +8,26 @@ use crate::paper;
 use crate::report::{pair, Table};
 
 /// Systems the paper ran Nekbone on.
-pub const NEKBONE_SYSTEMS: [SystemId; 4] =
-    [SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame, SystemId::Archer];
+pub const NEKBONE_SYSTEMS: [SystemId; 4] = [
+    SystemId::A64fx,
+    SystemId::Ngio,
+    SystemId::Fulhame,
+    SystemId::Archer,
+];
 
 /// Simulated Nekbone GFLOP/s with `ranks` MPI-only ranks over `nodes`
 /// nodes, optionally with fast-math flags.
 pub fn nekbone_gflops(sys: SystemId, nodes: u32, ranks: u32, fastmath: bool) -> f64 {
     let spec = system(sys);
-    let tc = paper_toolchain(sys, "nekbone").expect("system ran nekbone").with_fastmath(fastmath);
+    let tc = paper_toolchain(sys, "nekbone")
+        .expect("system ran nekbone")
+        .with_fastmath(fastmath);
     let ex = Executor::new(&spec, &tc);
-    let layout = JobLayout { ranks, ranks_per_node: ranks.div_ceil(nodes), threads_per_rank: 1 };
+    let layout = JobLayout {
+        ranks,
+        ranks_per_node: ranks.div_ceil(nodes),
+        threads_per_rank: 1,
+    };
     let t = trace(NekboneConfig::paper(), ranks);
     ex.run(&t, layout).gflops
 }
@@ -28,7 +38,11 @@ pub fn nekbone_gflops_default(sys: SystemId, nodes: u32, ranks: u32) -> f64 {
     let spec = system(sys);
     let tc = paper_toolchain(sys, "nekbone").expect("system ran nekbone");
     let ex = Executor::new(&spec, &tc);
-    let layout = JobLayout { ranks, ranks_per_node: ranks.div_ceil(nodes), threads_per_rank: 1 };
+    let layout = JobLayout {
+        ranks,
+        ranks_per_node: ranks.div_ceil(nodes),
+        threads_per_rank: 1,
+    };
     let t = trace(NekboneConfig::paper(), ranks);
     ex.run(&t, layout).gflops
 }
@@ -38,7 +52,14 @@ pub fn table6() -> Table {
     let mut t = Table::new(
         "T6",
         "Nekbone node GFLOP/s (paper Table VI; paper / simulated)",
-        &["System", "Cores", "GFLOP/s", "Ratio to A64FX", "GFLOP/s fast math", "fm Ratio to A64FX"],
+        &[
+            "System",
+            "Cores",
+            "GFLOP/s",
+            "Ratio to A64FX",
+            "GFLOP/s fast math",
+            "fm Ratio to A64FX",
+        ],
     );
     let a64fx_plain = nekbone_gflops(SystemId::A64fx, 1, 48, false);
     let a64fx_fast = nekbone_gflops(SystemId::A64fx, 1, 48, true);
@@ -69,7 +90,12 @@ pub fn figure3() -> Table {
     let counts = [1u32, 2, 4, 8, 12, 16, 24, 32, 48, 64];
     for &c in &counts {
         let mut row = vec![c.to_string()];
-        for sys in [SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame, SystemId::Archer] {
+        for sys in [
+            SystemId::A64fx,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+            SystemId::Archer,
+        ] {
             let max = system(sys).node.cores();
             row.push(if c <= max {
                 format!("{:.0}", 1000.0 * nekbone_gflops_default(sys, 1, c))
@@ -119,8 +145,14 @@ mod tests {
         let a_plain = nekbone_gflops(SystemId::A64fx, 1, 48, false);
         let a_fast = nekbone_gflops(SystemId::A64fx, 1, 48, true);
         for (sys, cores, _, _) in paper::TABLE6_NEKBONE_NODE.iter().skip(1) {
-            assert!(a_plain > nekbone_gflops(*sys, 1, *cores, false), "{sys:?} plain");
-            assert!(a_fast > nekbone_gflops(*sys, 1, *cores, true), "{sys:?} fast");
+            assert!(
+                a_plain > nekbone_gflops(*sys, 1, *cores, false),
+                "{sys:?} plain"
+            );
+            assert!(
+                a_fast > nekbone_gflops(*sys, 1, *cores, true),
+                "{sys:?} fast"
+            );
         }
     }
 
@@ -144,7 +176,10 @@ mod tests {
         let n_full = nekbone_gflops_default(SystemId::Ngio, 1, 48);
         let arm_gain = a_full / a_half;
         let intel_gain = n_full / n_half;
-        assert!(arm_gain > intel_gain, "A64FX doubling gain {arm_gain} vs NGIO {intel_gain}");
+        assert!(
+            arm_gain > intel_gain,
+            "A64FX doubling gain {arm_gain} vs NGIO {intel_gain}"
+        );
     }
 
     #[test]
@@ -152,7 +187,10 @@ mod tests {
         for (sys, _) in paper::TABLE7_NEKBONE_PE {
             for nodes in [2u32, 4, 8, 16] {
                 let pe = nekbone_pe(sys, nodes);
-                assert!(pe > 0.90 && pe <= 1.001, "{sys:?} at {nodes} nodes: PE {pe}");
+                assert!(
+                    pe > 0.90 && pe <= 1.001,
+                    "{sys:?} at {nodes} nodes: PE {pe}"
+                );
             }
         }
     }

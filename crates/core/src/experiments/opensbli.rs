@@ -8,8 +8,12 @@ use crate::paper;
 use crate::report::{pair, Table};
 
 /// Systems the paper ran OpenSBLI on (no ARCHER row in Table X).
-pub const OPENSBLI_SYSTEMS: [SystemId; 4] =
-    [SystemId::A64fx, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame];
+pub const OPENSBLI_SYSTEMS: [SystemId; 4] = [
+    SystemId::A64fx,
+    SystemId::Cirrus,
+    SystemId::Ngio,
+    SystemId::Fulhame,
+];
 
 /// Simulated OpenSBLI total runtime (seconds) on `nodes` fully populated
 /// nodes of `sys`.

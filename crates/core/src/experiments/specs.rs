@@ -42,7 +42,9 @@ pub fn table1() -> Table {
             s.interconnect.name().to_string(),
         ]);
     }
-    t.note("Sustained bandwidth column is our addition (STREAM-triad measurements used by the model).");
+    t.note(
+        "Sustained bandwidth column is our addition (STREAM-triad measurements used by the model).",
+    );
     t
 }
 
@@ -89,7 +91,13 @@ mod tests {
         // 5 + 3 + 4 + 5 + 5 + 5 = 27 (system, app) pairs in Table II (plus
         // the A64FX OpenSBLI run Table II omits).
         assert_eq!(t.rows.len(), 27);
-        assert!(t.rows.iter().any(|r| r[0] == "minikab" && r[1] == "A64FX" && r[3] == "yes"));
-        assert!(t.rows.iter().any(|r| r[0] == "castep" && r[1] == "A64FX" && r[3] == "no"));
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0] == "minikab" && r[1] == "A64FX" && r[3] == "yes"));
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0] == "castep" && r[1] == "A64FX" && r[3] == "no"));
     }
 }

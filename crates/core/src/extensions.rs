@@ -24,7 +24,13 @@ pub fn power_efficiency() -> Table {
     let mut t = Table::new(
         "X1",
         "Extension: single-node performance per watt",
-        &["System", "Node watts", "HPCG GF/s/W", "Nekbone GF/s/W", "Peak GF/s/W"],
+        &[
+            "System",
+            "Node watts",
+            "HPCG GF/s/W",
+            "Nekbone GF/s/W",
+            "Peak GF/s/W",
+        ],
     );
     for sys in SystemId::all() {
         let spec = system(sys);
@@ -40,7 +46,11 @@ pub fn power_efficiency() -> Table {
             sys.name().to_string(),
             format!("{watts:.0}"),
             format!("{:.3}", hpcg_gf / watts),
-            if nek_gf > 0.0 { format!("{:.3}", nek_gf / watts) } else { "-".into() },
+            if nek_gf > 0.0 {
+                format!("{:.3}", nek_gf / watts)
+            } else {
+                "-".into()
+            },
             format!("{:.2}", spec.node.peak_dp_gflops() / watts),
         ]);
     }
@@ -98,21 +108,53 @@ pub fn profile_table(sys: SystemId) -> Table {
     let spec = system(sys);
     let mut t = Table::new(
         "X3",
-        &format!("Extension: {} single-node compute profile by kernel class (% of rank-0 compute)", sys.name()),
+        &format!(
+            "Extension: {} single-node compute profile by kernel class (% of rank-0 compute)",
+            sys.name()
+        ),
         &["App", "dominant class", "share", "2nd class", "share "],
     );
     let layout = JobLayout::mpi_full(1, &spec);
     let runs: Vec<(&str, Option<a64fx_apps::Trace>)> = vec![
-        ("hpcg", Some(hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks))),
-        ("minikab", paper_toolchain(sys, "minikab").map(|_| minikab::trace(minikab::MinikabConfig::paper(), layout.ranks))),
-        ("nekbone", paper_toolchain(sys, "nekbone").map(|_| nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks))),
-        ("cosa", Some(cosa::trace(cosa::CosaConfig::paper(), layout.ranks))),
-        ("castep", Some(castep::trace(castep::CastepConfig::paper(), layout.ranks))),
-        ("opensbli", Some(opensbli::trace(opensbli::OpensbliConfig::paper(), layout.ranks))),
+        (
+            "hpcg",
+            Some(hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks)),
+        ),
+        (
+            "minikab",
+            paper_toolchain(sys, "minikab")
+                .map(|_| minikab::trace(minikab::MinikabConfig::paper(), layout.ranks)),
+        ),
+        (
+            "nekbone",
+            paper_toolchain(sys, "nekbone")
+                .map(|_| nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks)),
+        ),
+        (
+            "cosa",
+            Some(cosa::trace(cosa::CosaConfig::paper(), layout.ranks)),
+        ),
+        (
+            "castep",
+            Some(castep::trace(castep::CastepConfig::paper(), layout.ranks)),
+        ),
+        (
+            "opensbli",
+            Some(opensbli::trace(
+                opensbli::OpensbliConfig::paper(),
+                layout.ranks,
+            )),
+        ),
     ];
     for (app, trace) in runs {
         let Some(trace) = trace else {
-            t.push_row(vec![app.into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.push_row(vec![
+                app.into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let tc = paper_toolchain(sys, app).unwrap_or_else(|| paper_toolchain(sys, "hpcg").unwrap());
@@ -157,7 +199,11 @@ pub fn stream_scaling() -> Table {
                 continue;
             }
             let tc = paper_toolchain(sys, "hpcg").unwrap();
-            let layout = JobLayout { ranks: cores, ranks_per_node: cores, threads_per_rank: 1 };
+            let layout = JobLayout {
+                ranks: cores,
+                ranks_per_node: cores,
+                threads_per_rank: 1,
+            };
             let trace = Trace {
                 ranks: cores,
                 prologue: Vec::new(),
@@ -181,7 +227,12 @@ pub fn stream_scaling() -> Table {
 
 /// Run all extension studies (profiles on the A64FX).
 pub fn run_all() -> Vec<Table> {
-    vec![power_efficiency(), roofline_table(), profile_table(SystemId::A64fx), stream_scaling()]
+    vec![
+        power_efficiency(),
+        roofline_table(),
+        profile_table(SystemId::A64fx),
+        stream_scaling(),
+    ]
 }
 
 #[cfg(test)]
@@ -192,11 +243,16 @@ mod tests {
     fn a64fx_most_power_efficient() {
         let t = power_efficiency();
         let eff = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[2].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         let a = eff("A64FX");
         for sys in ["ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"] {
-            assert!(a > 2.0 * eff(sys), "A64FX must dominate {sys} on HPCG GF/s/W");
+            assert!(
+                a > 2.0 * eff(sys),
+                "A64FX must dominate {sys} on HPCG GF/s/W"
+            );
         }
     }
 
@@ -204,7 +260,9 @@ mod tests {
     fn a64fx_has_lowest_ridge() {
         let t = roofline_table();
         let ridge = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[3].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[3]
+                .parse()
+                .unwrap()
         };
         let a = ridge("A64FX");
         for sys in ["ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"] {
@@ -215,9 +273,8 @@ mod tests {
     #[test]
     fn profiles_match_paper_analysis() {
         let t = profile_table(SystemId::A64fx);
-        let dominant = |app: &str| -> String {
-            t.rows.iter().find(|r| r[0] == app).unwrap()[1].clone()
-        };
+        let dominant =
+            |app: &str| -> String { t.rows.iter().find(|r| r[0] == app).unwrap()[1].clone() };
         assert_eq!(dominant("hpcg"), "SymGS");
         assert_eq!(dominant("nekbone"), "SmallGemm");
         assert_eq!(dominant("opensbli"), "StencilFD");
@@ -230,7 +287,9 @@ mod tests {
     fn stream_saturates_with_cores() {
         let t = stream_scaling();
         let col = |cores: &str, idx: usize| -> f64 {
-            t.rows.iter().find(|r| r[0] == cores).unwrap()[idx].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == cores).unwrap()[idx]
+                .parse()
+                .unwrap()
         };
         // A64FX column: 1 core far below node bandwidth; 48 cores near it.
         let one = col("1", 1);

@@ -21,7 +21,8 @@
 //!   roofline summaries, per-app kernel profiles.
 //! * [`autotune`] — layout search: rediscovers the paper's hand-tuned
 //!   process/thread configurations automatically.
-//! * [`runner`] — crossbeam-parallel regeneration of all experiments.
+//! * [`runner`] — parallel regeneration of all experiments on a bounded
+//!   worker team (at most `available_parallelism` threads).
 //! * [`timeline`] — per-iteration phase timelines (the profiler view).
 //! * [`report`] — plain-text table rendering and paper-comparison summaries.
 //! * [`paper`] — the paper's published numbers, transcribed for comparison.

@@ -87,12 +87,18 @@ pub const TABLE10_OPENSBLI: [(SystemId, [f64; 4]); 4] = [
 
 /// Look up the paper's Table IV row for a system.
 pub fn table4_row(sys: SystemId) -> Option<[f64; 4]> {
-    TABLE4_HPCG_MULTI_NODE.iter().find(|(s, _)| *s == sys).map(|(_, v)| *v)
+    TABLE4_HPCG_MULTI_NODE
+        .iter()
+        .find(|(s, _)| *s == sys)
+        .map(|(_, v)| *v)
 }
 
 /// Look up the paper's Table X row for a system.
 pub fn table10_row(sys: SystemId) -> Option<[f64; 4]> {
-    TABLE10_OPENSBLI.iter().find(|(s, _)| *s == sys).map(|(_, v)| *v)
+    TABLE10_OPENSBLI
+        .iter()
+        .find(|(s, _)| *s == sys)
+        .map(|(_, v)| *v)
 }
 
 #[cfg(test)]
@@ -122,7 +128,10 @@ mod tests {
     #[test]
     fn table10_a64fx_is_slowest_single_node() {
         for (sys, row) in TABLE10_OPENSBLI.iter().skip(1) {
-            assert!(row[0] < TABLE10_OPENSBLI[0].1[0], "{sys:?} beats A64FX on OpenSBLI");
+            assert!(
+                row[0] < TABLE10_OPENSBLI[0].1[0],
+                "{sys:?} beats A64FX on OpenSBLI"
+            );
         }
     }
 }

@@ -34,7 +34,12 @@ impl Table {
     /// # Panics
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch in table {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -80,7 +85,14 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!("|{}|\n", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

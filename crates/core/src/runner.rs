@@ -1,33 +1,54 @@
 //! Parallel experiment runner.
 //!
 //! The 14 experiments are independent simulations; this module fans them
-//! out over a crossbeam thread scope (one worker per experiment, results
-//! collected under a `parking_lot` mutex) so `repro --all` regenerates the
-//! whole paper in roughly the time of its slowest artefact.
+//! out over a `std::thread::scope` worker team so `repro --all` regenerates
+//! the whole paper in roughly the time of its slowest artefact. Unlike the
+//! old one-thread-per-experiment fan-out, the worker count is bounded by
+//! `available_parallelism` (oversubscribing a small machine with 14 solver
+//! threads just thrashes), and workers pull experiment indices from a
+//! shared atomic queue. Results land in per-experiment slots, so the output
+//! order is always paper order regardless of which worker ran what.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::experiments;
 use crate::report::Table;
 
-/// Run every experiment concurrently, returning them in paper order.
+/// Run every experiment concurrently on at most `available_parallelism`
+/// workers, returning them in paper order.
 pub fn run_all_parallel() -> Vec<Table> {
+    run_all_parallel_bounded(densela::pool::available_parallelism())
+}
+
+/// Run every experiment concurrently on at most `workers` worker threads
+/// (at least one), returning them in paper order.
+pub fn run_all_parallel_bounded(workers: usize) -> Vec<Table> {
     let ids = experiments::all_ids();
-    let slots: Mutex<Vec<Option<Table>>> = Mutex::new(vec![None; ids.len()]);
-    crossbeam::thread::scope(|scope| {
-        for (i, id) in ids.iter().enumerate() {
-            let slots = &slots;
-            scope.spawn(move |_| {
-                let t = experiments::run_one(id).expect("known id");
-                slots.lock()[i] = Some(t);
-            });
+    let workers = workers.clamp(1, ids.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Table>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let work = |_w: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(id) = ids.get(i) else { break };
+            let t = experiments::run_one(id).expect("known id");
+            *slots[i].lock().unwrap() = Some(t);
+        };
+        let mut handles = Vec::with_capacity(workers - 1);
+        for w in 1..workers {
+            handles.push(scope.spawn(move || work(w)));
         }
-    })
-    .expect("experiment worker panicked");
+        work(0);
+        for h in handles {
+            if h.join().is_err() {
+                panic!("experiment worker panicked");
+            }
+        }
+    });
     slots
-        .into_inner()
         .into_iter()
-        .map(|t| t.expect("every slot filled"))
+        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
         .collect()
 }
 
@@ -43,6 +64,15 @@ mod tests {
         for (p, s) in par.iter().zip(&ser) {
             assert_eq!(p.id, s.id, "order must be paper order");
             assert_eq!(p, s, "{}: parallel and serial runs must agree", p.id);
+        }
+    }
+
+    #[test]
+    fn bounded_run_matches_for_any_worker_count() {
+        let ser = experiments::run_all();
+        for workers in [1usize, 2, 100] {
+            let par = run_all_parallel_bounded(workers);
+            assert_eq!(par, ser, "{workers} workers");
         }
     }
 }

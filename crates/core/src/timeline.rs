@@ -57,7 +57,11 @@ pub fn iteration_timeline(
                     WorkDist::Uniform(w) => *w,
                     WorkDist::PerRank(v) => v[0],
                 };
-                format!("compute:{} ({:.1} Mflop)", class.name(), w.flops as f64 / 1e6)
+                format!(
+                    "compute:{} ({:.1} Mflop)",
+                    class.name(),
+                    w.flops as f64 / 1e6
+                )
             }
             Phase::Allreduce { bytes } => format!("allreduce({bytes}B)"),
             Phase::Halo { pairs } => format!("halo({} pairs)", pairs.len()),
@@ -66,7 +70,10 @@ pub fn iteration_timeline(
             Phase::Barrier => "barrier".to_string(),
             Phase::Overhead { us } => format!("runtime overhead ({us}us)"),
         };
-        out.push(TimelineEntry { label, us: world.now_us(0) - before });
+        out.push(TimelineEntry {
+            label,
+            us: world.now_us(0) - before,
+        });
     }
     out
 }
@@ -108,7 +115,10 @@ mod tests {
         let full = Executor::new(&spec, &tc).run(&trace, layout);
         let per_iter_us = full.runtime_s * 1e6 / f64::from(trace.iterations);
         let rel = (tl_total - per_iter_us).abs() / per_iter_us;
-        assert!(rel < 0.10, "timeline {tl_total} vs run {per_iter_us} ({rel:.2})");
+        assert!(
+            rel < 0.10,
+            "timeline {tl_total} vs run {per_iter_us} ({rel:.2})"
+        );
     }
 
     #[test]
@@ -118,7 +128,11 @@ mod tests {
         let layout = JobLayout::mpi_full(1, &spec);
         let trace = hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks);
         let tl = iteration_timeline(&spec, &tc, &trace, layout);
-        let symgs: f64 = tl.iter().filter(|e| e.label.contains("SymGS")).map(|e| e.us).sum();
+        let symgs: f64 = tl
+            .iter()
+            .filter(|e| e.label.contains("SymGS"))
+            .map(|e| e.us)
+            .sum();
         let total: f64 = tl.iter().map(|e| e.us).sum();
         assert!(symgs / total > 0.5, "SymGS share {:.2}", symgs / total);
     }
@@ -126,8 +140,14 @@ mod tests {
     #[test]
     fn timeline_table_renders_bars() {
         let entries = vec![
-            TimelineEntry { label: "a".into(), us: 75.0 },
-            TimelineEntry { label: "b".into(), us: 25.0 },
+            TimelineEntry {
+                label: "a".into(),
+                us: 75.0,
+            },
+            TimelineEntry {
+                label: "b".into(),
+                us: 25.0,
+            },
         ];
         let t = timeline_table("demo", &entries);
         assert!(t.render().contains("75.0%"));

@@ -34,7 +34,11 @@ pub fn cholesky(a: &DMatrix) -> Option<(DMatrix, Work)> {
         }
     }
     let nf = n as u64;
-    let w = Work::new(nf * nf * nf / 3 + nf * nf, nf * nf * F64B, nf * nf * F64B / 2);
+    let w = Work::new(
+        nf * nf * nf / 3 + nf * nf,
+        nf * nf * F64B,
+        nf * nf * F64B / 2,
+    );
     Some((l, w))
 }
 
@@ -179,7 +183,13 @@ mod tests {
 
     #[test]
     fn lu_solve_handles_nonsymmetric() {
-        let a = DMatrix::from_fn(5, 5, |r, c| if r == c { 10.0 } else { ((r * 3 + c) % 4) as f64 });
+        let a = DMatrix::from_fn(5, 5, |r, c| {
+            if r == c {
+                10.0
+            } else {
+                ((r * 3 + c) % 4) as f64
+            }
+        });
         let x_true = vec![1.0, -2.0, 3.0, -4.0, 5.0];
         let b = a.matvec(&x_true);
         let (x, _) = lu_solve(&a, &b).unwrap();

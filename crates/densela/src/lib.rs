@@ -12,6 +12,11 @@
 //!   heart of Nek5000/Nekbone.
 //! * [`factor`] — Cholesky and LU factorisation for small dense systems
 //!   (CASTEP's subspace-rotation proxy; reference solutions in tests).
+//! * [`pool`] — the persistent kernel thread pool ([`pool::KernelPool`]):
+//!   spawn a worker team once per rank, dispatch data-parallel jobs with a
+//!   generation-counted barrier, reduce partials deterministically. The
+//!   shared-memory runtime `sparsela::parallel::Team` and the experiment
+//!   runner are built on.
 //! * [`work`] — flop/byte work accounting shared by every kernel, which
 //!   feeds the roofline cost model.
 //!
@@ -20,13 +25,18 @@
 //! (test-scale) runs share one work model.
 
 #![warn(missing_docs)]
+// Kernels index several arrays with one loop counter; iterator rewrites
+// obscure the stride arithmetic the Work models are written against.
+#![allow(clippy::needless_range_loop)]
 
 pub mod factor;
 pub mod gemm;
 pub mod matrix;
+pub mod pool;
 pub mod tensor;
 pub mod vecops;
 pub mod work;
 
 pub use matrix::DMatrix;
+pub use pool::KernelPool;
 pub use work::Work;

@@ -13,7 +13,11 @@ pub struct DMatrix {
 impl DMatrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.

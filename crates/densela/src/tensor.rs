@@ -149,7 +149,11 @@ pub fn apply_dim2(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
 /// Work of one axis application: n³ outputs × n MACs, streaming u and out.
 pub fn tensor_apply_work(n: usize) -> Work {
     let n3 = (n * n * n) as u64;
-    Work::new(2 * n3 * n as u64, n3 * F64B + (n * n) as u64 * F64B, n3 * F64B)
+    Work::new(
+        2 * n3 * n as u64,
+        n3 * F64B + (n * n) as u64 * F64B,
+        n3 * F64B,
+    )
 }
 
 /// Scratch space for [`local_ax`], reused across elements to avoid
@@ -166,7 +170,12 @@ impl AxScratch {
     /// Scratch for polynomial order `n` elements.
     pub fn new(n: usize) -> Self {
         let n3 = n * n * n;
-        AxScratch { ur: vec![0.0; n3], us: vec![0.0; n3], ut: vec![0.0; n3], tmp: vec![0.0; n3] }
+        AxScratch {
+            ur: vec![0.0; n3],
+            us: vec![0.0; n3],
+            ut: vec![0.0; n3],
+            tmp: vec![0.0; n3],
+        }
     }
 }
 
@@ -194,7 +203,11 @@ pub fn local_ax(
         s.us[i] *= g[i];
         s.ut[i] *= g[i];
     }
-    work += Work::new(3 * (n * n * n) as u64, 4 * (n * n * n) as u64 * F64B, 3 * (n * n * n) as u64 * F64B);
+    work += Work::new(
+        3 * (n * n * n) as u64,
+        4 * (n * n * n) as u64 * F64B,
+        3 * (n * n * n) as u64 * F64B,
+    );
     // Divergence (transpose applications), accumulated into w.
     work += apply_dim0(dt, n, &s.ur, w);
     work += apply_dim1(dt, n, &s.us, &mut s.tmp);
@@ -205,7 +218,11 @@ pub fn local_ax(
     for i in 0..n * n * n {
         w[i] += s.tmp[i];
     }
-    work += Work::new(2 * (n * n * n) as u64, 4 * (n * n * n) as u64 * F64B, 2 * (n * n * n) as u64 * F64B);
+    work += Work::new(
+        2 * (n * n * n) as u64,
+        4 * (n * n * n) as u64 * F64B,
+        2 * (n * n * n) as u64 * F64B,
+    );
     work
 }
 
@@ -253,7 +270,12 @@ mod tests {
         let u: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
         let du = d.matvec(&u);
         for (i, &xi) in x.iter().enumerate() {
-            assert!((du[i] - 3.0 * xi * xi).abs() < 1e-9, "at {xi}: {} vs {}", du[i], 3.0 * xi * xi);
+            assert!(
+                (du[i] - 3.0 * xi * xi).abs() < 1e-9,
+                "at {xi}: {} vs {}",
+                du[i],
+                3.0 * xi * xi
+            );
         }
     }
 
@@ -303,7 +325,10 @@ mod tests {
             local_ax(&d, &dt, n, &g, u, &mut w, &mut s);
             let quad: f64 = u.iter().zip(&w).map(|(a, b)| a * b).sum();
             if fi == 2 {
-                assert!(quad.abs() < 1e-8, "constant field is in the null space: {quad}");
+                assert!(
+                    quad.abs() < 1e-8,
+                    "constant field is in the null space: {quad}"
+                );
             } else {
                 assert!(quad > -1e-8, "A must be PSD: u^T A u = {quad}");
             }

@@ -47,7 +47,10 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Work {
 
 /// `w = alpha * x + beta * y` (HPCG's WAXPBY). 3n flops.
 pub fn waxpby(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64]) -> Work {
-    assert!(x.len() == y.len() && y.len() == w.len(), "waxpby: length mismatch");
+    assert!(
+        x.len() == y.len() && y.len() == w.len(),
+        "waxpby: length mismatch"
+    );
     for i in 0..x.len() {
         w[i] = alpha * x[i] + beta * y[i];
     }
@@ -75,7 +78,10 @@ pub fn copy(src: &[f64], dst: &mut [f64]) -> Work {
 /// STREAM triad: `a = b + alpha * c`. The benchmark kernel behind every
 /// sustained-bandwidth number in the machine models.
 pub fn triad(alpha: f64, b: &[f64], c: &[f64], a: &mut [f64]) -> Work {
-    assert!(b.len() == c.len() && c.len() == a.len(), "triad: length mismatch");
+    assert!(
+        b.len() == c.len() && c.len() == a.len(),
+        "triad: length mismatch"
+    );
     for i in 0..a.len() {
         a[i] = b[i] + alpha * c[i];
     }
@@ -85,7 +91,10 @@ pub fn triad(alpha: f64, b: &[f64], c: &[f64], a: &mut [f64]) -> Work {
 
 /// Elementwise product `w = x .* y` (used by diagonal preconditioners).
 pub fn hadamard(x: &[f64], y: &[f64], w: &mut [f64]) -> Work {
-    assert!(x.len() == y.len() && y.len() == w.len(), "hadamard: length mismatch");
+    assert!(
+        x.len() == y.len() && y.len() == w.len(),
+        "hadamard: length mismatch"
+    );
     for i in 0..x.len() {
         w[i] = x[i] * y[i];
     }

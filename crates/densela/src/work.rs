@@ -22,11 +22,19 @@ pub struct Work {
 
 impl Work {
     /// No work.
-    pub const ZERO: Work = Work { flops: 0, bytes_read: 0, bytes_written: 0 };
+    pub const ZERO: Work = Work {
+        flops: 0,
+        bytes_read: 0,
+        bytes_written: 0,
+    };
 
     /// Construct from raw counts.
     pub fn new(flops: u64, bytes_read: u64, bytes_written: u64) -> Self {
-        Work { flops, bytes_read, bytes_written }
+        Work {
+            flops,
+            bytes_read,
+            bytes_written,
+        }
     }
 
     /// Total bytes moved (read + written).

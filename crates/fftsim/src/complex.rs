@@ -25,12 +25,18 @@ impl Complex64 {
 
     /// `e^{iθ}`.
     pub fn cis(theta: f64) -> Self {
-        Complex64 { re: theta.cos(), im: theta.sin() }
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -45,14 +51,20 @@ impl Complex64 {
 
     /// Scale by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for Complex64 {
     type Output = Complex64;
     fn add(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re + o.re, im: self.im + o.im }
+        Complex64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -66,7 +78,10 @@ impl AddAssign for Complex64 {
 impl Sub for Complex64 {
     type Output = Complex64;
     fn sub(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re - o.re, im: self.im - o.im }
+        Complex64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -83,7 +98,10 @@ impl Mul for Complex64 {
 impl Neg for Complex64 {
     type Output = Complex64;
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -22,12 +22,19 @@ pub fn ifft(data: &mut [Complex64]) -> Work {
     for v in data.iter_mut() {
         *v = v.scale(inv);
     }
-    w + Work::new(2 * data.len() as u64, data.len() as u64 * C64B, data.len() as u64 * C64B)
+    w + Work::new(
+        2 * data.len() as u64,
+        data.len() as u64 * C64B,
+        data.len() as u64 * C64B,
+    )
 }
 
 fn transform(data: &mut [Complex64], inverse: bool) -> Work {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two, got {n}"
+    );
     if n == 1 {
         // A length-1 transform is the identity (and the bit-reversal shift
         // below would overflow).

@@ -156,7 +156,7 @@ impl PencilPlan {
         let mut best = (1usize, p);
         let mut best_score = usize::MAX;
         for p1 in 1..=p {
-            if p % p1 != 0 {
+            if !p.is_multiple_of(p1) {
                 continue;
             }
             let p2 = p / p1;
@@ -169,8 +169,15 @@ impl PencilPlan {
                 best = (p1, p2);
             }
         }
-        assert!(best.0 <= n && best.1 <= n, "no legal pencil factorisation for p={p}, n={n}");
-        PencilPlan { n, p1: best.0, p2: best.1 }
+        assert!(
+            best.0 <= n && best.1 <= n,
+            "no legal pencil factorisation for p={p}, n={n}"
+        );
+        PencilPlan {
+            n,
+            p1: best.0,
+            p2: best.1,
+        }
     }
 
     /// Ranks in the plan.
@@ -253,7 +260,8 @@ mod pencil_tests {
     fn pencil_transpose_volume_bounded_by_grid() {
         let plan = PencilPlan::new(64, 64);
         let grid_bytes = 64u64.pow(3) * 16;
-        let row_total = plan.alltoall_bytes_per_pair_row() * (plan.p1 * (plan.p1 - 1)) as u64 * plan.p2 as u64;
+        let row_total =
+            plan.alltoall_bytes_per_pair_row() * (plan.p1 * (plan.p1 - 1)) as u64 * plan.p2 as u64;
         assert!(row_total <= grid_bytes);
     }
 }
@@ -300,7 +308,8 @@ mod tests {
         for z in 0..n {
             for y in 0..n {
                 for xx in 0..n {
-                    let phase = 2.0 * std::f64::consts::PI * (kx * xx + ky * y + kz * z) as f64 / n as f64;
+                    let phase =
+                        2.0 * std::f64::consts::PI * (kx * xx + ky * y + kz * z) as f64 / n as f64;
                     x[(z * n + y) * n + xx] = Complex64::cis(phase);
                 }
             }
@@ -309,7 +318,10 @@ mod tests {
         let peak = (kz * n + ky) * n + kx;
         assert!((x[peak].abs() - (n * n * n) as f64).abs() < 1e-6);
         let total: f64 = x.iter().map(|v| v.norm_sq()).sum();
-        assert!((x[peak].norm_sq() / total - 1.0).abs() < 1e-9, "all energy in one bin");
+        assert!(
+            (x[peak].norm_sq() / total - 1.0).abs() < 1e-9,
+            "all energy in one bin"
+        );
     }
 
     #[test]

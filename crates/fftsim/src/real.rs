@@ -17,11 +17,15 @@ use densela::Work;
 /// Panics unless `n` is a power of two and at least 2.
 pub fn rfft(input: &[f64]) -> (Vec<Complex64>, Work) {
     let n = input.len();
-    assert!(n.is_power_of_two() && n >= 2, "rfft length must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "rfft length must be a power of two >= 2"
+    );
     let half = n / 2;
     // Pack even samples into re, odd into im, of a half-length signal.
-    let mut packed: Vec<Complex64> =
-        (0..half).map(|i| Complex64::new(input[2 * i], input[2 * i + 1])).collect();
+    let mut packed: Vec<Complex64> = (0..half)
+        .map(|i| Complex64::new(input[2 * i], input[2 * i + 1]))
+        .collect();
     let mut work = fft(&mut packed);
 
     // Unpack: X[k] = E[k] + e^{-2πik/n} O[k], with E/O recovered from the
@@ -46,14 +50,21 @@ pub fn rfft(input: &[f64]) -> (Vec<Complex64>, Work) {
             e + tw * o
         };
     }
-    work += Work::new(10 * (half as u64 + 1), (half as u64 + 1) * 32, (half as u64 + 1) * 16);
+    work += Work::new(
+        10 * (half as u64 + 1),
+        (half as u64 + 1) * 32,
+        (half as u64 + 1) * 16,
+    );
     (out, work)
 }
 
 /// Inverse complex-to-real FFT: `n/2 + 1` bins → `n` real samples
 /// (normalised, so `irfft(rfft(x)) == x`).
 pub fn irfft(spectrum: &[Complex64], n: usize) -> (Vec<f64>, Work) {
-    assert!(n.is_power_of_two() && n >= 2, "irfft length must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "irfft length must be a power of two >= 2"
+    );
     assert_eq!(spectrum.len(), n / 2 + 1, "spectrum must hold n/2+1 bins");
     let half = n / 2;
     // Repack the full-length Hermitian spectrum into a half-length complex
@@ -80,7 +91,12 @@ pub fn irfft(spectrum: &[Complex64], n: usize) -> (Vec<f64>, Work) {
 
 /// Work model of one r2c transform: roughly half a complex FFT.
 pub fn rfft_work(n: usize) -> Work {
-    fft_work(n / 2) + Work::new(10 * (n as u64 / 2 + 1), (n as u64 / 2 + 1) * 32, (n as u64 / 2 + 1) * 16)
+    fft_work(n / 2)
+        + Work::new(
+            10 * (n as u64 / 2 + 1),
+            (n as u64 / 2 + 1) * 32,
+            (n as u64 / 2 + 1) * 16,
+        )
 }
 
 #[cfg(test)]
@@ -89,7 +105,9 @@ mod tests {
     use crate::fft1d::dft_reference;
 
     fn signal(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 1.9).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 1.9).cos())
+            .collect()
     }
 
     #[test]
@@ -100,7 +118,12 @@ mod tests {
             let want = dft_reference(&cx);
             let (got, _) = rfft(&x);
             for k in 0..=n / 2 {
-                assert!((got[k] - want[k]).abs() < 1e-9, "n={n}, bin {k}: {:?} vs {:?}", got[k], want[k]);
+                assert!(
+                    (got[k] - want[k]).abs() < 1e-9,
+                    "n={n}, bin {k}: {:?} vs {:?}",
+                    got[k],
+                    want[k]
+                );
             }
         }
     }
@@ -170,8 +193,8 @@ mod proptests {
             let e_time: f64 = x.iter().map(|v| v * v).sum();
             // Hermitian symmetry: interior bins count twice.
             let mut e_freq = spec[0].norm_sq() + spec[n / 2].norm_sq();
-            for k in 1..n / 2 {
-                e_freq += 2.0 * spec[k].norm_sq();
+            for s in &spec[1..n / 2] {
+                e_freq += 2.0 * s.norm_sq();
             }
             e_freq /= n as f64;
             prop_assert!((e_time - e_freq).abs() < 1e-6 * (1.0 + e_time));

@@ -61,7 +61,11 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Create an empty queue at virtual time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now_us: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now_us: 0.0,
+        }
     }
 
     /// Current virtual time: the timestamp of the last popped event, or 0.
@@ -83,7 +87,11 @@ impl<T> EventQueue<T> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time_us, seq, payload });
+        self.heap.push(Event {
+            time_us,
+            seq,
+            payload,
+        });
     }
 
     /// Schedule `payload` at `delay_us` after the current virtual time.

@@ -41,7 +41,10 @@ impl Network {
 
     /// Build from an explicit topology and link parameters (ablations).
     pub fn with_link(topo: Box<dyn Topology>, link: LinkParams, nodes: usize) -> Self {
-        assert!(topo.num_nodes() >= nodes, "topology too small for node count");
+        assert!(
+            topo.num_nodes() >= nodes,
+            "topology too small for node count"
+        );
         Network {
             topo,
             link,
@@ -84,7 +87,11 @@ impl Network {
         let hops = self.topo.hops(src, dst);
         let wire_us = bytes as f64 / (self.link.injection_bw_gbs() * 1e3);
         let header_us = self.link.latency_us + f64::from(hops) * self.link.per_hop_us;
-        let handshake = if bytes >= self.link.rendezvous_cutover_bytes { header_us } else { 0.0 };
+        let handshake = if bytes >= self.link.rendezvous_cutover_bytes {
+            header_us
+        } else {
+            0.0
+        };
         // Occupy the source NIC for the wire time, then the destination NIC.
         let inject_done = self.inject[src].reserve(issue_us + handshake, wire_us);
         let eject_done = self.eject[dst].reserve(inject_done + header_us - wire_us, wire_us);
@@ -133,7 +140,10 @@ mod tests {
         let net = edr(4);
         let intra = net.flight_time_us(0, 0, 64 * 1024);
         let inter = net.flight_time_us(0, 1, 64 * 1024);
-        assert!(intra < inter, "shared memory should beat the wire ({intra} vs {inter})");
+        assert!(
+            intra < inter,
+            "shared memory should beat the wire ({intra} vs {inter})"
+        );
     }
 
     #[test]
@@ -162,7 +172,10 @@ mod tests {
         let big = 10 << 20;
         let t1 = net.transfer(0, 1, big, 0.0);
         let t2 = net.transfer(2, 3, big, 0.0);
-        assert!((t1 - t2).abs() < 1.0, "disjoint transfers should complete together");
+        assert!(
+            (t1 - t2).abs() < 1.0,
+            "disjoint transfers should complete together"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl Torus6d {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn new(dims: [usize; 6]) -> Self {
-        assert!(dims.iter().all(|&d| d > 0), "torus dimensions must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "torus dimensions must be positive"
+        );
         Torus6d { dims }
     }
 
@@ -98,7 +101,9 @@ impl Topology for Torus6d {
     fn hops(&self, a: usize, b: usize) -> u32 {
         let ca = self.coords(a);
         let cb = self.coords(b);
-        (0..6).map(|i| Self::ring_dist(self.dims[i], ca[i], cb[i])).sum()
+        (0..6)
+            .map(|i| Self::ring_dist(self.dims[i], ca[i], cb[i]))
+            .sum()
     }
 
     fn diameter(&self) -> u32 {
@@ -135,13 +140,21 @@ impl Dragonfly {
     /// per router and 96 routers per group.
     pub fn aries(n: usize) -> Self {
         assert!(n > 0);
-        Dragonfly { nodes_per_router: 4, routers_per_group: 96, num_nodes: n }
+        Dragonfly {
+            nodes_per_router: 4,
+            routers_per_group: 96,
+            num_nodes: n,
+        }
     }
 
     /// Build with explicit shape (used by tests and ablations).
     pub fn new(n: usize, nodes_per_router: usize, routers_per_group: usize) -> Self {
         assert!(n > 0 && nodes_per_router > 0 && routers_per_group > 0);
-        Dragonfly { nodes_per_router, routers_per_group, num_nodes: n }
+        Dragonfly {
+            nodes_per_router,
+            routers_per_group,
+            num_nodes: n,
+        }
     }
 
     fn router_of(&self, node: usize) -> usize {
@@ -204,14 +217,22 @@ pub struct FatTree {
 impl FatTree {
     /// A non-blocking fat tree with 32-port leaf switches (Fulhame EDR).
     pub fn nonblocking(n: usize) -> Self {
-        FatTree { nodes_per_leaf: 32, num_nodes: n, oversubscription: 1.0 }
+        FatTree {
+            nodes_per_leaf: 32,
+            num_nodes: n,
+            oversubscription: 1.0,
+        }
     }
 
     /// A fat tree with explicit leaf size and oversubscription ratio
     /// (Cirrus FDR and NGIO OmniPath are mildly oversubscribed).
     pub fn with_oversubscription(n: usize, nodes_per_leaf: usize, ratio: f64) -> Self {
         assert!(n > 0 && nodes_per_leaf > 0 && ratio >= 1.0);
-        FatTree { nodes_per_leaf, num_nodes: n, oversubscription: ratio }
+        FatTree {
+            nodes_per_leaf,
+            num_nodes: n,
+            oversubscription: ratio,
+        }
     }
 
     fn leaf_of(&self, node: usize) -> usize {

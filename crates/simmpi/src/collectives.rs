@@ -49,7 +49,10 @@ fn leader_flight_us(net: &Network, nodes: &[usize], bytes: u64) -> f64 {
         return 0.0;
     }
     let from = nodes[0];
-    let sum: f64 = nodes[1..].iter().map(|&n| net.flight_time_us(from, n, bytes)).sum();
+    let sum: f64 = nodes[1..]
+        .iter()
+        .map(|&n| net.flight_time_us(from, n, bytes))
+        .sum();
     sum / (nodes.len() - 1) as f64
 }
 
@@ -248,7 +251,10 @@ mod tests {
         let p = placement(8, 4);
         let a2a = alltoall_time_us(&n, &p, 64 * 1024);
         let ag = allgather_time_us(&n, &p, 64 * 1024);
-        assert!(a2a > ag, "alltoall moves p x the data of allgather: {a2a} vs {ag}");
+        assert!(
+            a2a > ag,
+            "alltoall moves p x the data of allgather: {a2a} vs {ag}"
+        );
     }
 
     #[test]

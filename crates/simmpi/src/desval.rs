@@ -21,7 +21,11 @@ struct Arrival {
 /// to the next power of two (extra ranks are free riders on node 0, as real
 /// implementations fold them in a pre-round we conservatively skip).
 /// Returns the completion time in microseconds.
-pub fn allreduce_recursive_doubling_des(net: &mut Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+pub fn allreduce_recursive_doubling_des(
+    net: &mut Network,
+    node_of_rank: &[usize],
+    bytes: u64,
+) -> f64 {
     let p = node_of_rank.len();
     if p <= 1 {
         return 0.0;
@@ -44,7 +48,13 @@ pub fn allreduce_recursive_doubling_des(net: &mut Network, node_of_rank: &[usize
             }
             let t_send = clock[rank];
             let done = net.transfer(node_of_rank[rank], node_of_rank[partner], bytes, t_send);
-            q.schedule_at(done.max(q.now_us()), Arrival { rank: partner, round });
+            q.schedule_at(
+                done.max(q.now_us()),
+                Arrival {
+                    rank: partner,
+                    round,
+                },
+            );
             arrivals.push((partner, done));
         }
         // Drain the round's events; each rank advances to its arrival.

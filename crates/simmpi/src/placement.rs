@@ -73,16 +73,28 @@ impl Placement {
 
     /// Fully-populated MPI-only layout: one rank per core, all cores used.
     pub fn mpi_only_full_node(nodes: u32, node: &Node) -> Self {
-        Placement::new(nodes * node.cores(), node.cores(), 1, node, PlacementPolicy::RoundRobinDomain)
-            .expect("full-node MPI layout is always valid")
+        Placement::new(
+            nodes * node.cores(),
+            node.cores(),
+            1,
+            node,
+            PlacementPolicy::RoundRobinDomain,
+        )
+        .expect("full-node MPI layout is always valid")
     }
 
     /// The paper's preferred A64FX hybrid layout: one rank per memory domain
     /// (CMG), threads filling the domain's cores.
     pub fn one_rank_per_domain(nodes: u32, node: &Node) -> Self {
         let dpn = node.memory.num_domains() as u32;
-        Placement::new(nodes * dpn, dpn, node.cores() / dpn, node, PlacementPolicy::RoundRobinDomain)
-            .expect("one-rank-per-domain layout is always valid")
+        Placement::new(
+            nodes * dpn,
+            dpn,
+            node.cores() / dpn,
+            node,
+            PlacementPolicy::RoundRobinDomain,
+        )
+        .expect("one-rank-per-domain layout is always valid")
     }
 
     /// Total MPI ranks.

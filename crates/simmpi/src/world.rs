@@ -77,7 +77,10 @@ impl World {
 
     /// Advance `rank`'s clock by a compute phase of `us` microseconds.
     pub fn compute(&mut self, rank: u32, us: f64) {
-        assert!(us >= 0.0 && !us.is_nan(), "compute time must be non-negative");
+        assert!(
+            us >= 0.0 && !us.is_nan(),
+            "compute time must be non-negative"
+        );
         self.clock_us[rank as usize] += us;
         self.compute_us[rank as usize] += us;
     }
@@ -108,7 +111,9 @@ impl World {
         for &(src, dst, bytes) in msgs {
             let s = src as usize;
             let d = dst as usize;
-            let done = self.net.transfer(self.node_map[s], self.node_map[d], bytes, self.clock_us[s]);
+            let done =
+                self.net
+                    .transfer(self.node_map[s], self.node_map[d], bytes, self.clock_us[s]);
             self.clock_us[s] += SEND_OVERHEAD_US;
             arrivals[d] = arrivals[d].max(done);
         }
@@ -218,7 +223,9 @@ impl World {
     pub fn rank_bw_share_gbs(&self, rank: u32, node: &Node, saturation_cores: u32) -> f64 {
         let dom = self.placement.domain_of(rank);
         let active = self.placement.cores_active_in_domain(rank);
-        let domain_bw = node.memory.domain_bw_for_cores(dom, active, saturation_cores);
+        let domain_bw = node
+            .memory
+            .domain_bw_for_cores(dom, active, saturation_cores);
         domain_bw / f64::from(self.placement.ranks_in_domain(rank))
     }
 }
@@ -231,7 +238,14 @@ mod tests {
 
     fn world(nodes: u32, rpn: u32) -> World {
         let node = system(SystemId::A64fx).node;
-        let p = Placement::new(nodes * rpn, rpn, 1, &node, PlacementPolicy::RoundRobinDomain).unwrap();
+        let p = Placement::new(
+            nodes * rpn,
+            rpn,
+            1,
+            &node,
+            PlacementPolicy::RoundRobinDomain,
+        )
+        .unwrap();
         let net = Network::new(InterconnectKind::TofuD, nodes as usize);
         World::new(net, p)
     }

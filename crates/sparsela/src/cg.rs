@@ -9,6 +9,16 @@ use crate::csr::CsrMatrix;
 use densela::vecops;
 use densela::Work;
 
+/// Work of the elementwise subtraction pass that finishes forming the
+/// initial residual `r = b - A x` (one flop per row; reads `b` and the
+/// freshly computed `A x`, writes `r`). The SpMV itself is accounted
+/// separately by the operator. Shared by every CG front end — serial,
+/// matrix-free, and the pooled `sparsela::parallel::Team::cg_solve` — so
+/// their prologue accounting cannot drift apart.
+pub fn residual_sub_work(n: usize) -> Work {
+    Work::new(n as u64, 2 * n as u64 * 8, n as u64 * 8)
+}
+
 /// Outcome of a CG solve.
 #[derive(Debug, Clone)]
 pub struct CgResult {
@@ -70,7 +80,13 @@ pub fn cg_matfree(
     let bnorm = bnorm_sq.sqrt();
     if bnorm == 0.0 {
         x.fill(0.0);
-        return CgResult { iterations: 0, rel_residual: 0.0, converged: true, work, history };
+        return CgResult {
+            iterations: 0,
+            rel_residual: 0.0,
+            converged: true,
+            work,
+            history,
+        };
     }
 
     // r = b - A x
@@ -79,7 +95,7 @@ pub fn cg_matfree(
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    work += Work::new(n as u64, 2 * n as u64 * 8, n as u64 * 8);
+    work += residual_sub_work(n);
 
     fn apply_m<M: FnMut(&[f64], &mut [f64]) -> Work>(
         r: &[f64],
@@ -134,7 +150,13 @@ pub fn cg_matfree(
     }
 
     let rel = history.last().copied().unwrap_or(0.0) / bnorm;
-    CgResult { iterations, rel_residual: rel, converged, work, history }
+    CgResult {
+        iterations,
+        rel_residual: rel,
+        converged,
+        work,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +195,11 @@ mod tests {
         let b: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut x = vec![0.0; a.rows()];
         let res = cg_solve(&a, &b, &mut x, 500, 1e-10);
-        assert!(res.converged, "structural CG: {} iters, rel {}", res.iterations, res.rel_residual);
+        assert!(
+            res.converged,
+            "structural CG: {} iters, rel {}",
+            res.iterations, res.rel_residual
+        );
     }
 
     #[test]

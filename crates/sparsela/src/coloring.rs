@@ -37,7 +37,10 @@ impl Coloring {
                 }
             }
         }
-        Coloring { color, num_colors: 8 }
+        Coloring {
+            color,
+            num_colors: 8,
+        }
     }
 
     /// Greedy first-fit colouring of an arbitrary symmetric sparsity
@@ -61,7 +64,10 @@ impl Coloring {
             color[r] = pick;
             max_color = max_color.max(pick);
         }
-        Coloring { color, num_colors: max_color + 1 }
+        Coloring {
+            color,
+            num_colors: max_color + 1,
+        }
     }
 
     /// Validate against a matrix: no two coupled rows share a colour.
@@ -116,9 +122,20 @@ pub fn mc_symgs_sweep(a: &CsrMatrix, coloring: &Coloring, b: &[f64], x: &mut [f6
     for g in groups.iter().rev() {
         relax(g, x);
     }
+    mc_symgs_work(a)
+}
+
+/// Work of one symmetric multi-colour sweep over `a` (shared by the serial
+/// sweep above and the pooled `sparsela::parallel::Team::mc_symgs_sweep`,
+/// which performs the identical arithmetic).
+pub fn mc_symgs_work(a: &CsrMatrix) -> Work {
     let nnz = a.nnz() as u64;
     let n = a.rows() as u64;
-    Work::new(4 * nnz + 2 * n, 2 * (nnz * (F64B + IDXB) + 2 * n * F64B), 2 * n * F64B)
+    Work::new(
+        4 * nnz + 2 * n,
+        2 * (nnz * (F64B + IDXB) + 2 * n * F64B),
+        2 * n * F64B,
+    )
 }
 
 #[cfg(test)]
@@ -204,11 +221,15 @@ mod tests {
         let mut rev = coloring.clone();
         let _ = &mut rev; // same colouring; order inside mc_symgs_sweep's
                           // groups is ascending — emulate reversal manually:
-        let groups: Vec<Vec<usize>> = coloring.groups().iter().map(|g| {
-            let mut r = g.clone();
-            r.reverse();
-            r
-        }).collect();
+        let groups: Vec<Vec<usize>> = coloring
+            .groups()
+            .iter()
+            .map(|g| {
+                let mut r = g.clone();
+                r.reverse();
+                r
+            })
+            .collect();
         let mut x_rev = vec![0.0; a.rows()];
         {
             let relax = |rows: &[usize], x: &mut Vec<f64>| {
@@ -231,7 +252,10 @@ mod tests {
             }
         }
         for (u, v) in x_fwd.iter().zip(&x_rev) {
-            assert!((u - v).abs() < 1e-14, "order inside a colour must not matter");
+            assert!(
+                (u - v).abs() < 1e-14,
+                "order inside a colour must not matter"
+            );
         }
     }
 }

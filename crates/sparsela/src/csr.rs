@@ -24,22 +24,44 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the arrays are inconsistent (wrong lengths, out-of-range or
     /// unsorted column indices).
-    pub fn from_raw(rows: usize, cols: usize, row_ptr: Vec<usize>, col_idx: Vec<u32>, values: Vec<f64>) -> Self {
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length must be rows+1");
         assert_eq!(col_idx.len(), values.len(), "col_idx and values must align");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr must end at nnz");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr must end at nnz"
+        );
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         for r in 0..rows {
-            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be non-decreasing");
+            assert!(
+                row_ptr[r] <= row_ptr[r + 1],
+                "row_ptr must be non-decreasing"
+            );
             let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "columns within a row must be strictly increasing");
+                assert!(
+                    w[0] < w[1],
+                    "columns within a row must be strictly increasing"
+                );
             }
             if let Some(&last) = row.last() {
                 assert!((last as usize) < cols, "column index out of range");
             }
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Build from (row, col, value) triplets; duplicates are summed.
@@ -92,12 +114,18 @@ impl CsrMatrix {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        self.col_idx[lo..hi].iter().map(|&c| c as usize).zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .map(|&c| c as usize)
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// The diagonal entry of row `r` (0 if absent).
     pub fn diag(&self, r: usize) -> f64 {
-        self.row(r).find(|&(c, _)| c == r).map(|(_, v)| v).unwrap_or(0.0)
+        self.row(r)
+            .find(|&(c, _)| c == r)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
     }
 
     /// Sparse matrix–vector product `y = A x`. Returns the work performed:
@@ -123,7 +151,11 @@ impl CsrMatrix {
         let nnz = self.nnz() as u64;
         let rows = self.rows as u64;
         let cols = self.cols as u64;
-        Work::new(2 * nnz, nnz * (F64B + IDXB) + cols * F64B + rows * F64B, rows * F64B)
+        Work::new(
+            2 * nnz,
+            nnz * (F64B + IDXB) + cols * F64B + rows * F64B,
+            rows * F64B,
+        )
     }
 
     /// Frobenius norm of the matrix.
@@ -169,7 +201,13 @@ mod tests {
         CsrMatrix::from_coo(
             3,
             3,
-            vec![(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 1.0), (2, 2, 4.0)],
+            vec![
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 1.0),
+                (2, 2, 4.0),
+            ],
         )
     }
 
@@ -235,9 +273,8 @@ mod proptests {
 
     fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
         (2usize..20).prop_flat_map(|n| {
-            proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 1..n * 3).prop_map(move |entries| {
-                CsrMatrix::from_coo(n, n, entries)
-            })
+            proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 1..n * 3)
+                .prop_map(move |entries| CsrMatrix::from_coo(n, n, entries))
         })
     }
 

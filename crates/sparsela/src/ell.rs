@@ -10,6 +10,7 @@
 //! SpMV whose results match CSR bit-for-bit reorderings aside.
 
 use crate::csr::CsrMatrix;
+use densela::pool::SharedSlice;
 use densela::Work;
 
 const F64B: u64 = 8;
@@ -43,7 +44,10 @@ impl SellMatrix {
     /// padding).
     pub fn from_csr(a: &CsrMatrix, c: usize, sigma: usize) -> Self {
         assert!(c >= 1, "slice height must be at least 1");
-        assert!(sigma >= c && sigma.is_multiple_of(c), "sigma must be a multiple of c");
+        assert!(
+            sigma >= c && sigma.is_multiple_of(c),
+            "sigma must be a multiple of c"
+        );
         let rows = a.rows();
         let row_len = |r: usize| a.row(r).count();
 
@@ -105,6 +109,17 @@ impl SellMatrix {
         self.rows
     }
 
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of slices (each covering up to `c` rows). Slices own disjoint
+    /// sets of output rows, which is what makes slice-parallel SpMV safe.
+    pub fn num_slices(&self) -> usize {
+        self.slice_width.len()
+    }
+
     /// Stored entries including padding.
     pub fn stored(&self) -> usize {
         self.values.len()
@@ -125,9 +140,30 @@ impl SellMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) -> Work {
         assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
+        let out = SharedSlice::new(y);
+        // SAFETY: single caller covers every slice exactly once.
+        unsafe { self.spmv_slices(0, self.num_slices(), x, &out) };
+        self.spmv_work()
+    }
+
+    /// The SpMV kernel over slices `s_lo..s_hi`, writing through a shared
+    /// view. This one code path serves both the serial [`SellMatrix::spmv`]
+    /// and the slice-parallel `Team::sell_spmv`, so their per-row results
+    /// are bit-identical by construction.
+    ///
+    /// # Safety
+    /// No other thread may concurrently touch the output rows of slices
+    /// `s_lo..s_hi` (i.e. `perm[s_lo * c .. min(s_hi * c, rows)]`).
+    pub(crate) unsafe fn spmv_slices(
+        &self,
+        s_lo: usize,
+        s_hi: usize,
+        x: &[f64],
+        y: &SharedSlice<f64>,
+    ) {
         let c = self.c;
         let mut acc = vec![0.0f64; c];
-        for s in 0..self.slice_width.len() {
+        for s in s_lo..s_hi {
             let lo = s * c;
             let hi = ((s + 1) * c).min(self.rows);
             let lanes = hi - lo;
@@ -143,10 +179,9 @@ impl SellMatrix {
                 }
             }
             for lane in 0..lanes {
-                y[self.perm[lo + lane]] = acc[lane];
+                y.set(self.perm[lo + lane], acc[lane]);
             }
         }
-        self.spmv_work()
     }
 
     /// Work model: padded entries still move through the vector unit.
@@ -170,7 +205,10 @@ mod tests {
         a.spmv(&x, &mut y_csr);
         sell.spmv(&x, &mut y_sell);
         for (i, (u, v)) in y_csr.iter().zip(&y_sell).enumerate() {
-            assert!((u - v).abs() < 1e-12, "row {i}: {u} vs {v} (c={c}, sigma={sigma})");
+            assert!(
+                (u - v).abs() < 1e-12,
+                "row {i}: {u} vs {v} (c={c}, sigma={sigma})"
+            );
         }
     }
 
@@ -233,7 +271,11 @@ mod tests {
         // The HPCG operator is nearly regular: padding should be small.
         let a = stencil27(8, 8, 8);
         let sell = SellMatrix::from_csr(&a, 8, 32);
-        assert!(sell.padding_factor() < 1.3, "padding {}", sell.padding_factor());
+        assert!(
+            sell.padding_factor() < 1.3,
+            "padding {}",
+            sell.padding_factor()
+        );
     }
 
     #[test]

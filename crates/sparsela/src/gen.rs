@@ -104,7 +104,11 @@ pub fn structural3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
     let node_idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     // Deterministic symmetric coupling weight for an (node a, node b) pair.
     let coupling = |a: usize, b: usize, da: usize, db: usize| -> f64 {
-        let (lo, hi) = if (a, da) <= (b, db) { ((a, da), (b, db)) } else { ((b, db), (a, da)) };
+        let (lo, hi) = if (a, da) <= (b, db) {
+            ((a, da), (b, db))
+        } else {
+            ((b, db), (a, da))
+        };
         let h = (lo.0 as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(hi.0 as u64)
@@ -139,7 +143,11 @@ pub fn structural3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
                                     if a == b && da == db {
                                         continue; // diagonal handled below
                                     }
-                                    entries.push((a * DOF + da, b * DOF + db, coupling(a, b, da, db)));
+                                    entries.push((
+                                        a * DOF + da,
+                                        b * DOF + db,
+                                        coupling(a, b, da, db),
+                                    ));
                                 }
                             }
                         }
@@ -192,7 +200,11 @@ mod tests {
         let a = stencil27(4, 3, 2);
         assert!(a.is_symmetric(1e-15));
         for r in 0..a.rows() {
-            let off: f64 = a.row(r).filter(|&(c, _)| c != r).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .row(r)
+                .filter(|&(c, _)| c != r)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(a.diag(r) >= off, "row {r} not diagonally dominant");
         }
     }
@@ -222,7 +234,11 @@ mod tests {
         assert_eq!(a.rows(), 81);
         assert!(a.is_symmetric(1e-12), "structural matrix must be symmetric");
         for r in 0..a.rows() {
-            let off: f64 = a.row(r).filter(|&(c, _)| c != r).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .row(r)
+                .filter(|&(c, _)| c != r)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(a.diag(r) > off, "row {r} must be strictly dominant");
         }
     }

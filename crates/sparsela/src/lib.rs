@@ -16,12 +16,17 @@
 //!   and per-iteration callbacks.
 //! * [`mg`] — the HPCG-style geometric multigrid V-cycle preconditioner
 //!   (coarsening by 2 in each dimension, SymGS smoothing).
-//! * [`parallel`] — shared-memory (crossbeam) thread-team kernels: the
-//!   OpenMP half of the paper's MPI+OpenMP configurations.
+//! * [`parallel`] — shared-memory thread-team kernels on the persistent
+//!   [`densela::pool::KernelPool`]: the OpenMP half of the paper's
+//!   MPI+OpenMP configurations, including parallel multicolour SymGS,
+//!   slice-parallel SELL-C-σ SpMV, and fused CG kernels.
 //! * [`partition`] — domain decomposition: 3-D block partitions with halo
 //!   accounting (HPCG, OpenSBLI) and 1-D row partitions (minikab).
 
 #![warn(missing_docs)]
+// Kernels index several arrays with one loop counter; iterator rewrites
+// obscure the stride arithmetic the Work models are written against.
+#![allow(clippy::needless_range_loop)]
 
 pub mod cg;
 pub mod coloring;
@@ -35,4 +40,6 @@ pub mod symgs;
 
 pub use cg::{cg_solve, pcg_solve, CgResult};
 pub use csr::CsrMatrix;
+pub use densela::pool::{KernelPool, SharedSlice};
+pub use parallel::{SpawnTeam, Team};
 pub use partition::{Block3d, Partition3d, RowPartition};

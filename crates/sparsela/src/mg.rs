@@ -63,7 +63,11 @@ impl MgHierarchy {
             } else {
                 Vec::new()
             };
-            levels.push(MgLevel { a, dims: (cx, cy, cz), f2c });
+            levels.push(MgLevel {
+                a,
+                dims: (cx, cy, cz),
+                f2c,
+            });
             cx /= 2;
             cy /= 2;
             cz /= 2;
@@ -220,7 +224,12 @@ mod tests {
         mg.vcycle(&b, &mut z);
         // z should be a better approximation to x_true than zero is.
         let err0: f64 = x_true.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let err1: f64 = x_true.iter().zip(&z).map(|(t, g)| (t - g) * (t - g)).sum::<f64>().sqrt();
+        let err1: f64 = x_true
+            .iter()
+            .zip(&z)
+            .map(|(t, g)| (t - g) * (t - g))
+            .sum::<f64>()
+            .sqrt();
         assert!(err1 < 0.5 * err0, "V-cycle error {err1} vs initial {err0}");
     }
 

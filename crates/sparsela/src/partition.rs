@@ -56,7 +56,11 @@ impl Block3d {
 
     /// Areas of the six faces, in cells: (x-, x+, y-, y+, z-, z+ are pairs).
     pub fn face_areas(&self) -> [usize; 3] {
-        [self.dims.1 * self.dims.2, self.dims.0 * self.dims.2, self.dims.0 * self.dims.1]
+        [
+            self.dims.1 * self.dims.2,
+            self.dims.0 * self.dims.2,
+            self.dims.0 * self.dims.1,
+        ]
     }
 }
 
@@ -75,7 +79,11 @@ impl Partition3d {
     /// exactly; leftover cells go to the low-coordinate ranks.
     pub fn new(global: (usize, usize, usize), p: usize) -> Self {
         let pgrid = factor3(p);
-        Partition3d { pgrid, global, ranks: p }
+        Partition3d {
+            pgrid,
+            global,
+            ranks: p,
+        }
     }
 
     /// HPCG-style weak partition: every rank owns exactly `local` cells and
@@ -161,7 +169,11 @@ impl Partition3d {
             let areas = blk.face_areas();
             let mut push = |other: (usize, usize, usize), area: usize| {
                 let o = self.rank_of(other);
-                pairs.push((r as u32, o as u32, (area * halo_width) as u64 * bytes_per_cell));
+                pairs.push((
+                    r as u32,
+                    o as u32,
+                    (area * halo_width) as u64 * bytes_per_cell,
+                ));
             };
             // Only the +x/+y/+z directions so each pair appears once.
             if cx + 1 < self.pgrid.0 {
@@ -179,7 +191,10 @@ impl Partition3d {
 
     /// Maximum cells owned by any rank (load-balance metric).
     pub fn max_cells(&self) -> usize {
-        (0..self.ranks).map(|r| self.block(r).cells()).max().unwrap_or(0)
+        (0..self.ranks)
+            .map(|r| self.block(r).cells())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean cells per rank.
@@ -283,7 +298,10 @@ mod tests {
         assert_eq!(factor3(27), (3, 3, 3));
         let (a, b, c) = factor3(48);
         assert_eq!(a * b * c, 48);
-        assert!(a.max(b).max(c) <= 4, "48 should factor as 4x4x3: got {a}x{b}x{c}");
+        assert!(
+            a.max(b).max(c) <= 4,
+            "48 should factor as 4x4x3: got {a}x{b}x{c}"
+        );
     }
 
     #[test]

@@ -55,14 +55,22 @@ pub fn symgs_sweep(a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> Work {
 pub fn symgs_work(a: &CsrMatrix) -> Work {
     let nnz = a.nnz() as u64;
     let n = a.rows() as u64;
-    Work::new(4 * nnz + 2 * n, 2 * (nnz * (F64B + IDXB) + 2 * n * F64B), 2 * n * F64B)
+    Work::new(
+        4 * nnz + 2 * n,
+        2 * (nnz * (F64B + IDXB) + 2 * n * F64B),
+        2 * n * F64B,
+    )
 }
 
 /// Residual `b - A x` 2-norm (test helper).
 pub fn residual_norm(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
     let mut ax = vec![0.0; a.rows()];
     a.spmv(x, &mut ax);
-    b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt()
+    b.iter()
+        .zip(&ax)
+        .map(|(bi, ai)| (bi - ai) * (bi - ai))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]

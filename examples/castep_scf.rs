@@ -7,18 +7,29 @@
 //! ```
 
 use a64fx_repro::apps::castep::{run_real, CastepConfig};
-use a64fx_repro::core::experiments::castep::{castep_scf_per_s, figure5, table9};
 use a64fx_repro::archsim::SystemId;
+use a64fx_repro::core::experiments::castep::{castep_scf_per_s, figure5, table9};
 
 fn main() {
     // Real SCF cycles on a small periodic cell.
-    let cfg = CastepConfig { grid: 16, bands: 6, h_applies: 2, scf_cycles: 12 };
-    println!("plane-wave SCF proxy: {} bands on a {}^3 grid", cfg.bands, cfg.grid);
+    let cfg = CastepConfig {
+        grid: 16,
+        bands: 6,
+        h_applies: 2,
+        scf_cycles: 12,
+    };
+    println!(
+        "plane-wave SCF proxy: {} bands on a {}^3 grid",
+        cfg.bands, cfg.grid
+    );
     let energies = run_real(cfg);
     for (cycle, e) in energies.iter().enumerate() {
         println!("  SCF cycle {cycle:>2}: total band energy {e:>12.6}");
     }
-    assert!(energies.windows(2).all(|w| w[1] <= w[0] + 1e-9), "energy must descend");
+    assert!(
+        energies.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "energy must descend"
+    );
 
     println!("\nTiN-scale comparison across the five systems:");
     println!("{}", figure5().render());

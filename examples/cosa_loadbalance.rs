@@ -18,7 +18,11 @@ use a64fx_repro::sparsela::partition::BlockPartition;
 fn main() {
     let blocks = 800;
     println!("COSA decomposition of {blocks} blocks:");
-    for (sys, nodes) in [(SystemId::A64fx, 16u32), (SystemId::Fulhame, 16), (SystemId::Ngio, 16)] {
+    for (sys, nodes) in [
+        (SystemId::A64fx, 16u32),
+        (SystemId::Fulhame, 16),
+        (SystemId::Ngio, 16),
+    ] {
         let ranks = (nodes * system(sys).node.cores()) as usize;
         let bp = BlockPartition::new(blocks, ranks);
         let idle = ranks - bp.active_ranks();

@@ -20,7 +20,10 @@ fn main() {
         InterconnectKind::OmniPath,
     ];
 
-    println!("{:<16} {:>9} {:>10} {:>10} {:>12}", "fabric", "link GB/s", "latency us", "diameter", "bisection");
+    println!(
+        "{:<16} {:>9} {:>10} {:>10} {:>12}",
+        "fabric", "link GB/s", "latency us", "diameter", "bisection"
+    );
     for kind in kinds {
         let link = kind.default_link();
         let topo = build_topology(kind, 64);

@@ -43,5 +43,8 @@ fn main() {
             }
         }
     }
-    println!("best: {} ranks x {} threads — the paper's 1-rank-per-CMG setup", best.0, best.1);
+    println!(
+        "best: {} ranks x {} threads — the paper's 1-rank-per-CMG setup",
+        best.0, best.1
+    );
 }

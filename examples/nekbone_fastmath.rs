@@ -7,14 +7,19 @@
 //! ```
 
 use a64fx_repro::apps::nekbone::{run_real, NekboneConfig};
-use a64fx_repro::core::experiments::nekbone::{nekbone_gflops, table6};
 use a64fx_repro::archsim::{system, SystemId};
+use a64fx_repro::core::experiments::nekbone::{nekbone_gflops, table6};
 
 fn main() {
     println!("{}", table6().render());
 
     println!("fast-math sensitivity (full node, simulated):");
-    for sys in [SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame, SystemId::Archer] {
+    for sys in [
+        SystemId::A64fx,
+        SystemId::Ngio,
+        SystemId::Fulhame,
+        SystemId::Archer,
+    ] {
         let cores = system(sys).node.cores();
         let plain = nekbone_gflops(sys, 1, cores, false);
         let fast = nekbone_gflops(sys, 1, cores, true);
@@ -29,7 +34,11 @@ fn main() {
 
     // And the real thing: an actual spectral-element CG solve with the
     // tensor-product ax kernel the paper describes.
-    let cfg = NekboneConfig { elements_per_rank: 8, poly: 8, iterations: 120 };
+    let cfg = NekboneConfig {
+        elements_per_rank: 8,
+        poly: 8,
+        iterations: 120,
+    };
     let res = run_real(cfg);
     println!(
         "\nreal spectral-element CG ({} elements of order {}): {} iterations, \

@@ -7,15 +7,27 @@
 //! ```
 
 use a64fx_repro::apps::opensbli::{OpensbliConfig, TgvSolver};
-use a64fx_repro::core::experiments::opensbli::{opensbli_runtime_s, table10};
 use a64fx_repro::archsim::SystemId;
+use a64fx_repro::core::experiments::opensbli::{opensbli_runtime_s, table10};
 
 fn main() {
-    let cfg = OpensbliConfig { grid: 16, steps: 60, viscosity: 0.02, dt: 5e-4 };
+    let cfg = OpensbliConfig {
+        grid: 16,
+        steps: 60,
+        viscosity: 0.02,
+        dt: 5e-4,
+    };
     let mut solver = TgvSolver::new(cfg);
     let m0 = solver.total_mass();
-    println!("TGV on a {0}x{0}x{0} periodic grid, Re = {1:.0}", cfg.grid, 1.0 / cfg.viscosity);
-    println!("{:>6} {:>14} {:>14} {:>12}", "step", "kinetic energy", "mass drift", "min density");
+    println!(
+        "TGV on a {0}x{0}x{0} periodic grid, Re = {1:.0}",
+        cfg.grid,
+        1.0 / cfg.viscosity
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "step", "kinetic energy", "mass drift", "min density"
+    );
     for step in 0..=cfg.steps {
         if step % 10 == 0 {
             println!(

@@ -22,7 +22,10 @@ fn executor_replays_are_bit_identical() {
 
 #[test]
 fn traces_are_deterministic() {
-    assert_eq!(hpcg::trace(hpcg::HpcgConfig::paper(), 96), hpcg::trace(hpcg::HpcgConfig::paper(), 96));
+    assert_eq!(
+        hpcg::trace(hpcg::HpcgConfig::paper(), 96),
+        hpcg::trace(hpcg::HpcgConfig::paper(), 96)
+    );
     assert_eq!(
         cosa::trace(cosa::CosaConfig::paper(), 768),
         cosa::trace(cosa::CosaConfig::paper(), 768)

@@ -13,7 +13,11 @@ fn hpcg_a64fx_beats_ngio_by_tens_of_percent() {
     let a = hpcg::hpcg_gflops(SystemId::A64fx, 1, false);
     let n = hpcg::hpcg_gflops(SystemId::Ngio, 1, false);
     let lead = a / n - 1.0;
-    assert!(lead > 0.25 && lead < 0.65, "A64FX lead over NGIO: {:.0}%", 100.0 * lead);
+    assert!(
+        lead > 0.25 && lead < 0.65,
+        "A64FX lead over NGIO: {:.0}%",
+        100.0 * lead
+    );
 }
 
 /// §V: "higher performance (approx. 10%) than the ThunderX2 node ... whilst
@@ -23,7 +27,11 @@ fn hpcg_a64fx_beats_optimised_fulhame_by_around_10_percent() {
     let a = hpcg::hpcg_gflops(SystemId::A64fx, 1, false);
     let f = hpcg::hpcg_gflops(SystemId::Fulhame, 1, true);
     let lead = a / f - 1.0;
-    assert!(lead > 0.02 && lead < 0.30, "A64FX lead over optimised Fulhame: {:.0}%", 100.0 * lead);
+    assert!(
+        lead > 0.02 && lead < 0.30,
+        "A64FX lead over optimised Fulhame: {:.0}%",
+        100.0 * lead
+    );
 }
 
 /// §V Table IV: "the A64FX nodes are still providing higher performance than
@@ -33,7 +41,12 @@ fn hpcg_a64fx_beats_optimised_fulhame_by_around_10_percent() {
 fn hpcg_multi_node_a64fx_stays_ahead() {
     for nodes in [2u32, 4, 8] {
         let a = hpcg::hpcg_gflops(SystemId::A64fx, nodes, false);
-        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+        for sys in [
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ] {
             let optimised = matches!(sys, SystemId::Ngio | SystemId::Fulhame);
             let o = hpcg::hpcg_gflops(sys, nodes, optimised);
             assert!(a > o, "{sys:?} at {nodes} nodes: {o} vs A64FX {a}");
@@ -51,8 +64,16 @@ fn minikab_single_core_ordering() {
     let f = minikab::minikab_runtime_s(SystemId::Fulhame, 1, 1, 1).unwrap();
     assert!(a < n && n < f);
     let intel_gap = n / a - 1.0;
-    assert!(intel_gap > 0.0 && intel_gap < 0.25, "A64FX vs NGIO gap {:.0}%", 100.0 * intel_gap);
-    assert!(f / a > 1.8, "ThunderX2 should be ~2x slower, got {:.2}x", f / a);
+    assert!(
+        intel_gap > 0.0 && intel_gap < 0.25,
+        "A64FX vs NGIO gap {:.0}%",
+        100.0 * intel_gap
+    );
+    assert!(
+        f / a > 1.8,
+        "ThunderX2 should be ~2x slower, got {:.2}x",
+        f / a
+    );
 }
 
 /// §VI.A Figure 1: "using 1 process per CMG with 12 OpenMP threads per
@@ -65,7 +86,10 @@ fn minikab_figure1_claims() {
     let hybrid = minikab::minikab_runtime_s(SystemId::A64fx, 2, 8, 12).unwrap();
     for (r, t) in [(48u32, 2u32), (16, 6), (4, 24), (48, 1)] {
         let other = minikab::minikab_runtime_s(SystemId::A64fx, 2, r, t).unwrap();
-        assert!(hybrid <= other + 1e-9, "8x12 ({hybrid}) must beat {r}x{t} ({other})");
+        assert!(
+            hybrid <= other + 1e-9,
+            "8x12 ({hybrid}) must beat {r}x{t} ({other})"
+        );
     }
 }
 
@@ -74,10 +98,16 @@ fn minikab_figure1_claims() {
 #[test]
 fn nekbone_a64fx_gpu_class_with_fastmath() {
     let fast = nekbone::nekbone_gflops(SystemId::A64fx, 1, 48, true);
-    assert!(fast > 290.0 && fast < 330.0, "A64FX fast-math Nekbone: {fast}");
+    assert!(
+        fast > 290.0 && fast < 330.0,
+        "A64FX fast-math Nekbone: {fast}"
+    );
     let plain = nekbone::nekbone_gflops(SystemId::A64fx, 1, 48, false);
     let gain = fast / plain;
-    assert!(gain > 1.6 && gain < 1.95, "fast-math gain {gain} (paper: 1.78)");
+    assert!(
+        gain > 1.6 && gain < 1.95,
+        "fast-math gain {gain} (paper: 1.78)"
+    );
 }
 
 /// §VI.B Table VII: parallel efficiency at 16 nodes stays >= 0.95 on all
@@ -96,13 +126,24 @@ fn nekbone_parallel_efficiency_to_16_nodes() {
 fn cosa_crossover_at_16_nodes() {
     for nodes in [2u32, 4, 8] {
         let a = cosa::cosa_runtime_s(SystemId::A64fx, nodes).unwrap();
-        for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
-            assert!(a < cosa::cosa_runtime_s(sys, nodes).unwrap(), "{sys:?} at {nodes} nodes");
+        for sys in [
+            SystemId::Archer,
+            SystemId::Cirrus,
+            SystemId::Ngio,
+            SystemId::Fulhame,
+        ] {
+            assert!(
+                a < cosa::cosa_runtime_s(sys, nodes).unwrap(),
+                "{sys:?} at {nodes} nodes"
+            );
         }
     }
     let a16 = cosa::cosa_runtime_s(SystemId::A64fx, 16).unwrap();
     let f16 = cosa::cosa_runtime_s(SystemId::Fulhame, 16).unwrap();
-    assert!(f16 < a16, "Fulhame must overtake at 16 nodes: {f16} vs {a16}");
+    assert!(
+        f16 < a16,
+        "Fulhame must overtake at 16 nodes: {f16} vs {a16}"
+    );
 }
 
 /// §VII.A: "The benchmark would not fit on a single A64FX node" (~60 GB case
@@ -123,7 +164,10 @@ fn castep_ordering_and_ratios() {
     let ar = castep::castep_scf_per_s(SystemId::Archer, 24);
     assert!(n > a && a > f && f > c && c > ar);
     let ratio = a / n;
-    assert!(ratio > 0.70 && ratio < 0.90, "A64FX/NGIO CASTEP ratio {ratio} (paper 0.79)");
+    assert!(
+        ratio > 0.70 && ratio < 0.90,
+        "A64FX/NGIO CASTEP ratio {ratio} (paper 0.79)"
+    );
 }
 
 /// §VII.C Table X: the A64FX is around 3x slower than the fastest system on
@@ -136,7 +180,10 @@ fn opensbli_a64fx_loses_by_around_3x() {
         .map(|&s| opensbli::opensbli_runtime_s(s, 1))
         .fold(f64::INFINITY, f64::min);
     let ratio = a / best;
-    assert!(ratio > 2.3 && ratio < 3.8, "A64FX OpenSBLI slowdown {ratio} (paper ~3x)");
+    assert!(
+        ratio > 2.3 && ratio < 3.8,
+        "A64FX OpenSBLI slowdown {ratio} (paper ~3x)"
+    );
 }
 
 /// The balance table behind it all: the A64FX has by far the best
@@ -145,13 +192,23 @@ fn opensbli_a64fx_loses_by_around_3x() {
 #[test]
 fn a64fx_has_best_machine_balance() {
     let a = system(SystemId::A64fx).node.balance_bytes_per_flop();
-    for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+    for sys in [
+        SystemId::Archer,
+        SystemId::Cirrus,
+        SystemId::Ngio,
+        SystemId::Fulhame,
+    ] {
         let o = system(sys).node.balance_bytes_per_flop();
         assert!(a > o, "{sys:?}: balance {o} vs A64FX {a}");
     }
     // ... and in absolute bandwidth it is in a different league (>3x all).
     let a_bw = system(SystemId::A64fx).node.sustained_bw_gbs();
-    for sys in [SystemId::Archer, SystemId::Cirrus, SystemId::Ngio, SystemId::Fulhame] {
+    for sys in [
+        SystemId::Archer,
+        SystemId::Cirrus,
+        SystemId::Ngio,
+        SystemId::Fulhame,
+    ] {
         assert!(a_bw > 3.0 * system(sys).node.sustained_bw_gbs(), "{sys:?}");
     }
 }

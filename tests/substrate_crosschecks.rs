@@ -17,7 +17,11 @@ use a64fx_repro::sparsela::symgs::{residual_norm, symgs_sweep};
 
 #[test]
 fn optimised_and_reference_hpcg_agree_on_the_answer() {
-    let cfg = hpcg::HpcgConfig { local: (8, 8, 8), mg_levels: 3, iterations: 40 };
+    let cfg = hpcg::HpcgConfig {
+        local: (8, 8, 8),
+        mg_levels: 3,
+        iterations: 40,
+    };
     let reference = hpcg::run_real(cfg);
     let optimised = hpcg::run_real_optimised(cfg);
     assert!(reference.rel_residual < 1e-8);
@@ -91,7 +95,9 @@ fn team_kernels_compose_with_dense_kernels() {
 #[test]
 fn real_fft_agrees_with_complex_fft_on_real_input() {
     let n = 64;
-    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() * (i as f64 * 0.05).cos()).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.3).sin() * (i as f64 * 0.05).cos())
+        .collect();
     let (r2c, _) = rfft(&x);
     let mut c: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
     fft(&mut c);

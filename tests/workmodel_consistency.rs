@@ -2,13 +2,13 @@
 //! must agree with the instrumented real kernels, at sizes where both run.
 
 use a64fx_repro::apps::{hpcg, nekbone};
-use a64fx_repro::densela::tensor::{
-    gll_derivative_matrix, local_ax, local_ax_work, AxScratch,
-};
+use a64fx_repro::densela::tensor::{gll_derivative_matrix, local_ax, local_ax_work, AxScratch};
 use a64fx_repro::fftsim::complex::Complex64;
 use a64fx_repro::fftsim::fft3d::{fft3_inplace, fft3_work};
+use a64fx_repro::sparsela::cg::cg_solve;
 use a64fx_repro::sparsela::gen::stencil27;
 use a64fx_repro::sparsela::mg::MgHierarchy;
+use a64fx_repro::sparsela::parallel::Team;
 use a64fx_repro::sparsela::symgs::symgs_work;
 
 #[test]
@@ -57,7 +57,10 @@ fn nekbone_trace_ax_equals_elements_times_kernel() {
             work,
         } = p
         {
-            assert_eq!(work.of_rank(0).flops, kernel.flops * cfg.elements_per_rank as u64);
+            assert_eq!(
+                work.of_rank(0).flops,
+                kernel.flops * cfg.elements_per_rank as u64
+            );
             found = true;
         }
     }
@@ -67,11 +70,42 @@ fn nekbone_trace_ax_equals_elements_times_kernel() {
 #[test]
 fn fft3_work_model_matches_instrumented_transform() {
     for n in [4usize, 8, 16] {
-        let mut data: Vec<Complex64> =
-            (0..n * n * n).map(|i| Complex64::new(i as f64 * 0.01, -(i as f64) * 0.02)).collect();
+        let mut data: Vec<Complex64> = (0..n * n * n)
+            .map(|i| Complex64::new(i as f64 * 0.01, -(i as f64) * 0.02))
+            .collect();
         let measured = fft3_inplace(n, &mut data);
         assert_eq!(measured, fft3_work(n), "n={n}");
     }
+}
+
+#[test]
+fn team_cg_prologue_work_matches_serial_cg_exactly() {
+    // The old team solver forgot to count the `r = b - A x` subtraction
+    // pass. With max_iter = 0 both solvers perform exactly the prologue
+    // (norm of b, one SpMV, the residual subtraction, the p = r copy, and
+    // dot(r, r)), so their work records must be identical.
+    let a = stencil27(6, 6, 6);
+    let b: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.13).sin()).collect();
+    let mut x_serial = vec![0.0; a.rows()];
+    let serial = cg_solve(&a, &b, &mut x_serial, 0, 1e-12);
+    for threads in [1usize, 4] {
+        let mut x_team = vec![0.0; a.rows()];
+        let (_, _, team_work) = Team::new(threads).cg_solve(&a, &b, &mut x_team, 0, 1e-12);
+        assert_eq!(serial.work, team_work, "{threads} threads");
+    }
+}
+
+#[test]
+fn team_cg_per_iteration_work_never_undercounts_the_spmv() {
+    // Fused kernels move fewer bytes than the serial sequence, but the team
+    // must still count at least the SpMV flops every iteration plus the
+    // prologue — undercounting would corrupt the roofline model downstream.
+    let a = stencil27(6, 6, 6);
+    let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+    let mut x = vec![0.0; a.rows()];
+    let (iters, _, work) = Team::new(4).cg_solve(&a, &b, &mut x, 40, 1e-10);
+    assert!(iters > 0);
+    assert!(work.flops >= (iters as u64 + 1) * a.spmv_work().flops);
 }
 
 #[test]
@@ -79,12 +113,19 @@ fn hpcg_real_run_flops_close_to_trace_model() {
     // Run real HPCG at 16^3 (3 MG levels) and compare against a trace built
     // for the same configuration: counted flops should agree within a few
     // per cent (the real run's convergence checks add a little).
-    let cfg = hpcg::HpcgConfig { local: (16, 16, 16), mg_levels: 3, iterations: 25 };
+    let cfg = hpcg::HpcgConfig {
+        local: (16, 16, 16),
+        mg_levels: 3,
+        iterations: 25,
+    };
     let real = hpcg::run_real(cfg);
     let trace = hpcg::trace(cfg, 1);
     // The real solver may converge early; normalise per iteration.
     let real_per_iter = real.work.flops as f64 / real.iterations as f64;
     let trace_per_iter = trace.total_work().flops as f64 / f64::from(trace.iterations);
     let rel = (real_per_iter - trace_per_iter).abs() / trace_per_iter;
-    assert!(rel < 0.10, "per-iteration flops: real {real_per_iter}, model {trace_per_iter} ({rel:.2})");
+    assert!(
+        rel < 0.10,
+        "per-iteration flops: real {real_per_iter}, model {trace_per_iter} ({rel:.2})"
+    );
 }

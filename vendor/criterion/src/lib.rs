@@ -1,0 +1,149 @@
+//! Offline stub of `criterion`.
+//!
+//! Keeps the benchmark harness (`crates/bench/benches/*.rs`) compiling and
+//! runnable without network access: `cargo bench` runs each benchmark a few
+//! times with `std::time::Instant` and prints the best time. No statistics,
+//! plots, or baselines — for tracked numbers use the `bench_json` binary,
+//! which never depended on criterion.
+
+use std::time::{Duration, Instant};
+
+/// How many timed repetitions the stub runs per benchmark.
+const RUNS: u32 = 3;
+
+/// Throughput annotation (recorded but only echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark driver handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, keeping the best of a few runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            if self.best.is_none_or(|b| dt < b) {
+                self.best = Some(dt);
+            }
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let best = b.best.unwrap_or(Duration::ZERO);
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gbs = n as f64 / best.as_secs_f64().max(1e-12) / 1e9;
+            println!("bench {name:<40} {best:>12.2?}  ({gbs:.2} GB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let me = n as f64 / best.as_secs_f64().max(1e-12) / 1e6;
+            println!("bench {name:<40} {best:>12.2?}  ({me:.2} Melem/s)");
+        }
+        None => println!("bench {name:<40} {best:>12.2?}"),
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample size (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Warm-up time (ignored by the stub).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measurement time (ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), &b, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+}
+
+/// Re-export matching criterion's (deprecated) `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its model types but
+//! never serialises them to an external format (tables are rendered by
+//! hand in `core::report`), so marker traits are all that is needed. The
+//! container this repo builds in has no network access to crates.io; the
+//! stub keeps the derives compiling without the real dependency. Swapping
+//! the real serde back in requires no source changes — only the
+//! workspace-level path override.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime-free in the stub:
+/// nothing in this workspace names the `'de` lifetime).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,45 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real serde_derive generates full (de)serialisation impls; this repo
+//! only uses `#[derive(Serialize, Deserialize)]` as a marker (nothing is
+//! ever serialised to an external format — reports are rendered by hand),
+//! so the stub emits empty impls of the marker traits defined by the
+//! sibling `vendor/serde` stub. It is written without `syn`/`quote` so it
+//! builds with no network access: it scans the token stream for the
+//! `struct`/`enum` keyword and takes the following identifier as the type
+//! name. Generic types are not supported (none of the derived types in
+//! this workspace are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
