@@ -1,0 +1,150 @@
+//! # conform — the conformance harness
+//!
+//! Holds the simulation to its own published numbers and to itself:
+//!
+//! * [`golden`] — every paper table the experiment driver emits is
+//!   snapshotted as versioned JSON with per-metric tolerance bands; a run
+//!   diffs regenerated tables cell by cell and renders a reviewable report
+//!   on drift. Re-blessing (`cargo run -p conform -- --bless`) is the one
+//!   sanctioned way to move a golden.
+//! * [`differential`] — the analytic collective cost models are pitted
+//!   against the message-level discrete-event simulation across topology
+//!   families, message sizes spanning the algorithm-selection crossover,
+//!   and rank placements, with bounded relative error.
+//! * [`parity`] — serial, spawn-per-call and persistent-pool kernels are
+//!   forced to 2/4/8 configured threads and held to the runtime's
+//!   bit-identity and repeat-determinism promises.
+//!
+//! The `conform` binary runs all three suites (exit 1 on any failure);
+//! `cargo test -p conform` runs them as ordinary tests.
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod golden;
+pub mod json;
+pub mod parity;
+
+use a64fx_core::Table;
+
+/// The outcome of one conformance suite.
+pub struct SuiteResult {
+    /// Suite name.
+    pub name: &'static str,
+    /// Rendered report (tables and/or diff lines).
+    pub report: String,
+    /// Failures; empty means the suite is conformant.
+    pub failures: Vec<String>,
+}
+
+impl SuiteResult {
+    /// Whether the suite passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the golden-table suite (optionally re-blessing the snapshots).
+pub fn golden_suite(bless: bool) -> SuiteResult {
+    if bless {
+        return match golden::bless_all() {
+            Ok(written) => {
+                let report = written
+                    .iter()
+                    .map(|(id, changed)| {
+                        format!("blessed {id}{}", if *changed { " (changed)" } else { "" })
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                SuiteResult {
+                    name: "golden",
+                    report,
+                    failures: Vec::new(),
+                }
+            }
+            Err(e) => SuiteResult {
+                name: "golden",
+                report: String::new(),
+                failures: vec![e],
+            },
+        };
+    }
+    let r = golden::check_all();
+    SuiteResult {
+        name: "golden",
+        report: format!(
+            "{} tables checked against {}",
+            r.checked,
+            golden::goldens_dir().display()
+        ),
+        failures: r.diffs,
+    }
+}
+
+/// Run the DES-vs-analytic differential sweep.
+pub fn differential_suite() -> SuiteResult {
+    let (table, failures) = differential::run();
+    SuiteResult {
+        name: "differential",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Run the kernel-parity suite.
+pub fn parity_suite() -> SuiteResult {
+    let (table, failures) = parity::run();
+    SuiteResult {
+        name: "parity",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Render a report table as aligned plain text.
+pub fn render(t: &Table) -> String {
+    let mut widths: Vec<usize> = t.headers.iter().map(String::len).collect();
+    for row in &t.rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let mut out = format!("{}: {}\n", t.id, t.title);
+    out.push_str(&fmt_row(&t.headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    for note in &t.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("X", "demo", &["a", "longer"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.note("n");
+        let s = render(&t);
+        assert!(s.contains("a  longer"), "{s}");
+        assert!(s.contains("note: n"), "{s}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Kernel parity at scale: serial vs spawn-per-call vs persistent-pool
+//! execution at forced thread counts.
+//!
+//! The kernel runtime promises that row-partitioned kernels (CSR SpMV,
+//! SELL-C-σ SpMV, multicolour SymGS, AXPY) are **bit-identical** to their
+//! serial forms at any thread count, and that reductions (dot, fused
+//! SpMV+dot, AXPY+norm) are deterministic for a fixed thread count —
+//! reassociated relative to serial, but exactly repeatable. This suite
+//! pins teams to 2, 4 and 8 configured threads regardless of how many
+//! cores the host has and holds the runtime to both promises, checking the
+//! pool's dispatch counter to prove the parallel path actually ran.
+
+use a64fx_core::Table;
+use sparsela::coloring::{mc_symgs_sweep, Coloring};
+use sparsela::ell::SellMatrix;
+use sparsela::gen::stencil27;
+use sparsela::{cg_solve, CsrMatrix, SpawnTeam, Team};
+
+/// Thread counts exercised — configured counts, not host parallelism.
+pub const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+const GRID: (usize, usize, usize) = (12, 12, 12);
+const CG_MAX_ITER: usize = 500;
+const CG_RTOL: f64 = 1e-8;
+
+fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let (nx, ny, nz) = GRID;
+    let a = stencil27(nx, ny, nz);
+    let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.173).sin()).collect();
+    let mut b = vec![0.0; a.rows()];
+    a.spmv(&x, &mut b); // b = A·(known vector): CG has an exact target
+    (a, x, b)
+}
+
+struct Checker {
+    table: Table,
+    failures: Vec<String>,
+}
+
+impl Checker {
+    fn record(&mut self, check: &str, threads: usize, result: Result<String, String>) {
+        let (cell, failed) = match &result {
+            Ok(ok) => (format!("pass ({ok})"), false),
+            Err(e) => (format!("FAIL: {e}"), true),
+        };
+        self.table
+            .push_row(vec![check.to_string(), threads.to_string(), cell]);
+        if failed {
+            self.failures.push(format!(
+                "{check} @ {threads} threads: {}",
+                result.unwrap_err()
+            ));
+        }
+    }
+}
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("length {} vs {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("first divergence at [{i}]: {x:e} vs {y:e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Run the full parity suite; returns the report table and failures.
+pub fn run() -> (Table, Vec<String>) {
+    let (a, x, b) = problem();
+    let n = a.rows();
+    let mut chk = Checker {
+        table: Table::new(
+            "PARITY",
+            "Kernel parity: serial vs SpawnTeam vs pooled Team at configured thread counts",
+            &["Check", "Threads", "Result"],
+        ),
+        failures: Vec::new(),
+    };
+
+    // Serial baselines.
+    let mut y_serial = vec![0.0; n];
+    a.spmv(&x, &mut y_serial);
+    let sell = SellMatrix::from_csr(&a, 8, 32);
+    let mut y_sell_serial = vec![0.0; n];
+    sell.spmv(&x, &mut y_sell_serial);
+    let coloring = Coloring::stencil8(GRID.0, GRID.1, GRID.2);
+    let mut gs_serial = vec![0.0; n];
+    mc_symgs_sweep(&a, &coloring, &b, &mut gs_serial);
+    let serial_cg = {
+        let mut xs = vec![0.0; n];
+        cg_solve(&a, &b, &mut xs, CG_MAX_ITER, CG_RTOL)
+    };
+
+    for t in THREAD_COUNTS {
+        let team = Team::new(t);
+        let spawn = SpawnTeam::new(t);
+        if !team.would_parallelize(n) {
+            chk.record(
+                "problem size takes the parallel path",
+                t,
+                Err(format!("{n} rows would run serially")),
+            );
+            continue;
+        }
+
+        // CSR SpMV: both parallel paths bit-identical to serial.
+        let mut y = vec![0.0; n];
+        let before = team.pool().dispatches();
+        team.spmv(&a, &x, &mut y);
+        chk.record(
+            "CSR SpMV pooled == serial (bitwise)",
+            t,
+            bitwise_eq(&y_serial, &y).map(|()| "bit-identical".into()),
+        );
+        let mut y2 = vec![0.0; n];
+        spawn.spmv(&a, &x, &mut y2);
+        chk.record(
+            "CSR SpMV spawn-per-call == serial (bitwise)",
+            t,
+            bitwise_eq(&y_serial, &y2).map(|()| "bit-identical".into()),
+        );
+
+        // SELL-C-sigma SpMV bit-identical to its serial kernel.
+        let mut ys = vec![0.0; n];
+        team.sell_spmv(&sell, &x, &mut ys);
+        chk.record(
+            "SELL-C-sigma SpMV pooled == serial (bitwise)",
+            t,
+            bitwise_eq(&y_sell_serial, &ys).map(|()| "bit-identical".into()),
+        );
+
+        // Multicolour SymGS bit-identical to the serial sweep.
+        let mut gs = vec![0.0; n];
+        team.mc_symgs_sweep(&a, &coloring, &b, &mut gs);
+        chk.record(
+            "MC-SymGS pooled == serial (bitwise)",
+            t,
+            bitwise_eq(&gs_serial, &gs).map(|()| "bit-identical".into()),
+        );
+
+        // Fused kernels agree with their unfused counterparts bitwise on
+        // the vector output, and reductions repeat exactly.
+        let mut yf = vec![0.0; n];
+        let (pap1, _) = team.spmv_dot(&a, &x, &mut yf);
+        chk.record(
+            "fused SpMV+dot vector == plain SpMV (bitwise)",
+            t,
+            bitwise_eq(&y_serial, &yf).map(|()| "bit-identical".into()),
+        );
+        let mut yf2 = vec![0.0; n];
+        let (pap2, _) = team.spmv_dot(&a, &x, &mut yf2);
+        chk.record(
+            "fused SpMV+dot reduction repeats exactly",
+            t,
+            if pap1.to_bits() == pap2.to_bits() {
+                Ok(format!("{pap1:.6e} both runs"))
+            } else {
+                Err(format!("{pap1:e} vs {pap2:e}"))
+            },
+        );
+        let mut ax_serial = b.clone();
+        for (o, v) in ax_serial.iter_mut().zip(&x) {
+            *o += 2.5 * v;
+        }
+        let mut ax = b.clone();
+        team.axpy(2.5, &x, &mut ax);
+        chk.record(
+            "AXPY pooled == serial (bitwise)",
+            t,
+            bitwise_eq(&ax_serial, &ax).map(|()| "bit-identical".into()),
+        );
+        let (d1, _) = team.dot(&x, &b);
+        let (d2, _) = team.dot(&x, &b);
+        chk.record(
+            "dot reduction repeats exactly",
+            t,
+            if d1.to_bits() == d2.to_bits() {
+                Ok(format!("{d1:.6e} both runs"))
+            } else {
+                Err(format!("{d1:e} vs {d2:e}"))
+            },
+        );
+
+        // The pooled path genuinely ran: the dispatch counter advanced.
+        let after = team.pool().dispatches();
+        chk.record(
+            "pool dispatch counter advanced",
+            t,
+            if after > before {
+                Ok(format!("{} dispatches", after - before))
+            } else {
+                Err(format!("counter stuck at {after}"))
+            },
+        );
+
+        // Pooled CG: converges like serial and repeats bit-identically.
+        let mut x1 = vec![0.0; n];
+        let (it1, rel1, _) = team.cg_solve(&a, &b, &mut x1, CG_MAX_ITER, CG_RTOL);
+        let mut x2 = vec![0.0; n];
+        let (it2, rel2, _) = team.cg_solve(&a, &b, &mut x2, CG_MAX_ITER, CG_RTOL);
+        chk.record(
+            "pooled CG repeat run bit-identical",
+            t,
+            if it1 == it2 && rel1.to_bits() == rel2.to_bits() {
+                bitwise_eq(&x1, &x2).map(|()| format!("{it1} iters, rel {rel1:.2e}"))
+            } else {
+                Err(format!("iters {it1} vs {it2}, rel {rel1:e} vs {rel2:e}"))
+            },
+        );
+        chk.record(
+            "pooled CG converges like serial",
+            t,
+            if rel1 <= CG_RTOL && it1.abs_diff(serial_cg.iterations) <= 3 {
+                Ok(format!("{it1} iters vs serial {}", serial_cg.iterations))
+            } else {
+                Err(format!(
+                    "rel {rel1:e}, {it1} iters vs serial {} ({})",
+                    serial_cg.iterations, serial_cg.rel_residual
+                ))
+            },
+        );
+        let mut x3 = vec![0.0; n];
+        let (it3, rel3, _) = spawn.cg_solve(&a, &b, &mut x3, CG_MAX_ITER, CG_RTOL);
+        chk.record(
+            "spawn-per-call CG converges like serial",
+            t,
+            if rel3 <= CG_RTOL && it3.abs_diff(serial_cg.iterations) <= 3 {
+                Ok(format!("{it3} iters"))
+            } else {
+                Err(format!("rel {rel3:e}, {it3} iters"))
+            },
+        );
+    }
+
+    chk.table.note(format!(
+        "{}x{}x{} 27-point stencil ({n} rows); serial CG: {} iterations to rel {:.2e}",
+        GRID.0, GRID.1, GRID.2, serial_cg.iterations, serial_cg.rel_residual
+    ));
+    chk.table
+        .note("thread counts are configured on the team, not taken from the host's core count");
+    (chk.table, chk.failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_suite_is_clean() {
+        let (table, failures) = run();
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+        // Every thread count contributed rows.
+        for t in THREAD_COUNTS {
+            assert!(
+                table.rows.iter().any(|r| r[1] == t.to_string()),
+                "no rows for {t} threads"
+            );
+        }
+    }
+}

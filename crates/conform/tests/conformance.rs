@@ -1,0 +1,31 @@
+//! The three conformance suites as ordinary integration tests, so
+//! `cargo test -p conform` (and tier-1 `cargo test`) holds the simulation
+//! to its goldens, its DES, and its kernel-parity promises on every run.
+
+#[test]
+fn golden_tables_conform() {
+    let r = conform::golden_suite(false);
+    assert!(r.passed(), "golden drift:\n{}", r.failures.join("\n"));
+}
+
+#[test]
+fn des_vs_analytic_within_bound() {
+    let r = conform::differential_suite();
+    assert!(
+        r.passed(),
+        "differential sweep out of bound:\n{}\n\n{}",
+        r.failures.join("\n"),
+        r.report
+    );
+}
+
+#[test]
+fn kernel_parity_holds_at_scale() {
+    let r = conform::parity_suite();
+    assert!(
+        r.passed(),
+        "parity violations:\n{}\n\n{}",
+        r.failures.join("\n"),
+        r.report
+    );
+}

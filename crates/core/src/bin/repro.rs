@@ -45,15 +45,7 @@ fn take_threads(args: &mut Vec<String>) -> usize {
         threads = Some(v);
         args.drain(i..=i + 1);
     }
-    threads
-        .or_else(|| {
-            std::env::var("A64FX_REPRO_THREADS")
-                .ok()?
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-        })
-        .unwrap_or_else(densela::pool::available_parallelism)
+    runner::resolve_threads(threads)
 }
 
 fn main() {

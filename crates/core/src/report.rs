@@ -104,6 +104,77 @@ impl Table {
     }
 }
 
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_array(items: &[String], indent: &str) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let body = items
+        .iter()
+        .map(|s| format!("{indent}  \"{}\"", json_escape(s)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n{indent}]")
+}
+
+impl Table {
+    /// Serialise the table to pretty-printed JSON with a stable key order.
+    ///
+    /// The workspace's `serde` is an offline marker stub, so this is the
+    /// real serialisation seam: the `conform` crate snapshots every
+    /// experiment table through it and diffs reruns against the versioned
+    /// goldens. `extra` key/value pairs (already-rendered JSON values) are
+    /// appended verbatim after the table fields — the conformance harness
+    /// uses this to embed per-column tolerance bands in the golden files.
+    pub fn to_json(&self, extra: &[(&str, String)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": \"{}\",\n", json_escape(&self.id)));
+        out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(&self.title)));
+        out.push_str(&format!(
+            "  \"headers\": {},\n",
+            json_str_array(&self.headers, "  ")
+        ));
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let body = self
+                .rows
+                .iter()
+                .map(|r| format!("    {}", json_str_array(r, "    ")))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{body}\n  ]")
+        };
+        out.push_str(&format!("  \"rows\": {rows},\n"));
+        out.push_str(&format!(
+            "  \"notes\": {}",
+            json_str_array(&self.notes, "  ")
+        ));
+        for (k, v) in extra {
+            out.push_str(&format!(",\n  \"{}\": {v}", json_escape(k)));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
 /// Format a (paper, simulated) pair with their ratio, e.g. `38.26 / 36.90
 /// (0.96x)`.
 pub fn pair(paper: f64, simulated: f64) -> String {
@@ -162,6 +233,22 @@ mod tests {
         let p = pair(10.0, 12.0);
         assert!(p.contains("1.20x"), "{p}");
         assert!(pair(0.0, 5.0).starts_with("- /"));
+    }
+
+    #[test]
+    fn to_json_round_trips_structure_and_escapes() {
+        let mut t = Table::new("T3", "quote \" and \\ back", &["sys", "val"]);
+        t.push_row(vec!["A64FX".into(), "38.26 / 36.90 (0.96x)".into()]);
+        t.note("line\nbreak");
+        let j = t.to_json(&[("tolerance", "{\"default\": 0.02}".to_string())]);
+        assert!(j.contains("\"id\": \"T3\""));
+        assert!(j.contains("quote \\\" and \\\\ back"));
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("\"tolerance\": {\"default\": 0.02}"));
+        // Each structural key appears exactly once.
+        for key in ["\"headers\"", "\"rows\"", "\"notes\""] {
+            assert_eq!(j.matches(key).count(), 1, "{key}");
+        }
     }
 
     #[test]

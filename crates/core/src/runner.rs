@@ -15,6 +15,25 @@ use std::sync::Mutex;
 use crate::experiments;
 use crate::report::Table;
 
+/// Resolve the worker-team size: an explicit request (e.g. a `--threads`
+/// flag) wins, then the `A64FX_REPRO_THREADS` environment variable, then
+/// `available_parallelism`. Zero and unparseable values are ignored at
+/// each step, so a garbage environment variable falls back silently — the
+/// runner must never refuse to run over a typo in a login script.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .filter(|&n| n >= 1)
+        .or_else(|| {
+            std::env::var("A64FX_REPRO_THREADS")
+                .ok()?
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+        })
+        .unwrap_or_else(densela::pool::available_parallelism)
+}
+
 /// Run every experiment concurrently on at most `available_parallelism`
 /// workers, returning them in paper order.
 pub fn run_all_parallel() -> Vec<Table> {

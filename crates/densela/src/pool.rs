@@ -113,6 +113,17 @@ impl KernelPool {
         self.threads
     }
 
+    /// Jobs dispatched to the workers so far — the generation counter, made
+    /// test-visible. Conformance tests use it to prove a kernel actually
+    /// took the pooled path rather than silently falling back to the serial
+    /// one (a single-lane pool never dispatches and always reports 0).
+    pub fn dispatches(&self) -> u64 {
+        if self.threads == 1 {
+            return 0;
+        }
+        self.shared.state.lock().unwrap().generation
+    }
+
     /// Execute `f(lane)` on every lane concurrently; lane 0 runs on the
     /// calling thread. Returns after all lanes finished.
     ///
@@ -291,6 +302,20 @@ mod tests {
         for (lane, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 100, "lane {lane}");
         }
+    }
+
+    #[test]
+    fn dispatch_counter_tracks_pooled_jobs() {
+        let pool = KernelPool::new(3);
+        assert_eq!(pool.dispatches(), 0);
+        for expected in 1..=5u64 {
+            pool.run(|_| {});
+            assert_eq!(pool.dispatches(), expected);
+        }
+        // A single-lane pool runs inline and never dispatches.
+        let serial = KernelPool::new(1);
+        serial.run(|_| {});
+        assert_eq!(serial.dispatches(), 0);
     }
 
     #[test]

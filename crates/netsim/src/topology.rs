@@ -238,6 +238,18 @@ impl FatTree {
     fn leaf_of(&self, node: usize) -> usize {
         node / self.nodes_per_leaf
     }
+
+    /// Switch levels in the tree: 1 when every node hangs off one leaf
+    /// switch, 2 (leaf + spine) otherwise. Any up-down route traverses at
+    /// most `2 * levels - 1` switches, so `hops <= 2 * levels` is the
+    /// structural bound the conformance property tests assert.
+    pub fn levels(&self) -> u32 {
+        if self.num_nodes <= self.nodes_per_leaf {
+            1
+        } else {
+            2
+        }
+    }
 }
 
 impl Topology for FatTree {
@@ -339,6 +351,35 @@ mod tests {
     }
 
     #[test]
+    fn build_topology_round_trips_each_paper_system() {
+        // Rebuilding every paper system's interconnect at its benchmarked
+        // node count must cover the system, respect its own diameter, and
+        // keep the published bisection behaviour (only the A64FX TofuD and
+        // Fulhame EDR installations are non-blocking at paper scale).
+        use archsim::{system, SystemId};
+        for id in SystemId::all() {
+            let spec = system(id);
+            let n = spec.total_nodes as usize;
+            let topo = build_topology(spec.interconnect, n);
+            assert!(topo.num_nodes() >= n, "{:?}: topology too small", id);
+            assert_eq!(topo.hops(0, 0), 0, "{id:?}");
+            for node in [1, n / 2, n - 1] {
+                let h = topo.hops(0, node);
+                assert!(h <= topo.diameter(), "{id:?}: hops(0,{node}) > diameter");
+                assert_eq!(topo.hops(0, node), topo.hops(node, 0), "{id:?}");
+            }
+            let b = topo.bisection_factor();
+            assert!(b > 0.0 && b <= 1.0, "{id:?}");
+            match id {
+                SystemId::A64fx | SystemId::Fulhame => {
+                    assert_eq!(b, 1.0, "{id:?} is non-blocking at paper scale")
+                }
+                _ => assert!(b < 1.0, "{id:?} is oversubscribed or tapered"),
+            }
+        }
+    }
+
+    #[test]
     fn build_topology_covers_all_kinds() {
         for kind in [
             InterconnectKind::TofuD,
@@ -383,6 +424,37 @@ mod proptests {
             prop_assert_eq!(topo.hops(a, a), 0);
             if a != b {
                 prop_assert!(topo.hops(a, b) >= 1);
+            }
+        }
+
+        #[test]
+        fn torus6d_hops_symmetric(
+            dims in proptest::array::uniform6(1usize..5),
+            a_s in 0usize..100_000,
+            b_s in 0usize..100_000,
+        ) {
+            let t = Torus6d::new(dims);
+            let n = t.num_nodes();
+            let (a, b) = (a_s % n, b_s % n);
+            prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+            prop_assert_eq!(t.hops(a, a), 0);
+            prop_assert!(t.hops(a, b) <= t.diameter());
+        }
+
+        #[test]
+        fn fat_tree_paths_bounded_by_twice_levels(
+            n in 1usize..300,
+            per_leaf in 1usize..64,
+            ratio_pct in 100u32..400,
+            a_s in 0usize..1000,
+            b_s in 0usize..1000,
+        ) {
+            let f = FatTree::with_oversubscription(n, per_leaf, f64::from(ratio_pct) / 100.0);
+            let (a, b) = (a_s % n, b_s % n);
+            prop_assert!(f.hops(a, b) <= 2 * f.levels());
+            prop_assert!(f.diameter() <= 2 * f.levels());
+            if f.leaf_of(a) != f.leaf_of(b) {
+                prop_assert_eq!(f.levels(), 2, "cross-leaf traffic implies a spine");
             }
         }
 

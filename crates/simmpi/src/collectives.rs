@@ -31,9 +31,23 @@ pub enum CollectiveAlgorithm {
 /// Message size (bytes) above which bandwidth-optimal algorithms win.
 pub const ALGORITHM_CUTOVER_BYTES: u64 = 16 * 1024;
 
+/// The algorithm the allreduce/bcast models pick for a message of `bytes`
+/// — the size-dependent selection rule made test-visible. The conformance
+/// suite asserts the crossover is monotone (recursive doubling for every
+/// size below the cutover, ring/Rabenseifner for every size at or above it,
+/// with no interleaving) and the differential DES harness uses it to
+/// simulate the same algorithm the closed form prices.
+pub fn select_algorithm(bytes: u64) -> CollectiveAlgorithm {
+    if bytes < ALGORITHM_CUTOVER_BYTES {
+        CollectiveAlgorithm::RecursiveDoubling
+    } else {
+        CollectiveAlgorithm::Ring
+    }
+}
+
 /// Shared-memory cost of reducing/gathering `bytes` across `local_ranks`
 /// ranks on one node, microseconds. Tree depth log2, each step a shm copy.
-fn shm_tree_time_us(net: &Network, local_ranks: u32, bytes: u64) -> f64 {
+pub(crate) fn shm_tree_time_us(net: &Network, local_ranks: u32, bytes: u64) -> f64 {
     if local_ranks <= 1 {
         return 0.0;
     }
@@ -44,7 +58,7 @@ fn shm_tree_time_us(net: &Network, local_ranks: u32, bytes: u64) -> f64 {
 /// Representative inter-node flight time for the leaders of `nodes`,
 /// microseconds: averages the distance from node 0 to the others so that
 /// larger jobs on low-diameter topologies see realistic hop counts.
-fn leader_flight_us(net: &Network, nodes: &[usize], bytes: u64) -> f64 {
+pub(crate) fn leader_flight_us(net: &Network, nodes: &[usize], bytes: u64) -> f64 {
     if nodes.len() <= 1 {
         return 0.0;
     }
@@ -71,9 +85,50 @@ fn max_ranks_per_node(node_of_rank: &[usize]) -> u32 {
     counts.values().copied().max().unwrap_or(0)
 }
 
+/// Inter-node leg of an allreduce over one leader per node, priced with an
+/// explicit algorithm. The public models call this through
+/// [`select_algorithm`]; the conformance suite calls it directly to check
+/// the crossover behaviour of each algorithm in isolation.
+pub(crate) fn inter_allreduce_us(
+    net: &Network,
+    nodes: &[usize],
+    bytes: u64,
+    algo: CollectiveAlgorithm,
+) -> f64 {
+    if nodes.len() <= 1 {
+        return 0.0;
+    }
+    let n = nodes.len() as u64;
+    let rounds = (64 - (n - 1).leading_zeros()) as f64; // ceil(log2)
+    match algo {
+        // Recursive doubling: log2(n) full-size exchanges.
+        CollectiveAlgorithm::RecursiveDoubling => rounds * leader_flight_us(net, nodes, bytes),
+        // Rabenseifner: 2*(n-1)/n of the payload over the wire, plus
+        // 2*log2(n) latency terms; derate by bisection for big jobs.
+        CollectiveAlgorithm::Ring => {
+            let eff_bw = net.global_traffic_bw_gbs() * 1e3; // bytes/us
+            let wire = 2.0 * ((n - 1) as f64 / n as f64) * bytes as f64 / eff_bw;
+            let lat = 2.0 * rounds * leader_flight_us(net, nodes, 0);
+            wire + lat
+        }
+    }
+}
+
 /// Time for an `MPI_Allreduce` of `bytes` bytes per rank over the ranks whose
 /// node placements are given by `node_of_rank`. Returns microseconds.
 pub fn allreduce_time_us(net: &Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+    allreduce_time_with(net, node_of_rank, bytes, select_algorithm(bytes))
+}
+
+/// [`allreduce_time_us`] with the inter-node algorithm forced instead of
+/// size-selected — the seam the algorithm-selection tests sweep to locate
+/// the crossover point of each topology.
+pub fn allreduce_time_with(
+    net: &Network,
+    node_of_rank: &[usize],
+    bytes: u64,
+    algo: CollectiveAlgorithm,
+) -> f64 {
     let p = node_of_rank.len() as u32;
     if p <= 1 {
         return 0.0;
@@ -83,24 +138,37 @@ pub fn allreduce_time_us(net: &Network, node_of_rank: &[usize], bytes: u64) -> f
     // Phase 1+3: on-node reduce then on-node bcast of the result.
     let shm = 2.0 * shm_tree_time_us(net, local, bytes);
     // Phase 2: leaders allreduce across nodes.
-    let inter = if nodes.len() > 1 {
-        let n = nodes.len() as u64;
-        let rounds = (64 - (n - 1).leading_zeros()) as f64; // ceil(log2)
-        if bytes < ALGORITHM_CUTOVER_BYTES {
-            // Recursive doubling: log2(n) full-size exchanges.
-            rounds * leader_flight_us(net, &nodes, bytes)
-        } else {
-            // Rabenseifner: 2*(n-1)/n of the payload over the wire, plus
-            // 2*log2(n) latency terms; derate by bisection for big jobs.
-            let eff_bw = net.global_traffic_bw_gbs() * 1e3; // bytes/us
-            let wire = 2.0 * ((n - 1) as f64 / n as f64) * bytes as f64 / eff_bw;
-            let lat = 2.0 * rounds * leader_flight_us(net, &nodes, 0);
-            wire + lat
-        }
-    } else {
-        0.0
+    shm + inter_allreduce_us(net, &nodes, bytes, algo)
+}
+
+/// Time for a **flat** (non-hierarchical) allreduce: every rank crosses the
+/// network individually, with no on-node leader aggregation — what an MPI
+/// library without shared-memory awareness would do. Per-node wire traffic
+/// is multiplied by the ranks sharing the NIC. Exists as a test seam: the
+/// conformance suite asserts the hierarchical model never beats this by
+/// more than the intra-node aggregation can explain.
+pub fn allreduce_time_flat_us(net: &Network, node_of_rank: &[usize], bytes: u64) -> f64 {
+    let p = node_of_rank.len();
+    if p <= 1 {
+        return 0.0;
+    }
+    let rounds = (usize::BITS - (p - 1).leading_zeros()) as f64; // ceil(log2)
+    let local = f64::from(max_ranks_per_node(node_of_rank));
+    // Average flight from rank 0 to every other rank, shm or wire as placed.
+    let avg_flight = |b: u64| -> f64 {
+        let sum: f64 = node_of_rank[1..]
+            .iter()
+            .map(|&n| net.flight_time_us(node_of_rank[0], n, b))
+            .sum();
+        sum / (p - 1) as f64
     };
-    shm + inter
+    if bytes < ALGORITHM_CUTOVER_BYTES {
+        rounds * avg_flight(bytes)
+    } else {
+        let eff_bw = net.global_traffic_bw_gbs() * 1e3;
+        let wire = local * 2.0 * ((p - 1) as f64 / p as f64) * bytes as f64 / eff_bw;
+        wire + 2.0 * rounds * avg_flight(0)
+    }
 }
 
 /// Time for an `MPI_Bcast` of `bytes` from rank 0, microseconds.
@@ -255,6 +323,79 @@ mod tests {
             a2a > ag,
             "alltoall moves p x the data of allgather: {a2a} vs {ag}"
         );
+    }
+
+    #[test]
+    fn algorithm_selection_crossover_is_monotone() {
+        // Sweeping message sizes across the cutover, the winning algorithm
+        // may switch at most once, and only from latency-optimal recursive
+        // doubling to bandwidth-optimal ring — no algorithm wins, loses,
+        // then wins again as the message grows.
+        use archsim::InterconnectKind::*;
+        for kind in [TofuD, Aries, FdrInfiniband, EdrInfiniband, OmniPath] {
+            let n = Network::new(kind, 16);
+            let p = placement(16, 1);
+            let mut winners = Vec::new();
+            let mut bytes = 64u64;
+            while bytes <= 64 << 20 {
+                let rd = allreduce_time_with(&n, &p, bytes, CollectiveAlgorithm::RecursiveDoubling);
+                let ring = allreduce_time_with(&n, &p, bytes, CollectiveAlgorithm::Ring);
+                winners.push(if rd <= ring {
+                    CollectiveAlgorithm::RecursiveDoubling
+                } else {
+                    CollectiveAlgorithm::Ring
+                });
+                bytes *= 2;
+            }
+            let switches = winners.windows(2).filter(|w| w[0] != w[1]).count();
+            assert!(switches <= 1, "{kind:?}: winner flip-flops: {winners:?}");
+            if switches == 1 {
+                assert_eq!(
+                    winners[0],
+                    CollectiveAlgorithm::RecursiveDoubling,
+                    "{kind:?}: the small-message winner must be latency-optimal"
+                );
+                assert_eq!(
+                    *winners.last().unwrap(),
+                    CollectiveAlgorithm::Ring,
+                    "{kind:?}"
+                );
+            }
+            // The size-based selection rule is itself monotone.
+            assert_eq!(
+                select_algorithm(ALGORITHM_CUTOVER_BYTES - 1),
+                CollectiveAlgorithm::RecursiveDoubling
+            );
+            assert_eq!(
+                select_algorithm(ALGORITHM_CUTOVER_BYTES),
+                CollectiveAlgorithm::Ring
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_never_beats_flat_beyond_intra_node_speedup() {
+        // The hierarchical decomposition's advantage comes from replacing
+        // per-rank wire crossings with on-node aggregation, so its speedup
+        // over the flat model is bounded by the aggregation opportunity:
+        // the ranks sharing a node (bandwidth regime) or the round-count
+        // ratio log2(p)/log2(n) (latency regime).
+        let n = net(8);
+        for rpn in [2usize, 8, 48] {
+            let p = placement(8, rpn);
+            let nodes = 8.0f64;
+            let ranks = (8 * rpn) as f64;
+            let bound = (rpn as f64).max(ranks.log2().ceil() / nodes.log2().ceil());
+            for bytes in [8u64, 4 * 1024, 1 << 20, 32 << 20] {
+                let hier = allreduce_time_us(&n, &p, bytes);
+                let flat = allreduce_time_flat_us(&n, &p, bytes);
+                assert!(
+                    flat <= bound * hier * (1.0 + 1e-9),
+                    "rpn={rpn} bytes={bytes}: flat {flat:.2}us vs hier {hier:.2}us \
+                     exceeds speedup bound {bound:.2}"
+                );
+            }
+        }
     }
 
     #[test]

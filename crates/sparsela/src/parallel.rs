@@ -72,6 +72,14 @@ impl Team {
         self.threads() == 1 || n < 2 * self.threads()
     }
 
+    /// Whether a vector kernel over `n` elements takes the pooled parallel
+    /// path (as opposed to the inline serial fallback). A test seam: parity
+    /// suites size their inputs so this holds, then check the pool's
+    /// dispatch counter actually advanced.
+    pub fn would_parallelize(&self, n: usize) -> bool {
+        !self.serial(n)
+    }
+
     /// Parallel SpMV `y = A x`: rows are block-partitioned over the team;
     /// every lane writes only its own range of `y`. Row results are
     /// bit-identical to [`CsrMatrix::spmv`].

@@ -13,9 +13,12 @@
 //! * [`apps`] — the six benchmark applications.
 //! * [`core`] — the evaluation framework: cost model, calibration,
 //!   experiments, and report generation.
+//! * [`conform`] — the conformance harness: golden paper tables,
+//!   DES-vs-analytic differential sweeps, and kernel-parity checks.
 
 pub use a64fx_apps as apps;
 pub use a64fx_core as core;
+pub use conform;
 pub use archsim;
 pub use densela;
 pub use fftsim;
