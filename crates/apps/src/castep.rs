@@ -298,6 +298,7 @@ pub fn trace(cfg: CastepConfig, ranks: u32) -> Trace {
         body,
         iterations: cfg.scf_cycles,
         fom_flops: 0.0,
+        checkpoint: None,
     }
 }
 

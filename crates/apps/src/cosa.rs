@@ -299,6 +299,7 @@ pub fn trace(cfg: CosaConfig, ranks: u32) -> Trace {
         body,
         iterations: cfg.iterations,
         fom_flops: 0.0,
+        checkpoint: None,
     }
 }
 

@@ -12,7 +12,7 @@
 //! iteration. [`run_real`] executes it; [`trace`] emits the same structure
 //! as a work-model trace at paper scale.
 
-use crate::trace::{KernelClass, Phase, Trace, WorkDist};
+use crate::trace::{CheckpointSpec, KernelClass, Phase, Trace, WorkDist};
 use densela::Work;
 use sparsela::cg::{cg_matfree, pcg_solve};
 use sparsela::coloring::Coloring;
@@ -325,6 +325,12 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
         body,
         iterations: cfg.iterations,
         fom_flops: 0.0,
+        // CG live vectors (x, r, p, z) — what a coordinated checkpoint of
+        // an HPCG-like solve has to persist per rank.
+        checkpoint: Some(CheckpointSpec {
+            bytes_per_rank: 4 * vec_bytes,
+            suggested_interval_iters: cfg.iterations.div_ceil(10).max(1),
+        }),
     };
     // HPCG's figure of merit counts the flops of the phases above.
     t.fom_flops = t.total_work().flops as f64;

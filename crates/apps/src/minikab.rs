@@ -15,7 +15,7 @@
 //! shape at full scale, same block-banded structure), and the work model
 //! uses the paper's exact DoF/nnz numbers.
 
-use crate::trace::{KernelClass, Phase, Trace, WorkDist};
+use crate::trace::{CheckpointSpec, KernelClass, Phase, Trace, WorkDist};
 use densela::Work;
 use sparsela::cg::{cg_solve, CgResult};
 use sparsela::gen::{structural3d, BENCHMARK1_DOF, BENCHMARK1_NNZ};
@@ -168,6 +168,11 @@ pub fn trace(cfg: MinikabConfig, ranks: u32) -> Trace {
         body,
         iterations: cfg.iterations,
         fom_flops: 0.0,
+        // CG on the assembled structural matrix: x, r, p, Ap per rank.
+        checkpoint: Some(CheckpointSpec {
+            bytes_per_rank: 4 * vec_bytes,
+            suggested_interval_iters: cfg.iterations.div_ceil(10).max(1),
+        }),
     }
 }
 

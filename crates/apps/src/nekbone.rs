@@ -16,7 +16,7 @@
 //! semi-definite, masked to Dirichlet ends) and solves it with CG;
 //! [`trace`] emits the weak-scaled work model.
 
-use crate::trace::{KernelClass, Phase, Trace, WorkDist};
+use crate::trace::{CheckpointSpec, KernelClass, Phase, Trace, WorkDist};
 use densela::tensor::{gll_derivative_matrix, local_ax, local_ax_work, AxScratch};
 use densela::{DMatrix, Work};
 use sparsela::cg::{cg_matfree, CgResult};
@@ -224,6 +224,11 @@ pub fn trace(cfg: NekboneConfig, ranks: u32) -> Trace {
         body,
         iterations: cfg.iterations,
         fom_flops: 0.0,
+        // Matrix-free CG state: x, r, p and the ax output vector.
+        checkpoint: Some(CheckpointSpec {
+            bytes_per_rank: 4 * vec_bytes,
+            suggested_interval_iters: cfg.iterations.div_ceil(10).max(1),
+        }),
     };
     // Nekbone reports GFLOP/s over the CG work it counts.
     t.fom_flops = t.total_work().flops as f64;

@@ -373,6 +373,7 @@ pub fn trace(cfg: OpensbliConfig, ranks: u32) -> Trace {
         body,
         iterations: cfg.steps,
         fom_flops: 0.0,
+        checkpoint: None,
     }
 }
 

@@ -144,6 +144,23 @@ pub enum Phase {
     },
 }
 
+/// What a coordinated checkpoint of this application must persist, and how
+/// often the app's iteration structure naturally allows one. Apps that
+/// cannot meaningfully checkpoint (or whose solver state we do not model)
+/// leave [`Trace::checkpoint`] as `None`; the resilient executor then falls
+/// back to restarting the job from the top on failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Bytes each rank writes to stable storage per checkpoint (the
+    /// solver's live vectors — for a CG solve: x, r, p and the scratch
+    /// operand).
+    pub bytes_per_rank: u64,
+    /// The interval, in body iterations, the app suggests between
+    /// checkpoints (always `>= 1`). Callers may override it, e.g. with
+    /// Young's optimum for a given MTBF.
+    pub suggested_interval_iters: u32,
+}
+
 /// The execution trace of a benchmark: a prologue (run once), a body (run
 /// `iterations` times) and the flops that the benchmark's own figure of
 /// merit counts (HPCG and Nekbone report GFLOP/s over *counted* flops, not
@@ -161,6 +178,8 @@ pub struct Trace {
     /// Total flops the benchmark's figure of merit counts (across all ranks
     /// and all iterations). Zero if the benchmark reports runtime only.
     pub fom_flops: f64,
+    /// Checkpointable solver state, if the app supports it.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Trace {
@@ -238,6 +257,7 @@ mod tests {
             ],
             iterations: 5,
             fom_flops: 0.0,
+            checkpoint: None,
         };
         assert_eq!(t.total_work().flops, 200 + 5 * 20);
         assert_eq!(t.body_halo_bytes(), 100);

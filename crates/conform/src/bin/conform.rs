@@ -1,9 +1,10 @@
 //! Conformance runner.
 //!
 //! ```text
-//! conform                 run all three suites, exit 1 on any failure
+//! conform                 run all four suites, exit 1 on any failure
 //! conform --bless         rewrite the golden snapshots from the current run
-//! conform golden          run only the named suite(s): golden, differential, parity
+//! conform golden          run only the named suite(s): golden, differential,
+//!                         parity, resilience
 //! conform --report p.txt  also write the full report to a file (CI artifact)
 //! ```
 
@@ -24,11 +25,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "golden" | "differential" | "parity" => suites.push(arg),
+            "golden" | "differential" | "parity" | "resilience" => suites.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: conform [--bless] [--report <path>] [golden|differential|parity]..."
+                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience]..."
                 );
                 return ExitCode::FAILURE;
             }
@@ -46,6 +47,9 @@ fn main() -> ExitCode {
     }
     if want("parity") {
         results.push(conform::parity_suite());
+    }
+    if want("resilience") {
+        results.push(conform::resilience_suite());
     }
 
     let mut out = String::new();

@@ -268,16 +268,19 @@ pub fn check_all() -> GoldenReport {
     let tables = experiments::run_all();
     for t in &tables {
         let path = dir.join(format!("{}.json", t.id.to_ascii_lowercase()));
-        match std::fs::read_to_string(&path) {
-            Err(_) => diffs.push(format!(
+        if !path.is_file() {
+            diffs.push(format!(
                 "{}: no golden at {} — run `cargo run -p conform -- --bless` and review the new file",
                 t.id,
                 path.display()
-            )),
-            Ok(text) => match json::parse(&text) {
-                Err(e) => diffs.push(format!("{}: golden is not valid JSON: {e}", t.id)),
-                Ok(v) => diffs.extend(compare_table(t, &v)),
-            },
+            ));
+            continue;
+        }
+        // parse_file reports "<path>: byte <n>: <problem>" for malformed or
+        // truncated goldens — a corrupted snapshot is a diagnosis, not a panic.
+        match json::parse_file(&path) {
+            Err(e) => diffs.push(format!("{}: golden is not valid JSON: {e}", t.id)),
+            Ok(v) => diffs.extend(compare_table(t, &v)),
         }
     }
     // Goldens with no matching experiment are stale, not harmless.

@@ -5,6 +5,39 @@
 //! the small JSON subset the goldens use: objects with string keys,
 //! arrays, strings, numbers, booleans and null. Object key order is
 //! preserved so diffs stay reviewable.
+//!
+//! The parser is total: any input — malformed, truncated mid-token, or
+//! binary garbage — yields a descriptive [`ParseError`] with the byte
+//! offset of the first problem, never a panic. [`parse_file`] adds the
+//! file path, so a corrupted golden reports as
+//! `goldens/t3.json: byte 124: expected ',' or '}'`.
+
+use std::fmt;
+use std::path::Path;
+
+/// A parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        offset,
+        message: message.into(),
+    })
+}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,16 +98,26 @@ impl Value {
 /// Parse a JSON document.
 ///
 /// # Errors
-/// Returns a message with the byte offset of the first syntax error.
-pub fn parse(input: &str) -> Result<Value, String> {
+/// Returns a [`ParseError`] with the byte offset of the first syntax error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
     let v = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
+        return err(pos, "trailing content after the document");
     }
     Ok(v)
+}
+
+/// Read and parse a JSON file, reporting the path in every failure.
+///
+/// # Errors
+/// Returns `"<path>: <io error>"` for unreadable files and
+/// `"<path>: byte <n>: <problem>"` for malformed or truncated content.
+pub fn parse_file(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -83,20 +126,20 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
     skip_ws(b, pos);
     if *pos < b.len() && b[*pos] == c {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected '{}' at byte {}", c as char, pos))
+        err(*pos, format!("expected '{}'", c as char))
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     skip_ws(b, pos);
     match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
+        None => err(*pos, "unexpected end of input"),
         Some(b'{') => {
             *pos += 1;
             let mut pairs = Vec::new();
@@ -107,9 +150,10 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
             }
             loop {
                 skip_ws(b, pos);
+                let key_at = *pos;
                 let key = match parse_value(b, pos)? {
                     Value::Str(s) => s,
-                    _ => return Err(format!("object key must be a string near byte {pos}")),
+                    _ => return err(key_at, "object key must be a string"),
                 };
                 expect(b, pos, b':')?;
                 let val = parse_value(b, pos)?;
@@ -121,7 +165,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
                         *pos += 1;
                         return Ok(Value::Obj(pairs));
                     }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    _ => return err(*pos, "expected ',' or '}'"),
                 }
             }
         }
@@ -142,7 +186,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
                         *pos += 1;
                         return Ok(Value::Arr(items));
                     }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    _ => return err(*pos, "expected ',' or ']'"),
                 }
             }
         }
@@ -154,22 +198,23 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, ParseError> {
     if b[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(v)
     } else {
-        Err(format!("invalid literal at byte {pos}"))
+        err(*pos, format!("invalid literal (expected '{word}')"))
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    let opened_at = *pos;
     debug_assert_eq!(b[*pos], b'"');
     *pos += 1;
     let mut out = String::new();
     loop {
         match b.get(*pos) {
-            None => return Err("unterminated string".into()),
+            None => return err(opened_at, "unterminated string"),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -186,21 +231,25 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = b
                             .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                            .and_then(|h| std::str::from_utf8(h).ok());
+                        let code = match hex.and_then(|h| u32::from_str_radix(h, 16).ok()) {
+                            Some(c) => c,
+                            None => return err(*pos, "bad \\u escape"),
+                        };
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {pos}")),
+                    _ => return err(*pos, "bad escape"),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 scalar from the source slice.
-                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = s.chars().next().unwrap();
+                let s = match std::str::from_utf8(&b[*pos..]) {
+                    Ok(s) => s,
+                    Err(_) => return err(*pos, "invalid UTF-8 in string"),
+                };
+                let c = s.chars().next().expect("non-empty by construction");
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -208,7 +257,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     let start = *pos;
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
@@ -217,7 +266,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Value::Num)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
+        .map_or_else(|| err(start, "invalid number"), Ok)
 }
 
 #[cfg(test)]
@@ -262,10 +311,89 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
+    fn rejects_garbage_with_offsets() {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());
-        assert!(parse("{\"a\": 1} extra").is_err());
         assert!(parse("nope").is_err());
+        let e = parse("{\"a\": 1} extra").unwrap_err();
+        assert_eq!(e.offset, 9);
+        assert!(e.to_string().contains("byte 9"), "{e}");
+        let e = parse("{\"a\": @}").unwrap_err();
+        assert_eq!(e.offset, 6, "{e}");
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly_never_panic() {
+        // The satellite's negative suite: truncations, bad keys, bad
+        // escapes, binary-ish noise. Every case must be an Err with a
+        // sensible offset, not a panic.
+        let cases: &[&str] = &[
+            "",
+            "   ",
+            "{",
+            "}",
+            "[",
+            "]",
+            "{]",
+            "[}",
+            r#"{"a""#,
+            r#"{"a":"#,
+            r#"{"a":1,"#,
+            r#"{"a":1,}"#,
+            r#"{1: 2}"#,
+            r#"{"a": 1 "b": 2}"#,
+            r#""unterminated"#,
+            r#""bad escape \q""#,
+            r#""bad unicode \u12"#,
+            r#""bad unicode \uzzzz""#,
+            "tru",
+            "falsy",
+            "nul",
+            "+-+.",
+            "1e",
+            "--3",
+            "\u{0}\u{1}\u{2}",
+            "{\"a\": \u{7f}}",
+        ];
+        for case in cases {
+            let r = parse(case);
+            let e = r.expect_err(&format!("{case:?} must be rejected"));
+            assert!(e.offset <= case.len(), "{case:?}: offset {}", e.offset);
+            assert!(!e.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_golden_errors_cleanly() {
+        // A representative golden document: every strict prefix must fail
+        // with an Err (no prefix of an object document is valid JSON).
+        let doc = r#"{"id": "T3", "rows": [["A64FX", "38.26 / 36.90 (0.96x)"]],
+                     "tolerance": {"kind": "relative", "columns": [0, 0.02]},
+                     "flags": [true, false, null], "n": -1.5e3}"#;
+        assert!(parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            let e = parse(prefix).expect_err("every strict prefix is invalid");
+            assert!(e.offset <= prefix.len());
+        }
+    }
+
+    #[test]
+    fn parse_file_reports_path_and_offset() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("conform_json_negative_test.json");
+        std::fs::write(&path, "{\"id\": \"T1\"").unwrap();
+        let e = parse_file(&path).unwrap_err();
+        assert!(
+            e.contains("conform_json_negative_test.json") && e.contains("byte"),
+            "{e}"
+        );
+        std::fs::remove_file(&path).ok();
+        let missing = dir.join("conform_json_no_such_file.json");
+        let e = parse_file(&missing).unwrap_err();
+        assert!(e.contains("conform_json_no_such_file.json"), "{e}");
     }
 }

@@ -14,8 +14,11 @@
 //! * [`parity`] — serial, spawn-per-call and persistent-pool kernels are
 //!   forced to 2/4/8 configured threads and held to the runtime's
 //!   bit-identity and repeat-determinism promises.
+//! * [`resilience`] — the fault-injection layer with everything disabled
+//!   must be bit-identical to the plain executor (strict additivity), and
+//!   fault schedules must be pure functions of `(seed, system, nranks)`.
 //!
-//! The `conform` binary runs all three suites (exit 1 on any failure);
+//! The `conform` binary runs all four suites (exit 1 on any failure);
 //! `cargo test -p conform` runs them as ordinary tests.
 
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod differential;
 pub mod golden;
 pub mod json;
 pub mod parity;
+pub mod resilience;
 
 use a64fx_core::Table;
 
@@ -96,6 +100,16 @@ pub fn parity_suite() -> SuiteResult {
     let (table, failures) = parity::run();
     SuiteResult {
         name: "parity",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Run the fault-off resilience parity and schedule-determinism suite.
+pub fn resilience_suite() -> SuiteResult {
+    let (table, failures) = resilience::run();
+    SuiteResult {
+        name: "resilience",
         report: render(&table),
         failures,
     }

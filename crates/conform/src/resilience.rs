@@ -1,0 +1,190 @@
+//! Fault-off parity: the resilience layer must cost nothing when idle.
+//!
+//! PR 3's additivity contract: with the fault layer compiled in but
+//! disabled — an empty [`FaultSchedule`] and a disabled
+//! [`CheckpointModel`] — [`run_resilient`] must price **bit-identical**
+//! runtimes to the plain [`Executor::run`] path, for every paper app that
+//! carries a checkpoint spec, on every system the paper ran it on. The
+//! suite also pins the schedule generator's seeding contract: a schedule
+//! is a pure function of `(seed, system, nranks)` — regenerating with the
+//! same key reproduces it exactly, and changing the seed moves it.
+
+use a64fx_apps::trace::Trace;
+use a64fx_apps::{hpcg, minikab, nekbone};
+use a64fx_core::costmodel::{Executor, JobLayout};
+use a64fx_core::resilience::run_resilient;
+use a64fx_core::Table;
+use archsim::{paper_toolchain, system, SystemId};
+use faultsim::{CheckpointModel, FaultConfig, FaultSchedule, RetryPolicy};
+
+/// Systems the parity sweep covers (the three the paper centres on).
+pub const SYSTEMS: [SystemId; 3] = [SystemId::A64fx, SystemId::Ngio, SystemId::Fulhame];
+
+/// Nodes per parity job.
+const NODES: u32 = 2;
+
+/// Seed for the determinism checks (same as the R1 experiment's).
+const SEED: u64 = 0xA64F;
+
+struct Checker {
+    table: Table,
+    failures: Vec<String>,
+}
+
+impl Checker {
+    fn record(&mut self, check: &str, subject: &str, result: Result<String, String>) {
+        let (cell, failed) = match &result {
+            Ok(ok) => (format!("pass ({ok})"), false),
+            Err(e) => (format!("FAIL: {e}"), true),
+        };
+        self.table
+            .push_row(vec![check.to_string(), subject.to_string(), cell]);
+        if failed {
+            self.failures
+                .push(format!("{check} [{subject}]: {}", result.unwrap_err()));
+        }
+    }
+}
+
+fn app_trace(app: &str, ranks: u32) -> Trace {
+    match app {
+        "hpcg" => hpcg::trace(hpcg::HpcgConfig::paper(), ranks),
+        "nekbone" => nekbone::trace(nekbone::NekboneConfig::paper(), ranks),
+        "minikab" => minikab::trace(minikab::MinikabConfig::paper(), ranks),
+        other => unreachable!("unknown parity app {other}"),
+    }
+}
+
+/// Run the fault-off parity and schedule-determinism suite; returns the
+/// report table and failure lines.
+pub fn run() -> (Table, Vec<String>) {
+    let mut chk = Checker {
+        table: Table::new(
+            "RESILIENCE",
+            "Fault-off parity: disabled fault layer is bit-identical; schedules are pure functions of (seed, system, nranks)",
+            &["Check", "Subject", "Result"],
+        ),
+        failures: Vec::new(),
+    };
+
+    // 1. Bit-identity of the disabled fault path, app x system.
+    for sys in SYSTEMS {
+        let spec = system(sys);
+        let layout = JobLayout::mpi_full(NODES, &spec);
+        for app in ["hpcg", "nekbone", "minikab"] {
+            let Some(tc) = paper_toolchain(sys, app) else {
+                continue; // the paper did not run this pair
+            };
+            let subject = format!("{app} on {}", spec.name);
+            let trace = app_trace(app, layout.ranks);
+            let ex = Executor::new(&spec, &tc);
+            let plain = ex.run(&trace, layout);
+            let sched = FaultSchedule::none(sys, layout.ranks, layout.nodes() as usize);
+            let r = run_resilient(
+                &ex,
+                &trace,
+                layout,
+                &sched,
+                RetryPolicy::default_policy(),
+                &CheckpointModel::disabled(),
+            );
+            chk.record(
+                "fault-off runtime bit-identical to plain run",
+                &subject,
+                if r.runtime_s.to_bits() == plain.runtime_s.to_bits() {
+                    Ok(format!("{:.3} s both paths", r.runtime_s))
+                } else {
+                    Err(format!(
+                        "{:.17e} (resilient) vs {:.17e} (plain)",
+                        r.runtime_s, plain.runtime_s
+                    ))
+                },
+            );
+            chk.record(
+                "fault-off run injects nothing",
+                &subject,
+                if r.checkpoints == 0
+                    && r.recoveries == 0
+                    && r.msg_retries == 0
+                    && r.ranks_lost == 0
+                {
+                    Ok("0 checkpoints/recoveries/retries".into())
+                } else {
+                    Err(format!(
+                        "{} ckpt, {} recoveries, {} retries, {} ranks lost",
+                        r.checkpoints, r.recoveries, r.msg_retries, r.ranks_lost
+                    ))
+                },
+            );
+        }
+    }
+
+    // 2. Schedule determinism: same (seed, system, nranks) key, same
+    //    schedule — regenerated from scratch; a different seed moves it.
+    for sys in SYSTEMS {
+        let spec = system(sys);
+        let layout = JobLayout::mpi_full(NODES, &spec);
+        let nodes = layout.nodes() as usize;
+        let cfg = FaultConfig::early_access(SEED, 120.0, 600.0);
+        let a = FaultSchedule::generate(&cfg, sys, layout.ranks, nodes);
+        let b = FaultSchedule::generate(&cfg, sys, layout.ranks, nodes);
+        chk.record(
+            "same key regenerates the identical schedule",
+            &spec.name,
+            if a == b {
+                Ok(a.summary())
+            } else {
+                Err(format!("'{}' vs '{}'", a.summary(), b.summary()))
+            },
+        );
+        let other_cfg = FaultConfig::early_access(SEED ^ 1, 120.0, 600.0);
+        let c = FaultSchedule::generate(&other_cfg, sys, layout.ranks, nodes);
+        chk.record(
+            "a different seed moves the schedule",
+            &spec.name,
+            if a.straggler_mult != c.straggler_mult || a.events != c.events {
+                Ok("stragglers/events differ".into())
+            } else {
+                Err("seed had no effect on the draw".into())
+            },
+        );
+        let none = FaultSchedule::none(sys, layout.ranks, nodes);
+        chk.record(
+            "the empty schedule is empty",
+            &spec.name,
+            if none.is_empty() {
+                Ok("no events, unit multipliers".into())
+            } else {
+                Err(none.summary())
+            },
+        );
+    }
+
+    chk.table.note(format!(
+        "parity jobs: {NODES} nodes, full-node MPI; determinism key seed {SEED:#x}"
+    ));
+    chk.table.note(
+        "bit-identity means f64::to_bits equality — the disabled fault layer may not \
+         perturb a single ulp",
+    );
+    (chk.table, chk.failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_suite_is_clean() {
+        let (table, failures) = run();
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+        assert!(
+            table.rows.iter().any(|r| r[0].contains("bit-identical")),
+            "parity rows present"
+        );
+        assert!(
+            table.rows.iter().any(|r| r[0].contains("same key")),
+            "determinism rows present"
+        );
+    }
+}

@@ -1,6 +1,7 @@
-//! The three conformance suites as ordinary integration tests, so
+//! The conformance suites as ordinary integration tests, so
 //! `cargo test -p conform` (and tier-1 `cargo test`) holds the simulation
-//! to its goldens, its DES, and its kernel-parity promises on every run.
+//! to its goldens, its DES, its kernel-parity promises, and the fault
+//! layer's strict-additivity contract on every run.
 
 #[test]
 fn golden_tables_conform() {
@@ -25,6 +26,17 @@ fn kernel_parity_holds_at_scale() {
     assert!(
         r.passed(),
         "parity violations:\n{}\n\n{}",
+        r.failures.join("\n"),
+        r.report
+    );
+}
+
+#[test]
+fn fault_layer_is_strictly_additive() {
+    let r = conform::resilience_suite();
+    assert!(
+        r.passed(),
+        "resilience parity violations:\n{}\n\n{}",
         r.failures.join("\n"),
         r.report
     );

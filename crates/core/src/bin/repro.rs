@@ -1,9 +1,12 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro --all            # every experiment, in paper order
+//! repro --all            # every experiment, in paper order (isolated: a
+//!                        #   panicking/hung experiment prints a FAILED row
+//!                        #   and repro exits nonzero after the rest finish)
 //! repro --exp t3         # one experiment (t1, t3, t4, t5, f1, f2, t6,
-//!                        #   f3, t7, t8, f4, f5, t9, t10)
+//!                        #   f3, t7, t8, f4, f5, t9, t10, r1)
+//! repro --exp-json r1    # one experiment as JSON (CI reproducibility diffs)
 //! repro --markdown       # --all, rendered as markdown (EXPERIMENTS.md body)
 //! repro --list           # list experiment ids
 //! repro --ablations      # design-choice ablation sweeps
@@ -14,7 +17,8 @@
 //!
 //! `--threads N` (anywhere on the command line) bounds the experiment
 //! runner's worker team; the `A64FX_REPRO_THREADS` environment variable is
-//! the fallback, and the default is `available_parallelism`.
+//! the fallback (invalid values warn and are ignored), and the default is
+//! `available_parallelism`.
 
 use a64fx_apps::{castep, cosa, hpcg, minikab, nekbone, opensbli};
 use a64fx_core::costmodel::JobLayout;
@@ -23,7 +27,7 @@ use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads <n>] [--all | --exp <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+        "usage: repro [--threads <n>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
     );
     std::process::exit(2);
 }
@@ -34,13 +38,18 @@ fn usage() -> ! {
 fn take_threads(args: &mut Vec<String>) -> usize {
     let mut threads = None;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
-        let Some(v) = args
-            .get(i + 1)
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-        else {
-            eprintln!("--threads needs a positive integer");
-            std::process::exit(2);
+        let v = match args.get(i + 1) {
+            Some(raw) => match runner::parse_threads(raw) {
+                Ok(v) => v,
+                Err(why) => {
+                    eprintln!("--threads: {why}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            }
         };
         threads = Some(v);
         args.drain(i..=i + 1);
@@ -53,8 +62,14 @@ fn main() {
     let threads = take_threads(&mut args);
     match args.first().map(String::as_str) {
         Some("--all") | None => {
-            for t in runner::run_all_parallel_bounded(threads) {
-                println!("{}", t.render());
+            let outcomes = runner::run_all_isolated(threads, runner::DEFAULT_DEADLINE);
+            let failed = outcomes.iter().filter(|o| o.failed()).count();
+            for o in &outcomes {
+                println!("{}", o.render());
+            }
+            if failed > 0 {
+                eprintln!("{failed} experiment(s) FAILED");
+                std::process::exit(1);
             }
         }
         Some("--markdown") => {
@@ -66,6 +81,16 @@ fn main() {
             let id = args.get(1).unwrap_or_else(|| usage());
             match experiments::run_one(id) {
                 Some(t) => println!("{}", t.render()),
+                None => {
+                    eprintln!("unknown experiment '{id}'; try --list");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--exp-json") => {
+            let id = args.get(1).unwrap_or_else(|| usage());
+            match experiments::run_one(id) {
+                Some(t) => println!("{}", t.to_json(&[])),
                 None => {
                     eprintln!("unknown experiment '{id}'; try --list");
                     std::process::exit(1);

@@ -144,19 +144,7 @@ impl<'a> Executor<'a> {
     /// Panics if the layout is inconsistent with the trace's rank count or
     /// oversubscribes the node.
     pub fn run(&self, trace: &Trace, layout: JobLayout) -> ExecutionResult {
-        assert_eq!(
-            trace.ranks, layout.ranks,
-            "trace built for a different rank count"
-        );
-        let placement = Placement::new(
-            layout.ranks,
-            layout.ranks_per_node,
-            layout.threads_per_rank,
-            &self.spec.node,
-            PlacementPolicy::RoundRobinDomain,
-        )
-        .expect("invalid layout");
-        let mut world = World::for_system(self.spec, placement);
+        let mut world = self.build_world(trace, layout);
 
         let mut compute_us = vec![0.0f64; layout.ranks as usize];
         let mut profile: HashMap<KernelClass, f64> = HashMap::new();
@@ -184,6 +172,29 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Build the simulated world [`Executor::run`] would replay `trace`
+    /// onto — the entry point for callers (the resilient executor) that
+    /// need to interleave their own events with the replay.
+    ///
+    /// # Panics
+    /// Panics if the layout is inconsistent with the trace's rank count or
+    /// oversubscribes the node.
+    pub fn build_world(&self, trace: &Trace, layout: JobLayout) -> World {
+        assert_eq!(
+            trace.ranks, layout.ranks,
+            "trace built for a different rank count"
+        );
+        let placement = Placement::new(
+            layout.ranks,
+            layout.ranks_per_node,
+            layout.threads_per_rank,
+            &self.spec.node,
+            PlacementPolicy::RoundRobinDomain,
+        )
+        .expect("invalid layout");
+        World::for_system(self.spec, placement)
+    }
+
     /// Replay a full trace (prologue + all iterations) onto an existing
     /// world — the entry point for ablations that build their own
     /// `Placement`/`Network`.
@@ -193,6 +204,18 @@ impl<'a> Executor<'a> {
         for _ in 0..trace.iterations {
             self.replay_phases(&trace.body, world, &mut compute_us);
         }
+    }
+
+    /// Replay only the trace's prologue onto `world`.
+    pub fn replay_prologue(&self, trace: &Trace, world: &mut World) {
+        let mut compute_us = vec![0.0f64; world.ranks() as usize];
+        self.replay_phases(&trace.prologue, world, &mut compute_us);
+    }
+
+    /// Replay one iteration of the trace's body onto `world`.
+    pub fn replay_iteration(&self, trace: &Trace, world: &mut World) {
+        let mut compute_us = vec![0.0f64; world.ranks() as usize];
+        self.replay_phases(&trace.body, world, &mut compute_us);
     }
 
     fn replay_phases(&self, phases: &[Phase], world: &mut World, compute_us: &mut [f64]) {

@@ -17,6 +17,7 @@
 //! | F5 | Fig. 5, CASTEP core scaling | [`castep::figure5`] |
 //! | T9 | Table IX, CASTEP best node | [`castep::table9`] |
 //! | T10 | Table X, OpenSBLI runtimes | [`opensbli::table10`] |
+//! | R1 | beyond the paper: resilience overhead vs MTBF | [`resilience::r1`] |
 
 pub mod castep;
 pub mod cosa;
@@ -24,6 +25,7 @@ pub mod hpcg;
 pub mod minikab;
 pub mod nekbone;
 pub mod opensbli;
+pub mod resilience;
 pub mod specs;
 
 use crate::report::Table;
@@ -46,6 +48,7 @@ pub fn run_all() -> Vec<Table> {
         castep::figure5(),
         castep::table9(),
         opensbli::table10(),
+        resilience::r1(),
     ]
 }
 
@@ -67,15 +70,17 @@ pub fn run_one(id: &str) -> Option<Table> {
         "f5" => castep::figure5(),
         "t9" => castep::table9(),
         "t10" => opensbli::table10(),
+        "r1" => resilience::r1(),
         _ => return None,
     };
     Some(t)
 }
 
-/// All experiment ids, in paper order.
-pub fn all_ids() -> [&'static str; 15] {
+/// All experiment ids, in paper order (R1 is beyond the paper).
+pub fn all_ids() -> [&'static str; 16] {
     [
         "t1", "t2", "t3", "t4", "t5", "f1", "f2", "t6", "f3", "t7", "t8", "f4", "f5", "t9", "t10",
+        "r1",
     ]
 }
 

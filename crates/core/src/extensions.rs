@@ -213,6 +213,7 @@ pub fn stream_scaling() -> Table {
                 }],
                 iterations: 10,
                 fom_flops: 0.0,
+                checkpoint: None,
             };
             let r = Executor::new(&spec, &tc).run(&trace, layout);
             // Total bytes moved / time = aggregate triad bandwidth.

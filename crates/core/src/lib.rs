@@ -21,8 +21,11 @@
 //!   roofline summaries, per-app kernel profiles.
 //! * [`autotune`] — layout search: rediscovers the paper's hand-tuned
 //!   process/thread configurations automatically.
+//! * [`resilience`] — the fault-aware executor: replays a trace under a
+//!   `faultsim` schedule with checkpoint/restart and shrink-and-recover.
 //! * [`runner`] — parallel regeneration of all experiments on a bounded
-//!   worker team (at most `available_parallelism` threads).
+//!   worker team (at most `available_parallelism` threads), each isolated
+//!   behind `catch_unwind` and a wall-clock deadline.
 //! * [`timeline`] — per-iteration phase timelines (the profiler view).
 //! * [`report`] — plain-text table rendering and paper-comparison summaries.
 //! * [`paper`] — the paper's published numbers, transcribed for comparison.
@@ -39,6 +42,7 @@ pub mod experiments;
 pub mod extensions;
 pub mod paper;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod timeline;
 

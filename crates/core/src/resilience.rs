@@ -1,0 +1,313 @@
+//! The fault-aware executor: replay a trace under a `faultsim` schedule.
+//!
+//! [`run_resilient`] drives the same phase replay as [`Executor::run`], but
+//! iteration by iteration, reacting to the installed fault schedule between
+//! iterations:
+//!
+//! * **coordinated checkpoints** — every `every_iters` body iterations the
+//!   job barriers and writes the app's [`CheckpointSpec`] state through the
+//!   node's I/O bandwidth share;
+//! * **node crashes** — when ranks report failed ([`World::poll_failed`]),
+//!   the world shrinks ULFM-style, survivors pay the restart cost, and the
+//!   iterations since the last checkpoint are replayed (rollback);
+//! * **everything else** (stragglers, link flaps, message retries, memory
+//!   derates) is absorbed transparently by `simmpi`/`netsim`.
+//!
+//! **Additivity contract:** with an empty schedule and a disabled
+//! checkpoint model, the priced runtime is bit-identical to
+//! [`Executor::run`] — the fault path costs nothing when it injects
+//! nothing. `conform`'s resilience parity suite pins this.
+
+use a64fx_apps::trace::Trace;
+use faultsim::{CheckpointModel, FaultSchedule, RetryPolicy};
+
+use crate::costmodel::{Executor, JobLayout};
+
+/// The outcome of one resilient replay.
+#[derive(Debug, Clone)]
+pub struct ResilientResult {
+    /// Wall-clock runtime including all resilience overheads, seconds.
+    pub runtime_s: f64,
+    /// Checkpoints written.
+    pub checkpoints: u32,
+    /// Wall time spent writing checkpoints (barrier + I/O), seconds.
+    pub checkpoint_s: f64,
+    /// Shrink-and-recover rounds (distinct crash recoveries).
+    pub recoveries: u32,
+    /// Body iterations replayed due to rollback.
+    pub rollback_iters: u64,
+    /// Ranks lost to crashes over the run.
+    pub ranks_lost: u32,
+    /// Message retransmissions drawn by the network layer.
+    pub msg_retries: u64,
+}
+
+impl ResilientResult {
+    /// Resilience overhead relative to a fault-free baseline runtime, as a
+    /// fraction (0.05 = 5% slower). Negative values are clamped to zero.
+    pub fn overhead_vs(&self, baseline_s: f64) -> f64 {
+        if baseline_s <= 0.0 {
+            return 0.0;
+        }
+        ((self.runtime_s - baseline_s) / baseline_s).max(0.0)
+    }
+}
+
+/// Replay `trace` under `layout` on `ex`'s system with `sched` installed,
+/// checkpointing per `model` (`model.every_iters` is authoritative; use the
+/// trace's [`CheckpointSpec::suggested_interval_iters`] or Young's period
+/// to pick it). See the module docs for the semantics.
+///
+/// With `FaultSchedule::none(..)` and `CheckpointModel::disabled()` the
+/// returned `runtime_s` is bit-identical to `ex.run(trace, layout)`.
+pub fn run_resilient(
+    ex: &Executor<'_>,
+    trace: &Trace,
+    layout: JobLayout,
+    sched: &FaultSchedule,
+    retry: RetryPolicy,
+    model: &CheckpointModel,
+) -> ResilientResult {
+    let mut world = ex.build_world(trace, layout);
+    if !sched.is_empty() {
+        world.install_faults(sched, retry);
+    }
+
+    let ckpt_spec = trace.checkpoint;
+    let every = model.every_iters;
+    let do_ckpt = model.enabled() && ckpt_spec.is_some();
+    let write_us = ckpt_spec.map_or(0.0, |s| {
+        model.write_us(s.bytes_per_rank, layout.ranks_per_node)
+    });
+
+    let mut checkpoints = 0u32;
+    let mut checkpoint_s = 0.0f64;
+    let mut rollback_iters = 0u64;
+    let mut last_ckpt_iter = 0u32;
+
+    ex.replay_prologue(trace, &mut world);
+
+    let mut it = 0u32;
+    while it < trace.iterations {
+        ex.replay_iteration(trace, &mut world);
+        it += 1;
+
+        // Crash handling: shrink, pay the restart, replay the work lost
+        // since the last checkpoint (or the whole run without one).
+        if !world.poll_failed().is_empty() {
+            world.shrink_failed();
+            if world.alive_ranks() == 0 {
+                break;
+            }
+            world.compute_uniform(model.restart_s * 1e6);
+            let lost = it - last_ckpt_iter;
+            rollback_iters += u64::from(lost);
+            for _ in 0..lost {
+                ex.replay_iteration(trace, &mut world);
+            }
+        }
+
+        if do_ckpt && it.is_multiple_of(every) && it < trace.iterations {
+            let before = world.elapsed_us();
+            world.barrier();
+            world.compute_uniform(write_us);
+            checkpoint_s += (world.elapsed_us() - before) / 1e6;
+            checkpoints += 1;
+            last_ckpt_iter = it;
+        }
+    }
+
+    ResilientResult {
+        runtime_s: world.elapsed_s(),
+        checkpoints,
+        checkpoint_s,
+        recoveries: world.recoveries(),
+        rollback_iters,
+        ranks_lost: world.ranks() - world.alive_ranks(),
+        msg_retries: world.network().faults().map_or(0, |f| f.retries()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a64fx_apps::hpcg;
+    use archsim::{paper_toolchain, system, SystemId};
+    use faultsim::{FaultConfig, FaultEvent};
+
+    fn setup() -> (archsim::SystemSpec, archsim::Toolchain, Trace, JobLayout) {
+        let spec = system(SystemId::A64fx);
+        let tc = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
+        let layout = JobLayout::mpi_full(2, &spec);
+        let trace = hpcg::trace(
+            hpcg::HpcgConfig {
+                local: (16, 16, 16),
+                mg_levels: 3,
+                iterations: 20,
+            },
+            layout.ranks,
+        );
+        (spec, tc, trace, layout)
+    }
+
+    #[test]
+    fn fault_free_resilient_run_matches_plain_run_bitwise() {
+        let (spec, tc, trace, layout) = setup();
+        let ex = Executor::new(&spec, &tc);
+        let plain = ex.run(&trace, layout);
+        let sched = FaultSchedule::none(SystemId::A64fx, layout.ranks, layout.nodes() as usize);
+        let r = run_resilient(
+            &ex,
+            &trace,
+            layout,
+            &sched,
+            RetryPolicy::default_policy(),
+            &CheckpointModel::disabled(),
+        );
+        assert_eq!(
+            r.runtime_s.to_bits(),
+            plain.runtime_s.to_bits(),
+            "fault-off resilient path must be bit-identical"
+        );
+        assert_eq!(r.checkpoints, 0);
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.msg_retries, 0);
+        assert_eq!(r.overhead_vs(plain.runtime_s), 0.0);
+    }
+
+    #[test]
+    fn checkpointing_costs_time_but_no_recoveries() {
+        let (spec, tc, trace, layout) = setup();
+        let ex = Executor::new(&spec, &tc);
+        let base = ex.run(&trace, layout).runtime_s;
+        let sched = FaultSchedule::none(SystemId::A64fx, layout.ranks, layout.nodes() as usize);
+        let model = CheckpointModel {
+            every_iters: 5,
+            io_gbs_per_node: 2.0,
+            restart_s: 10.0,
+        };
+        let r = run_resilient(
+            &ex,
+            &trace,
+            layout,
+            &sched,
+            RetryPolicy::default_policy(),
+            &model,
+        );
+        // 20 iterations, checkpoint every 5, none after the final one: 3.
+        assert_eq!(r.checkpoints, 3);
+        assert!(r.runtime_s > base);
+        assert!(r.checkpoint_s > 0.0);
+        assert!(r.runtime_s >= base + r.checkpoint_s * 0.99);
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.rollback_iters, 0);
+    }
+
+    #[test]
+    fn crash_triggers_shrink_restart_and_rollback() {
+        let (spec, tc, trace, layout) = setup();
+        let ex = Executor::new(&spec, &tc);
+        let base = ex.run(&trace, layout).runtime_s;
+        // Crash node 1 early in the run.
+        let mut sched = FaultSchedule::none(SystemId::A64fx, layout.ranks, layout.nodes() as usize);
+        sched.events.push(FaultEvent::NodeCrash {
+            node: 1,
+            at_us: base * 1e6 * 0.25,
+        });
+        let model = CheckpointModel {
+            every_iters: 4,
+            io_gbs_per_node: 2.0,
+            restart_s: 5.0,
+        };
+        let r = run_resilient(
+            &ex,
+            &trace,
+            layout,
+            &sched,
+            RetryPolicy::default_policy(),
+            &model,
+        );
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.ranks_lost, layout.ranks_per_node);
+        assert!(r.rollback_iters >= 1 && r.rollback_iters <= 4);
+        assert!(
+            r.runtime_s > base + model.restart_s,
+            "restart + rollback must show up in the runtime: {} vs {}",
+            r.runtime_s,
+            base
+        );
+    }
+
+    #[test]
+    fn checkpoints_bound_rollback_after_late_crash() {
+        let (spec, tc, trace, layout) = setup();
+        let ex = Executor::new(&spec, &tc);
+        let base = ex.run(&trace, layout).runtime_s;
+        let mut sched = FaultSchedule::none(SystemId::A64fx, layout.ranks, layout.nodes() as usize);
+        sched.events.push(FaultEvent::NodeCrash {
+            node: 1,
+            at_us: base * 1e6 * 0.9,
+        });
+        let retry = RetryPolicy::default_policy();
+        let model = CheckpointModel {
+            every_iters: 2,
+            io_gbs_per_node: 2.0,
+            restart_s: 5.0,
+        };
+        let with_ckpt = run_resilient(&ex, &trace, layout, &sched, retry, &model);
+        let without = run_resilient(
+            &ex,
+            &trace,
+            layout,
+            &sched,
+            retry,
+            &CheckpointModel::disabled(),
+        );
+        assert!(
+            with_ckpt.rollback_iters < without.rollback_iters,
+            "checkpoints must bound the replayed work: {} vs {}",
+            with_ckpt.rollback_iters,
+            without.rollback_iters
+        );
+    }
+
+    #[test]
+    fn generated_early_access_schedule_runs_to_completion() {
+        let (spec, tc, trace, layout) = setup();
+        let ex = Executor::new(&spec, &tc);
+        let base = ex.run(&trace, layout).runtime_s;
+        let cfg = FaultConfig::early_access(0xA64F, base * 4.0, base * 2.0);
+        let sched =
+            FaultSchedule::generate(&cfg, SystemId::A64fx, layout.ranks, layout.nodes() as usize);
+        // Checkpoint at the interval the app's trace suggests.
+        let model = CheckpointModel {
+            every_iters: trace.checkpoint.unwrap().suggested_interval_iters,
+            io_gbs_per_node: 2.0,
+            restart_s: 5.0,
+        };
+        let r = run_resilient(
+            &ex,
+            &trace,
+            layout,
+            &sched,
+            RetryPolicy::default_policy(),
+            &model,
+        );
+        // Note: a crashed node's work is *not* redistributed (the shrunk
+        // job computes a degraded answer), so runtime after a shrink is not
+        // guaranteed to exceed the fault-free baseline — only positivity
+        // and determinism are invariant.
+        assert!(r.runtime_s > 0.0);
+        // Deterministic: same schedule, same result.
+        let r2 = run_resilient(
+            &ex,
+            &trace,
+            layout,
+            &sched,
+            RetryPolicy::default_policy(),
+            &model,
+        );
+        assert_eq!(r.runtime_s.to_bits(), r2.runtime_s.to_bits());
+        assert_eq!(r.msg_retries, r2.msg_retries);
+    }
+}

@@ -1,37 +1,170 @@
-//! Parallel experiment runner.
+//! Parallel experiment runner, hardened against misbehaving experiments.
 //!
-//! The 14 experiments are independent simulations; this module fans them
-//! out over a `std::thread::scope` worker team so `repro --all` regenerates
-//! the whole paper in roughly the time of its slowest artefact. Unlike the
-//! old one-thread-per-experiment fan-out, the worker count is bounded by
-//! `available_parallelism` (oversubscribing a small machine with 14 solver
-//! threads just thrashes), and workers pull experiment indices from a
-//! shared atomic queue. Results land in per-experiment slots, so the output
-//! order is always paper order regardless of which worker ran what.
+//! The experiments are independent simulations; this module fans them out
+//! over a `std::thread::scope` worker team so `repro --all` regenerates the
+//! whole paper in roughly the time of its slowest artefact. The worker
+//! count is bounded by `available_parallelism` (oversubscribing a small
+//! machine with one solver thread per experiment just thrashes), and
+//! workers pull experiment indices from a shared atomic queue. Results land
+//! in per-experiment slots, so the output order is always paper order
+//! regardless of which worker ran what.
+//!
+//! Each experiment additionally runs **isolated**: behind
+//! `catch_unwind` and a wall-clock deadline, so one panicking or hung
+//! experiment yields a FAILED entry instead of killing the whole `repro`
+//! run ([`run_isolated`], [`run_all_isolated`]).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::experiments;
 use crate::report::Table;
 
+/// Default wall-clock budget for one experiment. Generous: the slowest
+/// artefact takes tens of seconds on one core; ten minutes only trips on a
+/// genuine hang.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Parse a thread-count request. Pure (no environment access) so garbage
+/// handling is unit-testable: empty, unparseable, zero or negative input is
+/// an `Err` describing the problem.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Err("empty value".to_string());
+    }
+    match s.parse::<usize>() {
+        Ok(0) => Err("0 is not a valid worker count".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("'{s}' is not a positive integer")),
+    }
+}
+
 /// Resolve the worker-team size: an explicit request (e.g. a `--threads`
 /// flag) wins, then the `A64FX_REPRO_THREADS` environment variable, then
-/// `available_parallelism`. Zero and unparseable values are ignored at
-/// each step, so a garbage environment variable falls back silently — the
-/// runner must never refuse to run over a typo in a login script.
+/// `available_parallelism`. A present-but-invalid environment variable is
+/// treated as unset with a one-line warning on stderr — the runner must
+/// never refuse to run over a typo in a login script.
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
-    explicit
-        .filter(|&n| n >= 1)
-        .or_else(|| {
-            std::env::var("A64FX_REPRO_THREADS")
-                .ok()?
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-        })
-        .unwrap_or_else(densela::pool::available_parallelism)
+    if let Some(n) = explicit.filter(|&n| n >= 1) {
+        return n;
+    }
+    if let Ok(raw) = std::env::var("A64FX_REPRO_THREADS") {
+        match parse_threads(&raw) {
+            Ok(n) => return n,
+            Err(why) => {
+                eprintln!("warning: ignoring A64FX_REPRO_THREADS ({why}); using default");
+            }
+        }
+    }
+    densela::pool::available_parallelism()
+}
+
+/// The outcome of one isolated experiment: the table, or why it failed.
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// Experiment id (e.g. "t3").
+    pub id: String,
+    /// The generated table, or a failure description (panic payload or
+    /// deadline overrun).
+    pub result: Result<Table, String>,
+    /// Wall-clock time the experiment took (up to the deadline).
+    pub elapsed: Duration,
+}
+
+impl ExperimentOutcome {
+    /// Whether the experiment failed (panicked or timed out).
+    pub fn failed(&self) -> bool {
+        self.result.is_err()
+    }
+
+    /// Render for the console: the table, or a one-line FAILED row.
+    pub fn render(&self) -> String {
+        match &self.result {
+            Ok(t) => t.render(),
+            Err(why) => format!("== {} FAILED: {} ==\n", self.id, why),
+        }
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Run one experiment body isolated: on its own thread, behind
+/// `catch_unwind`, with a wall-clock `deadline`. A panic or overrun
+/// becomes an `Err` in the outcome instead of propagating.
+///
+/// On deadline overrun the worker thread is abandoned (detached, still
+/// running); the caller gets its FAILED outcome immediately. That is the
+/// right trade for a CLI run — `repro` exits soon after and the OS reaps
+/// the stragglers.
+pub fn run_isolated<F>(id: &str, deadline: Duration, body: F) -> ExperimentOutcome
+where
+    F: FnOnce() -> Table + Send + 'static,
+{
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(body)).map_err(panic_message);
+        // The receiver may have given up at the deadline: ignore send errors.
+        let _ = tx.send(result);
+    });
+    let result = match rx.recv_timeout(deadline) {
+        Ok(r) => r,
+        Err(_) => Err(format!("deadline of {:.0?} exceeded", deadline)),
+    };
+    ExperimentOutcome {
+        id: id.to_string(),
+        result,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Run every experiment isolated (see [`run_isolated`]) on at most
+/// `workers` queue workers, returning outcomes in paper order. A failed
+/// experiment occupies its slot with a FAILED outcome; the rest still run.
+pub fn run_all_isolated(workers: usize, deadline: Duration) -> Vec<ExperimentOutcome> {
+    let ids = experiments::all_ids();
+    let workers = workers.clamp(1, ids.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExperimentOutcome>>> =
+        ids.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let work = |_w: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            // Copy out the `&'static str` so the isolated closure is 'static.
+            let Some(&id) = ids.get(i) else { break };
+            let outcome = run_isolated(id, deadline, move || {
+                experiments::run_one(id).expect("known id")
+            });
+            *slots[i].lock().unwrap() = Some(outcome);
+        };
+        let mut handles = Vec::with_capacity(workers - 1);
+        for w in 1..workers {
+            handles.push(scope.spawn(move || work(w)));
+        }
+        work(0);
+        for h in handles {
+            if h.join().is_err() {
+                // run_isolated never panics itself, but be safe.
+                panic!("experiment worker panicked");
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
+        .collect()
 }
 
 /// Run every experiment concurrently on at most `available_parallelism`
@@ -42,32 +175,17 @@ pub fn run_all_parallel() -> Vec<Table> {
 
 /// Run every experiment concurrently on at most `workers` worker threads
 /// (at least one), returning them in paper order.
+///
+/// # Panics
+/// Panics if any experiment fails; use [`run_all_isolated`] to degrade to
+/// FAILED entries instead.
 pub fn run_all_parallel_bounded(workers: usize) -> Vec<Table> {
-    let ids = experiments::all_ids();
-    let workers = workers.clamp(1, ids.len());
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Table>>> = ids.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        let work = |_w: usize| loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some(id) = ids.get(i) else { break };
-            let t = experiments::run_one(id).expect("known id");
-            *slots[i].lock().unwrap() = Some(t);
-        };
-        let mut handles = Vec::with_capacity(workers - 1);
-        for w in 1..workers {
-            handles.push(scope.spawn(move || work(w)));
-        }
-        work(0);
-        for h in handles {
-            if h.join().is_err() {
-                panic!("experiment worker panicked");
-            }
-        }
-    });
-    slots
+    run_all_isolated(workers, DEFAULT_DEADLINE)
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
+        .map(|o| match o.result {
+            Ok(t) => t,
+            Err(why) => panic!("experiment {} failed: {why}", o.id),
+        })
         .collect()
 }
 
@@ -93,5 +211,58 @@ mod tests {
             let par = run_all_parallel_bounded(workers);
             assert_eq!(par, ser, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("1000000"), Ok(1_000_000));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage() {
+        // The satellite cases: unparseable, zero, negative, overflow, empty.
+        for bad in ["abc", "0", "-3", "1.5", "", "  ", "99999999999999999999999"] {
+            assert!(parse_threads(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn explicit_thread_request_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        // Zero explicit request falls through to the default chain.
+        assert!(resolve_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn isolated_panic_becomes_failed_outcome() {
+        let o = run_isolated("boom", DEFAULT_DEADLINE, || {
+            panic!("deliberate test panic");
+        });
+        assert!(o.failed());
+        let why = o.result.as_ref().unwrap_err();
+        assert!(why.contains("deliberate test panic"), "{why}");
+        assert!(o.render().contains("boom FAILED"));
+    }
+
+    #[test]
+    fn isolated_deadline_overrun_becomes_failed_outcome() {
+        let o = run_isolated("sleepy", Duration::from_millis(50), || {
+            std::thread::sleep(Duration::from_secs(30));
+            unreachable!("the runner must not wait for this");
+        });
+        assert!(o.failed());
+        assert!(o.result.as_ref().unwrap_err().contains("deadline"));
+        assert!(o.elapsed < Duration::from_secs(5), "must give up promptly");
+    }
+
+    #[test]
+    fn isolated_success_returns_the_table() {
+        let o = run_isolated("ok", DEFAULT_DEADLINE, || {
+            experiments::run_one("t1").expect("known id")
+        });
+        assert!(!o.failed());
+        assert_eq!(o.result.as_ref().unwrap().id, "T1");
     }
 }

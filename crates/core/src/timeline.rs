@@ -49,6 +49,7 @@ pub fn iteration_timeline(
             body: vec![phase.clone()],
             iterations: 1,
             fom_flops: 0.0,
+            checkpoint: None,
         };
         ex.replay(&single, &mut world);
         let label = match phase {

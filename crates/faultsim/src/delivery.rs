@@ -1,0 +1,153 @@
+//! Failure-aware delivery state: the bridge between a [`FaultSchedule`]
+//! and `netsim`'s transfer path.
+//!
+//! [`LinkFaults`] owns the per-message drop stream (deterministic: the
+//! n-th message of a run sees the same fate on every run) and answers the
+//! two questions the network asks per transfer: *how many attempts did
+//! this message lose?* and *how degraded are the endpoints right now?*
+
+use crate::policy::RetryPolicy;
+use crate::rng::SplitMix64;
+use crate::schedule::FaultSchedule;
+
+/// Stream label for the message-drop substream.
+const STREAM_DROP: u64 = 5;
+
+/// Mutable delivery state installed into a `netsim::Network`.
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    sched: FaultSchedule,
+    retry: RetryPolicy,
+    rng: SplitMix64,
+    retries: u64,
+    exhausted: u64,
+}
+
+impl LinkFaults {
+    /// Build delivery state for a schedule under a retry policy.
+    pub fn new(sched: FaultSchedule, retry: RetryPolicy) -> Self {
+        let rng = SplitMix64::stream(sched.config.seed, STREAM_DROP);
+        LinkFaults {
+            sched,
+            retry,
+            rng,
+            retries: 0,
+            exhausted: 0,
+        }
+    }
+
+    /// The schedule in use.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.sched
+    }
+
+    /// The retry policy in use.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Draw the fate of the next message: the number of consecutive lost
+    /// attempts (0 = first attempt delivers). Capped at the policy's
+    /// retry budget; hitting the cap is counted as an exhaustion.
+    pub fn next_message_failures(&mut self) -> u32 {
+        let p = self.sched.config.msg_drop_prob;
+        if p <= 0.0 {
+            return 0;
+        }
+        let mut failures = 0u32;
+        while failures < self.retry.max_retries && self.rng.next_f64() < p {
+            failures += 1;
+        }
+        if failures > 0 {
+            self.retries += u64::from(failures);
+            if failures == self.retry.max_retries {
+                self.exhausted += 1;
+            }
+        }
+        failures
+    }
+
+    /// Added latency of `failures` lost attempts under the policy, µs.
+    pub fn retry_penalty_us(&self, failures: u32) -> f64 {
+        self.retry.penalty_us(failures)
+    }
+
+    /// The effective bandwidth factor of a transfer between `src` and
+    /// `dst` nodes at `at_us`: the worse of the two endpoints' NIC
+    /// degradations.
+    pub fn path_factor(&self, src: usize, dst: usize, at_us: f64) -> f64 {
+        self.sched
+            .link_factor(src, at_us)
+            .min(self.sched.link_factor(dst, at_us))
+    }
+
+    /// Total retransmissions drawn so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Messages that exhausted their retry budget so far.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultEvent;
+    use archsim::SystemId;
+
+    fn lossy(drop: f64) -> LinkFaults {
+        let mut s = FaultSchedule::none(SystemId::A64fx, 4, 2);
+        s.config.msg_drop_prob = drop;
+        s.config.seed = 99;
+        LinkFaults::new(s, RetryPolicy::default_policy())
+    }
+
+    #[test]
+    fn lossless_link_never_fails() {
+        let mut lf = lossy(0.0);
+        for _ in 0..1000 {
+            assert_eq!(lf.next_message_failures(), 0);
+        }
+        assert_eq!(lf.retries(), 0);
+    }
+
+    #[test]
+    fn drop_rate_drives_retries_deterministically() {
+        let mut a = lossy(0.3);
+        let mut b = lossy(0.3);
+        let fa: Vec<u32> = (0..500).map(|_| a.next_message_failures()).collect();
+        let fb: Vec<u32> = (0..500).map(|_| b.next_message_failures()).collect();
+        assert_eq!(fa, fb, "message fates must be reproducible");
+        assert!(a.retries() > 0, "30% drop must retry sometimes");
+        let frac = fa.iter().filter(|&&f| f > 0).count() as f64 / 500.0;
+        assert!((frac - 0.3).abs() < 0.08, "observed drop fraction {frac}");
+    }
+
+    #[test]
+    fn retry_budget_caps_failures() {
+        let mut lf = lossy(1.0); // every attempt fails
+        let f = lf.next_message_failures();
+        assert_eq!(f, RetryPolicy::default_policy().max_retries);
+        assert_eq!(lf.exhausted(), 1);
+        assert!(lf.retry_penalty_us(f) > 0.0);
+    }
+
+    #[test]
+    fn path_factor_takes_worst_endpoint() {
+        let mut s = FaultSchedule::none(SystemId::A64fx, 4, 3);
+        s.events.push(FaultEvent::LinkDegrade {
+            node: 1,
+            from_us: 0.0,
+            until_us: 100.0,
+            factor: 0.25,
+        });
+        let lf = LinkFaults::new(s, RetryPolicy::default_policy());
+        assert_eq!(lf.path_factor(0, 2, 50.0), 1.0);
+        assert_eq!(lf.path_factor(0, 1, 50.0), 0.25);
+        assert_eq!(lf.path_factor(1, 2, 50.0), 0.25);
+        assert_eq!(lf.path_factor(1, 2, 150.0), 1.0);
+    }
+}

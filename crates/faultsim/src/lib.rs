@@ -1,0 +1,40 @@
+//! # faultsim — deterministic fault injection & resilience cost models
+//!
+//! The paper ran on *immature* early-access hardware: the authors report
+//! node failures, performance variability and tooling breakage on the
+//! A64FX and Fulhame systems, and could only publish what survived. The
+//! rest of this repository models a perfect machine; this crate adds the
+//! misbehaving one — and the machinery a production job would use to
+//! survive it — without ever touching the fault-free paths:
+//!
+//! * [`rng`] — splitmix64, the crate's only randomness source. No `std`
+//!   randomness anywhere: schedules are pure functions of their key.
+//! * [`schedule`] — seeded fault schedules keyed by `(seed, system,
+//!   nranks)`: node crashes, link-flap degradation windows, per-rank
+//!   straggler multipliers, per-node memory derates.
+//! * [`policy`] — retry/timeout/exponential-backoff costs for lost
+//!   messages.
+//! * [`delivery`] — the per-message drop stream + endpoint degradation
+//!   lookup that `netsim::Network` consults when faults are installed.
+//! * [`checkpoint`] — coordinated checkpoint/restart costs (write,
+//!   rollback replay, restart) and Young's optimal-interval formula.
+//!
+//! **Additivity contract:** every integration point (network, world,
+//! executor) treats "no schedule installed" as the pre-existing code path,
+//! and an installed-but-empty schedule ([`FaultSchedule::none`] or a
+//! [`FaultConfig::disabled`] generation) must produce bit-identical
+//! results to no schedule at all. The conformance suite holds both.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod delivery;
+pub mod policy;
+pub mod rng;
+pub mod schedule;
+
+pub use checkpoint::CheckpointModel;
+pub use delivery::LinkFaults;
+pub use policy::RetryPolicy;
+pub use rng::SplitMix64;
+pub use schedule::{FaultConfig, FaultEvent, FaultSchedule};

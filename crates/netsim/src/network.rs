@@ -8,6 +8,7 @@
 //! benchmarks, where "MPI" messages never touch the wire.
 
 use archsim::{InterconnectKind, LinkParams};
+use faultsim::LinkFaults;
 
 use crate::contention::InjectionChannel;
 use crate::topology::{build_topology, Topology};
@@ -31,6 +32,10 @@ pub struct Network {
     messages: u64,
     bytes: u128,
     congestion: f64,
+    /// Failure-aware delivery state. `None` (the default) is the exact
+    /// pre-fault code path; an installed-but-empty schedule must price
+    /// every transfer bit-identically to `None`.
+    faults: Option<LinkFaults>,
 }
 
 impl Network {
@@ -54,7 +59,27 @@ impl Network {
             messages: 0,
             bytes: 0,
             congestion: 1.0,
+            faults: None,
         }
+    }
+
+    /// Install failure-aware delivery: lost messages are retried under the
+    /// state's retry policy (timeout + exponential backoff), and transfers
+    /// through a degraded endpoint see its NIC bandwidth factor. Until this
+    /// is called the network is fault-free and prices transfers exactly as
+    /// it always has.
+    pub fn set_faults(&mut self, faults: LinkFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// Remove the fault layer, restoring unconditional delivery.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault layer, if any (retry/exhaustion statistics).
+    pub fn faults(&self) -> Option<&LinkFaults> {
+        self.faults.as_ref()
     }
 
     /// Set the fabric congestion factor in `(0, 1]` applied to inter-node
@@ -109,8 +134,23 @@ impl Network {
             // Intra-node: no NIC involvement.
             return issue_us + SHM_LATENCY_US + bytes as f64 / (SHM_BW_GBS * 1e3);
         }
+        // Failure-aware delivery: lost attempts delay the send by the
+        // retry policy's timeout+backoff, and a degraded endpoint NIC
+        // stretches the wire occupancy. With no faults installed — or an
+        // installed-but-empty schedule (no drops, factor 1.0) — both
+        // adjustments are exact identities.
+        let mut issue_us = issue_us;
+        let mut degrade = 1.0;
+        if let Some(f) = &mut self.faults {
+            let failures = f.next_message_failures();
+            if failures > 0 {
+                issue_us += f.retry_penalty_us(failures);
+            }
+            degrade = f.path_factor(src, dst, issue_us);
+        }
         let hops = self.topo.hops(src, dst);
-        let wire_us = bytes as f64 / (self.link.injection_bw_gbs() * self.congestion * 1e3);
+        let wire_us =
+            bytes as f64 / (self.link.injection_bw_gbs() * self.congestion * degrade * 1e3);
         let header_us = self.link.latency_us + f64::from(hops) * self.link.per_hop_us;
         let handshake = if bytes >= self.link.rendezvous_cutover_bytes {
             header_us
@@ -140,6 +180,9 @@ impl Network {
     }
 
     /// Reset contention and counters (e.g. between benchmark repetitions).
+    /// An installed fault layer stays installed: its drop stream continues
+    /// rather than replaying, so repetitions see fresh (but still
+    /// schedule-deterministic) message fates.
     pub fn reset(&mut self) {
         for c in &mut self.inject {
             c.reset();
@@ -245,6 +288,88 @@ mod tests {
     #[should_panic(expected = "congestion factor")]
     fn zero_congestion_rejected() {
         edr(2).set_congestion(0.0);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_no_faults() {
+        use faultsim::{FaultSchedule, LinkFaults, RetryPolicy};
+        let msgs: Vec<(usize, usize, u64)> = vec![
+            (0, 1, 100),
+            (0, 2, 10 << 20),
+            (1, 3, 64 * 1024),
+            (2, 2, 1 << 20),
+            (3, 0, 8),
+        ];
+        let mut plain = edr(4);
+        let mut faulted = edr(4);
+        faulted.set_faults(LinkFaults::new(
+            FaultSchedule::none(archsim::SystemId::A64fx, 4, 4),
+            RetryPolicy::default_policy(),
+        ));
+        for (i, &(s, d, b)) in msgs.iter().enumerate() {
+            let t0 = plain.transfer(s, d, b, i as f64);
+            let t1 = faulted.transfer(s, d, b, i as f64);
+            assert_eq!(
+                t0.to_bits(),
+                t1.to_bits(),
+                "msg {i}: fault-off path must be bit-identical ({t0} vs {t1})"
+            );
+        }
+        assert_eq!(faulted.faults().unwrap().retries(), 0);
+    }
+
+    #[test]
+    fn message_drops_delay_delivery_and_count_retries() {
+        use faultsim::{FaultSchedule, LinkFaults, RetryPolicy};
+        let mut sched = FaultSchedule::none(archsim::SystemId::A64fx, 4, 4);
+        sched.config.seed = 7;
+        sched.config.msg_drop_prob = 1.0; // every first attempt is lost
+        let mut lossy = edr(4);
+        lossy.set_faults(LinkFaults::new(sched, RetryPolicy::default_policy()));
+        let mut clean = edr(4);
+        let t_clean = clean.transfer(0, 1, 1 << 20, 0.0);
+        let t_lossy = lossy.transfer(0, 1, 1 << 20, 0.0);
+        assert!(
+            t_lossy > t_clean + 100.0,
+            "retries must cost at least a timeout: {t_lossy} vs {t_clean}"
+        );
+        assert!(lossy.faults().unwrap().retries() > 0);
+        assert_eq!(lossy.faults().unwrap().exhausted(), 1);
+        // Intra-node copies never touch the NIC, so they draw no message
+        // fate and see no retry delay.
+        let shm_clean = clean.transfer(2, 2, 1 << 20, 0.0);
+        let shm_lossy = lossy.transfer(2, 2, 1 << 20, 0.0);
+        assert_eq!(shm_clean.to_bits(), shm_lossy.to_bits());
+    }
+
+    #[test]
+    fn degraded_window_slows_only_covered_transfers() {
+        use faultsim::{FaultEvent, FaultSchedule, LinkFaults, RetryPolicy};
+        let mut sched = FaultSchedule::none(archsim::SystemId::A64fx, 4, 4);
+        sched.events.push(FaultEvent::LinkDegrade {
+            node: 1,
+            from_us: 0.0,
+            until_us: 1e6,
+            factor: 0.25,
+        });
+        let mut net = edr(4);
+        net.set_faults(LinkFaults::new(sched, RetryPolicy::default_policy()));
+        let mut clean = edr(4);
+        let in_window = net.transfer(0, 1, 1 << 20, 0.0);
+        let in_window_clean = clean.transfer(0, 1, 1 << 20, 0.0);
+        assert!(
+            in_window > 2.0 * in_window_clean,
+            "4x derate must at least double a large transfer: {in_window} vs {in_window_clean}"
+        );
+        // Outside the window (and on untouched endpoints) nothing changes.
+        net.reset();
+        clean.reset();
+        let after = net.transfer(0, 1, 1 << 20, 2e6);
+        let after_clean = clean.transfer(0, 1, 1 << 20, 2e6);
+        assert_eq!(after.to_bits(), after_clean.to_bits());
+        let other = net.transfer(2, 3, 1 << 20, 0.0);
+        let other_clean = clean.transfer(2, 3, 1 << 20, 0.0);
+        assert_eq!(other.to_bits(), other_clean.to_bits());
     }
 
     #[test]

@@ -10,10 +10,23 @@
 //! collective and everyone else waits.
 
 use archsim::Node;
+use faultsim::{FaultSchedule, LinkFaults, RetryPolicy};
 use netsim::Network;
 
 use crate::collectives;
 use crate::placement::Placement;
+
+/// World-level fault state: what an installed [`FaultSchedule`] means for
+/// this job's ranks and nodes. Held separately from the schedule so the
+/// fault-free path pays nothing.
+struct WorldFaults {
+    /// Per-rank compute-time multiplier (straggler jitter), `>= 1`.
+    straggler_mult: Vec<f64>,
+    /// Per-node crash instant, µs (`None` = the node survives).
+    crash_us: Vec<Option<f64>>,
+    /// Per-node memory-bandwidth factor (memory-pressure derate), `<= 1`.
+    mem_derate: Vec<f64>,
+}
 
 /// A simulated MPI job: a network, a placement and one clock per rank.
 pub struct World {
@@ -25,6 +38,12 @@ pub struct World {
     wait_us: Vec<f64>,
     /// Per-rank cumulative compute time.
     compute_us: Vec<f64>,
+    /// Per-rank liveness (ULFM shrink). All-true until a crash is absorbed.
+    alive: Vec<bool>,
+    /// Installed fault state; `None` is the exact pre-fault code path.
+    faults: Option<WorldFaults>,
+    /// Completed shrink-and-recover operations.
+    recoveries: u32,
 }
 
 impl World {
@@ -46,7 +65,99 @@ impl World {
             node_map,
             wait_us: vec![0.0; n],
             compute_us: vec![0.0; n],
+            alive: vec![true; n],
+            faults: None,
+            recoveries: 0,
         }
+    }
+
+    /// Install a fault schedule: straggler multipliers stretch this
+    /// world's compute phases, node crash times feed
+    /// [`World::poll_failed`], memory derates shrink
+    /// [`World::rank_bw_share_gbs`], and the schedule's message-drop /
+    /// link-degradation state is installed into the network under `retry`.
+    ///
+    /// Installing an *empty* schedule (e.g. [`FaultSchedule::none`]) is
+    /// bit-identical to never calling this at all — the fault layer is
+    /// strictly additive.
+    ///
+    /// # Panics
+    /// Panics if the schedule was generated for a different rank count or
+    /// for fewer nodes than the placement uses.
+    pub fn install_faults(&mut self, sched: &FaultSchedule, retry: RetryPolicy) {
+        assert_eq!(
+            sched.nranks,
+            self.placement.ranks(),
+            "schedule keyed to a different rank count"
+        );
+        assert!(
+            sched.nodes >= self.placement.nodes_used() as usize,
+            "schedule spans fewer nodes than the job"
+        );
+        self.faults = Some(WorldFaults {
+            straggler_mult: sched.straggler_mult.clone(),
+            crash_us: sched.crash_times_us(),
+            mem_derate: sched.mem_derate.clone(),
+        });
+        self.net.set_faults(LinkFaults::new(sched.clone(), retry));
+    }
+
+    /// Whether `rank` is still a member of the (possibly shrunk) job.
+    pub fn is_alive(&self, rank: u32) -> bool {
+        self.alive[rank as usize]
+    }
+
+    /// Ranks still alive.
+    pub fn alive_ranks(&self) -> u32 {
+        self.alive.iter().filter(|&&a| a).count() as u32
+    }
+
+    /// Completed shrink-and-recover operations.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+
+    /// Fault notification (the ULFM `MPI_Comm_failure_ack` analogue):
+    /// ranks whose node has crashed at or before their current clock and
+    /// that have not yet been shrunk away. Empty when no faults are
+    /// installed or nothing has failed yet.
+    pub fn poll_failed(&self) -> Vec<u32> {
+        let Some(f) = &self.faults else {
+            return Vec::new();
+        };
+        (0..self.clock_us.len() as u32)
+            .filter(|&r| {
+                self.alive[r as usize]
+                    && f.crash_us[self.node_map[r as usize]]
+                        .is_some_and(|t| t <= self.clock_us[r as usize])
+            })
+            .collect()
+    }
+
+    /// ULFM-style shrink-and-recover: every currently-failed rank leaves
+    /// the job (its clock freezes at the crash instant), and the survivors
+    /// run an agreement + rebuild round (two barriers over the shrunk
+    /// communicator — revoke propagation, then the new communicator's
+    /// first synchronisation). Returns the ranks that were removed.
+    pub fn shrink_failed(&mut self) -> Vec<u32> {
+        let failed = self.poll_failed();
+        if failed.is_empty() {
+            return failed;
+        }
+        let f = self.faults.as_ref().expect("poll_failed found faults");
+        for &r in &failed {
+            self.alive[r as usize] = false;
+            // The rank stopped at the crash, not at wherever its virtual
+            // clock had speculatively advanced to.
+            if let Some(t) = f.crash_us[self.node_map[r as usize]] {
+                self.clock_us[r as usize] = self.clock_us[r as usize].min(t);
+            }
+        }
+        self.recoveries += 1;
+        // Agreement + communicator rebuild among the survivors.
+        self.barrier();
+        self.barrier();
+        failed
     }
 
     /// Convenience: build the network for a system's interconnect and wrap it.
@@ -76,13 +187,26 @@ impl World {
     }
 
     /// Advance `rank`'s clock by a compute phase of `us` microseconds.
+    /// Under an installed fault schedule the duration is stretched by the
+    /// rank's straggler multiplier; ranks shrunk away by
+    /// [`World::shrink_failed`] no longer advance.
     pub fn compute(&mut self, rank: u32, us: f64) {
         assert!(
             us >= 0.0 && !us.is_nan(),
             "compute time must be non-negative"
         );
-        self.clock_us[rank as usize] += us;
-        self.compute_us[rank as usize] += us;
+        let r = rank as usize;
+        if !self.alive[r] {
+            return;
+        }
+        // `m == 1.0` makes this an exact identity, so an empty schedule
+        // prices bit-identically to no schedule at all.
+        let us = match &self.faults {
+            Some(f) => us * f.straggler_mult[r],
+            None => us,
+        };
+        self.clock_us[r] += us;
+        self.compute_us[r] += us;
     }
 
     /// Advance every rank by a per-rank compute duration (slice of length
@@ -111,6 +235,11 @@ impl World {
         for &(src, dst, bytes) in msgs {
             let s = src as usize;
             let d = dst as usize;
+            // A message to or from a shrunk-away rank is never posted, so
+            // it also never touches the network's retry stream.
+            if !self.alive[s] || !self.alive[d] {
+                continue;
+            }
             let done =
                 self.net
                     .transfer(self.node_map[s], self.node_map[d], bytes, self.clock_us[s]);
@@ -137,58 +266,98 @@ impl World {
     }
 
     fn synchronise(&mut self) -> f64 {
-        let t = self.clock_us.iter().copied().fold(0.0, f64::max);
+        let t = self
+            .clock_us
+            .iter()
+            .zip(&self.alive)
+            .filter_map(|(&c, &a)| a.then_some(c))
+            .fold(0.0, f64::max);
         for (r, c) in self.clock_us.iter_mut().enumerate() {
+            if !self.alive[r] {
+                continue;
+            }
             self.wait_us[r] += t - *c;
             *c = t;
         }
         t
     }
 
+    /// The node map restricted to live ranks — what the collectives see.
+    /// Borrows the original map while everyone is alive so the fault-free
+    /// path allocates nothing and prices identically.
+    fn live_node_map(&self) -> std::borrow::Cow<'_, [usize]> {
+        if self.alive.iter().all(|&a| a) {
+            std::borrow::Cow::Borrowed(&self.node_map)
+        } else {
+            std::borrow::Cow::Owned(
+                self.node_map
+                    .iter()
+                    .zip(&self.alive)
+                    .filter_map(|(&n, &a)| a.then_some(n))
+                    .collect(),
+            )
+        }
+    }
+
     /// `MPI_Allreduce` of `bytes` per rank across all ranks.
     pub fn allreduce(&mut self, bytes: u64) {
         let start = self.synchronise();
-        let t = collectives::allreduce_time_us(&self.net, &self.node_map, bytes);
+        let t = collectives::allreduce_time_us(&self.net, &self.live_node_map(), bytes);
         self.set_all(start + t);
     }
 
     /// `MPI_Bcast` of `bytes` from rank 0.
     pub fn bcast(&mut self, bytes: u64) {
         let start = self.synchronise();
-        let t = collectives::bcast_time_us(&self.net, &self.node_map, bytes);
+        let t = collectives::bcast_time_us(&self.net, &self.live_node_map(), bytes);
         self.set_all(start + t);
     }
 
     /// `MPI_Barrier`.
     pub fn barrier(&mut self) {
         let start = self.synchronise();
-        let t = collectives::barrier_time_us(&self.net, &self.node_map);
+        let t = collectives::barrier_time_us(&self.net, &self.live_node_map());
         self.set_all(start + t);
     }
 
     /// `MPI_Allgather`, `bytes` contributed per rank.
     pub fn allgather(&mut self, bytes: u64) {
         let start = self.synchronise();
-        let t = collectives::allgather_time_us(&self.net, &self.node_map, bytes);
+        let t = collectives::allgather_time_us(&self.net, &self.live_node_map(), bytes);
         self.set_all(start + t);
     }
 
     /// `MPI_Alltoall`, `bytes` per (src, dst) pair.
     pub fn alltoall(&mut self, bytes_per_pair: u64) {
         let start = self.synchronise();
-        let t = collectives::alltoall_time_us(&self.net, &self.node_map, bytes_per_pair);
+        let t = collectives::alltoall_time_us(&self.net, &self.live_node_map(), bytes_per_pair);
         self.set_all(start + t);
     }
 
     fn set_all(&mut self, t: f64) {
-        for c in &mut self.clock_us {
-            *c = t;
+        for (c, &a) in self.clock_us.iter_mut().zip(&self.alive) {
+            if a {
+                *c = t;
+            }
         }
     }
 
-    /// Elapsed job time so far: the maximum rank clock, microseconds.
+    /// Elapsed job time so far: the maximum live-rank clock, microseconds.
+    /// Shrunk-away ranks froze at their crash and do not define the end of
+    /// the job — unless *every* rank is dead, in which case the job ended
+    /// at the last crash.
     pub fn elapsed_us(&self) -> f64 {
-        self.clock_us.iter().copied().fold(0.0, f64::max)
+        let live = self
+            .clock_us
+            .iter()
+            .zip(&self.alive)
+            .filter_map(|(&c, &a)| a.then_some(c))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if live.is_finite() {
+            live.max(0.0)
+        } else {
+            self.clock_us.iter().copied().fold(0.0, f64::max)
+        }
     }
 
     /// Elapsed job time in seconds.
@@ -226,7 +395,12 @@ impl World {
         let domain_bw = node
             .memory
             .domain_bw_for_cores(dom, active, saturation_cores);
-        domain_bw / f64::from(self.placement.ranks_in_domain(rank))
+        let share = domain_bw / f64::from(self.placement.ranks_in_domain(rank));
+        // Derate of exactly 1.0 is an exact identity (fault-off parity).
+        match &self.faults {
+            Some(f) => share * f.mem_derate[self.node_map[rank as usize]],
+            None => share,
+        }
     }
 }
 
@@ -350,5 +524,111 @@ mod tests {
     fn negative_compute_rejected() {
         let mut w = world(1, 1);
         w.compute(0, -1.0);
+    }
+
+    /// One round of a representative workload; returns per-rank clocks.
+    fn run_workload(w: &mut World) -> Vec<f64> {
+        w.compute_uniform(250.0);
+        w.halo_exchange(&[(0, 1, 64 * 1024), (1, 2, 64 * 1024)]);
+        w.allreduce(8);
+        w.compute_all(&[100.0, 120.0, 140.0, 160.0, 100.0, 120.0, 140.0, 160.0]);
+        w.barrier();
+        (0..w.ranks()).map(|r| w.now_us(r)).collect()
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_at_world_level() {
+        let mut plain = world(2, 4);
+        let mut faulted = world(2, 4);
+        faulted.install_faults(
+            &FaultSchedule::none(SystemId::A64fx, 8, 2),
+            RetryPolicy::default_policy(),
+        );
+        let a = run_workload(&mut plain);
+        let b = run_workload(&mut faulted);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "fault layer must be additive");
+        }
+        assert_eq!(plain.elapsed_us().to_bits(), faulted.elapsed_us().to_bits());
+        let spec = system(SystemId::A64fx);
+        assert_eq!(
+            plain
+                .rank_bw_share_gbs(0, &spec.node, spec.bw_saturation_cores)
+                .to_bits(),
+            faulted
+                .rank_bw_share_gbs(0, &spec.node, spec.bw_saturation_cores)
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn stragglers_stretch_compute_time() {
+        let mut s = FaultSchedule::none(SystemId::A64fx, 8, 2);
+        s.straggler_mult[3] = 1.5;
+        let mut w = world(2, 4);
+        w.install_faults(&s, RetryPolicy::default_policy());
+        w.compute_uniform(1000.0);
+        assert_eq!(w.now_us(3), 1500.0);
+        assert_eq!(w.now_us(0), 1000.0);
+    }
+
+    #[test]
+    fn mem_derate_shrinks_bandwidth_share() {
+        let mut s = FaultSchedule::none(SystemId::A64fx, 8, 2);
+        s.mem_derate[0] = 0.5;
+        let mut w = world(2, 4);
+        let spec = system(SystemId::A64fx);
+        let before = w.rank_bw_share_gbs(0, &spec.node, spec.bw_saturation_cores);
+        w.install_faults(&s, RetryPolicy::default_policy());
+        let after = w.rank_bw_share_gbs(0, &spec.node, spec.bw_saturation_cores);
+        assert!((after - before * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_is_noticed_then_shrunk_and_survivors_continue() {
+        let mut s = FaultSchedule::none(SystemId::A64fx, 8, 2);
+        s.events.push(faultsim::FaultEvent::NodeCrash {
+            node: 1,
+            at_us: 500.0,
+        });
+        let mut w = world(2, 4);
+        w.install_faults(&s, RetryPolicy::default_policy());
+        assert!(w.poll_failed().is_empty(), "nothing failed at t=0");
+        w.compute_uniform(600.0);
+        let failed = w.poll_failed();
+        assert_eq!(failed.len(), 4, "all four ranks of node 1 failed");
+        let removed = w.shrink_failed();
+        assert_eq!(removed, failed);
+        assert_eq!(w.alive_ranks(), 4);
+        assert_eq!(w.recoveries(), 1);
+        for &r in &removed {
+            assert!(!w.is_alive(r));
+            assert_eq!(w.now_us(r), 500.0, "dead rank frozen at the crash");
+        }
+        // Survivors keep making progress; the dead stay frozen.
+        let before = w.elapsed_us();
+        w.compute_uniform(100.0);
+        w.allreduce(8);
+        assert!(w.elapsed_us() > before);
+        for &r in &removed {
+            assert_eq!(w.now_us(r), 500.0);
+        }
+        // Messages to the dead are dropped rather than simulated.
+        let alive0 = w.now_us(0);
+        w.exchange(&[(0, removed[0], 1 << 20)]);
+        assert!(w.now_us(0) - alive0 < 1.0, "no send overhead to the dead");
+        // A second shrink with nothing new failed is a no-op.
+        assert!(w.shrink_failed().is_empty());
+        assert_eq!(w.recoveries(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different rank count")]
+    fn mismatched_schedule_rejected() {
+        let mut w = world(2, 4);
+        w.install_faults(
+            &FaultSchedule::none(SystemId::A64fx, 7, 2),
+            RetryPolicy::default_policy(),
+        );
     }
 }

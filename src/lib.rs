@@ -18,9 +18,10 @@
 
 pub use a64fx_apps as apps;
 pub use a64fx_core as core;
-pub use conform;
 pub use archsim;
+pub use conform;
 pub use densela;
+pub use faultsim;
 pub use fftsim;
 pub use netsim;
 pub use simmpi;
