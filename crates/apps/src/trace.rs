@@ -144,6 +144,32 @@ pub enum Phase {
     },
 }
 
+impl Phase {
+    /// Human-readable label, e.g. `compute:SymGS (52.4 Mflop)` or
+    /// `allreduce(8B)`. Compute phases report rank 0's work — the same
+    /// rank-0 view the timeline and trace spans present. The timeline
+    /// renderer and the executor's span instrumentation share this label,
+    /// which is what lets the conformance tests equate the two views.
+    pub fn label(&self) -> String {
+        match self {
+            Phase::Compute { class, work } => {
+                let w = work.of_rank(0);
+                format!(
+                    "compute:{} ({:.1} Mflop)",
+                    class.name(),
+                    w.flops as f64 / 1e6
+                )
+            }
+            Phase::Allreduce { bytes } => format!("allreduce({bytes}B)"),
+            Phase::Halo { pairs } => format!("halo({} pairs)", pairs.len()),
+            Phase::Alltoall { bytes_per_pair } => format!("alltoall({bytes_per_pair}B/pair)"),
+            Phase::Allgather { bytes } => format!("allgather({bytes}B)"),
+            Phase::Barrier => "barrier".to_string(),
+            Phase::Overhead { us } => format!("runtime overhead ({us}us)"),
+        }
+    }
+}
+
 /// What a coordinated checkpoint of this application must persist, and how
 /// often the app's iteration structure naturally allows one. Apps that
 /// cannot meaningfully checkpoint (or whose solver state we do not model)
@@ -262,6 +288,28 @@ mod tests {
         assert_eq!(t.total_work().flops, 200 + 5 * 20);
         assert_eq!(t.body_halo_bytes(), 100);
         assert_eq!(t.body_collectives(), 1);
+    }
+
+    #[test]
+    fn phase_labels_render() {
+        let c = Phase::Compute {
+            class: KernelClass::SymGS,
+            work: WorkDist::Uniform(Work::new(52_400_000, 0, 0)),
+        };
+        assert_eq!(c.label(), "compute:SymGS (52.4 Mflop)");
+        assert_eq!(Phase::Allreduce { bytes: 8 }.label(), "allreduce(8B)");
+        assert_eq!(
+            Phase::Halo {
+                pairs: vec![(0, 1, 10), (1, 2, 10)]
+            }
+            .label(),
+            "halo(2 pairs)"
+        );
+        assert_eq!(Phase::Barrier.label(), "barrier");
+        assert_eq!(
+            Phase::Overhead { us: 3.5 }.label(),
+            "runtime overhead (3.5us)"
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Conformance runner.
 //!
 //! ```text
-//! conform                 run all four suites, exit 1 on any failure
+//! conform                 run all five suites, exit 1 on any failure
 //! conform --bless         rewrite the golden snapshots from the current run
 //! conform golden          run only the named suite(s): golden, differential,
-//!                         parity, resilience
+//!                         parity, resilience, obs
 //! conform --report p.txt  also write the full report to a file (CI artifact)
 //! ```
 
@@ -25,11 +25,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "golden" | "differential" | "parity" | "resilience" => suites.push(arg),
+            "golden" | "differential" | "parity" | "resilience" | "obs" => suites.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience]..."
+                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs]..."
                 );
                 return ExitCode::FAILURE;
             }
@@ -50,6 +50,9 @@ fn main() -> ExitCode {
     }
     if want("resilience") {
         results.push(conform::resilience_suite());
+    }
+    if want("obs") {
+        results.push(conform::obs_suite(bless));
     }
 
     let mut out = String::new();

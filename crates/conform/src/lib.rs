@@ -17,8 +17,13 @@
 //! * [`resilience`] — the fault-injection layer with everything disabled
 //!   must be bit-identical to the plain executor (strict additivity), and
 //!   fault schedules must be pure functions of `(seed, system, nranks)`.
+//! * [`obs`] — the tracing/metrics layer's determinism and purity: metric
+//!   snapshots of HPCG and Nekbone on two systems are pinned byte-for-byte
+//!   as goldens, double runs must reproduce metrics and Chrome-trace JSON
+//!   exactly, and an installed recorder may not move a priced runtime by
+//!   a single ulp.
 //!
-//! The `conform` binary runs all four suites (exit 1 on any failure);
+//! The `conform` binary runs all five suites (exit 1 on any failure);
 //! `cargo test -p conform` runs them as ordinary tests.
 
 #![warn(missing_docs)]
@@ -26,6 +31,7 @@
 pub mod differential;
 pub mod golden;
 pub mod json;
+pub mod obs;
 pub mod parity;
 pub mod resilience;
 
@@ -110,6 +116,40 @@ pub fn resilience_suite() -> SuiteResult {
     let (table, failures) = resilience::run();
     SuiteResult {
         name: "resilience",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Run the observability suite (optionally re-blessing the pinned metric
+/// snapshots).
+pub fn obs_suite(bless: bool) -> SuiteResult {
+    if bless {
+        return match obs::bless_all() {
+            Ok(written) => {
+                let report = written
+                    .iter()
+                    .map(|(id, changed)| {
+                        format!("blessed {id}{}", if *changed { " (changed)" } else { "" })
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                SuiteResult {
+                    name: "obs",
+                    report,
+                    failures: Vec::new(),
+                }
+            }
+            Err(e) => SuiteResult {
+                name: "obs",
+                report: String::new(),
+                failures: vec![e],
+            },
+        };
+    }
+    let (table, failures) = obs::run();
+    SuiteResult {
+        name: "obs",
         report: render(&table),
         failures,
     }

@@ -1,0 +1,250 @@
+//! Observability conformance: pinned metric snapshots and recording purity.
+//!
+//! The tracing/metrics layer (the `obs` crate) promises two things this
+//! suite holds it to:
+//!
+//! 1. **Determinism** — a recorded run is a pure function of the inputs.
+//!    The metrics snapshot of HPCG and Nekbone on two paper systems is
+//!    pinned byte-for-byte as a golden file (`goldens/obs_<app>_<sys>.json`),
+//!    and two back-to-back recordings of the same run must produce
+//!    byte-identical metrics *and* Chrome-trace JSON. Re-blessing
+//!    (`cargo run -p conform -- --bless`) is the one sanctioned way to
+//!    move a snapshot, same as the paper-table goldens.
+//! 2. **Purity** — recording is observation only. A run with a recorder
+//!    installed must price a bit-identical runtime (`f64::to_bits`
+//!    equality) to the same run with recording off; with recording off
+//!    the instrumentation is dead code behind `obs::enabled()`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use a64fx_apps::trace::Trace;
+use a64fx_apps::{hpcg, nekbone};
+use a64fx_core::costmodel::{Executor, JobLayout};
+use a64fx_core::Table;
+use archsim::{paper_toolchain, system, SystemId};
+
+use crate::golden::goldens_dir;
+
+/// The (app, system) pairs whose metric snapshots are pinned. Both apps
+/// ran on both systems in the paper (Tables 4 and 6).
+pub const PAIRS: [(&str, SystemId); 4] = [
+    ("hpcg", SystemId::A64fx),
+    ("hpcg", SystemId::Ngio),
+    ("nekbone", SystemId::A64fx),
+    ("nekbone", SystemId::Ngio),
+];
+
+/// Nodes per pinned job (matches the resilience suite's parity jobs).
+const NODES: u32 = 2;
+
+fn sys_slug(sys: SystemId) -> &'static str {
+    match sys {
+        SystemId::A64fx => "a64fx",
+        SystemId::Archer => "archer",
+        SystemId::Cirrus => "cirrus",
+        SystemId::Ngio => "ngio",
+        SystemId::Fulhame => "fulhame",
+    }
+}
+
+fn app_trace(app: &str, ranks: u32) -> Trace {
+    match app {
+        "hpcg" => hpcg::trace(hpcg::HpcgConfig::paper(), ranks),
+        "nekbone" => nekbone::trace(nekbone::NekboneConfig::paper(), ranks),
+        other => unreachable!("unknown obs app {other}"),
+    }
+}
+
+/// Path of the pinned metrics snapshot for one (app, system) pair.
+pub fn golden_path(app: &str, sys: SystemId) -> PathBuf {
+    goldens_dir().join(format!("obs_{app}_{}.json", sys_slug(sys)))
+}
+
+/// One recorded run: the recorder and the priced runtime (seconds).
+fn record(app: &str, sys: SystemId) -> (Arc<obs::MemRecorder>, f64) {
+    let spec = system(sys);
+    let layout = JobLayout::mpi_full(NODES, &spec);
+    let tc = paper_toolchain(sys, app).expect("pinned pairs ran in the paper");
+    let trace = app_trace(app, layout.ranks);
+    let rec = Arc::new(obs::MemRecorder::new());
+    let run = obs::with_recorder(rec.clone(), || {
+        Executor::new(&spec, &tc).run(&trace, layout)
+    });
+    (rec, run.runtime_s)
+}
+
+/// The same run with recording off — the baseline for the purity check.
+fn run_unrecorded(app: &str, sys: SystemId) -> f64 {
+    let spec = system(sys);
+    let layout = JobLayout::mpi_full(NODES, &spec);
+    let tc = paper_toolchain(sys, app).expect("pinned pairs ran in the paper");
+    let trace = app_trace(app, layout.ranks);
+    Executor::new(&spec, &tc).run(&trace, layout).runtime_s
+}
+
+/// Render the metrics snapshot document for one pair.
+fn snapshot(rec: &obs::MemRecorder, app: &str, sys: SystemId) -> String {
+    rec.metrics_json(&[
+        ("app", app.to_string()),
+        ("system", sys_slug(sys).to_string()),
+        ("nodes", format!("{NODES}")),
+    ])
+}
+
+struct Checker {
+    table: Table,
+    failures: Vec<String>,
+}
+
+impl Checker {
+    fn record(&mut self, check: &str, subject: &str, result: Result<String, String>) {
+        let (cell, failed) = match &result {
+            Ok(ok) => (format!("pass ({ok})"), false),
+            Err(e) => (format!("FAIL: {e}"), true),
+        };
+        self.table
+            .push_row(vec![check.to_string(), subject.to_string(), cell]);
+        if failed {
+            self.failures
+                .push(format!("{check} [{subject}]: {}", result.unwrap_err()));
+        }
+    }
+}
+
+/// Run the observability suite; returns the report table and failure lines.
+pub fn run() -> (Table, Vec<String>) {
+    let mut chk = Checker {
+        table: Table::new(
+            "OBS",
+            "Observability: pinned metric snapshots, double-run determinism, recorder-off purity",
+            &["Check", "Subject", "Result"],
+        ),
+        failures: Vec::new(),
+    };
+
+    for (app, sys) in PAIRS {
+        let subject = format!("{app} on {}", system(sys).name);
+        let (rec, traced_runtime) = record(app, sys);
+
+        // 1. Pinned snapshot: byte-for-byte against the golden file.
+        let snap = snapshot(&rec, app, sys);
+        let path = golden_path(app, sys);
+        match std::fs::read_to_string(&path) {
+            Err(_) => chk.record(
+                "metrics snapshot matches golden",
+                &subject,
+                Err(format!(
+                    "no golden at {} — run `cargo run -p conform -- --bless` and review the new file",
+                    path.display()
+                )),
+            ),
+            Ok(golden) => chk.record(
+                "metrics snapshot matches golden",
+                &subject,
+                if golden == snap {
+                    Ok(format!("{} bytes, byte-identical", snap.len()))
+                } else {
+                    Err(format!(
+                        "snapshot drifted from {} — diff and re-bless if intended",
+                        path.display()
+                    ))
+                },
+            ),
+        }
+
+        // 2. Double-run determinism: a second recording of the same run
+        //    must reproduce both output documents byte-for-byte.
+        let (rec2, _) = record(app, sys);
+        chk.record(
+            "double-run metrics are byte-identical",
+            &subject,
+            if snap == snapshot(&rec2, app, sys) {
+                Ok("same bytes".into())
+            } else {
+                Err("second recording produced a different snapshot".into())
+            },
+        );
+        chk.record(
+            "double-run traces are byte-identical",
+            &subject,
+            if rec.chrome_trace_json() == rec2.chrome_trace_json() {
+                Ok(format!("{} spans", rec.totals().spans))
+            } else {
+                Err("second recording produced a different trace".into())
+            },
+        );
+
+        // 3. Purity: recording must not move the priced runtime by an ulp.
+        let plain_runtime = run_unrecorded(app, sys);
+        chk.record(
+            "recorded run is bit-identical to unrecorded run",
+            &subject,
+            if traced_runtime.to_bits() == plain_runtime.to_bits() {
+                Ok(format!("{traced_runtime:.3} s both ways"))
+            } else {
+                Err(format!(
+                    "{traced_runtime:.17e} (recorded) vs {plain_runtime:.17e} (plain)"
+                ))
+            },
+        );
+    }
+
+    chk.table.note(format!(
+        "pinned jobs: {NODES} nodes, full-node MPI; snapshots under {}",
+        goldens_dir().display()
+    ));
+    chk.table.note(
+        "purity means f64::to_bits equality — an installed recorder may not perturb \
+         the simulation by a single ulp",
+    );
+    (chk.table, chk.failures)
+}
+
+/// Rewrite every pinned snapshot from the current run. Returns the files
+/// written, flagged with whether they changed.
+///
+/// # Errors
+/// Returns the I/O error message if a file cannot be written.
+pub fn bless_all() -> Result<Vec<(String, bool)>, String> {
+    std::fs::create_dir_all(goldens_dir()).map_err(|e| e.to_string())?;
+    let mut written = Vec::new();
+    for (app, sys) in PAIRS {
+        let (rec, _) = record(app, sys);
+        let path = golden_path(app, sys);
+        let new = snapshot(&rec, app, sys);
+        let changed = !std::fs::read_to_string(&path).is_ok_and(|old| old == new);
+        std::fs::write(&path, &new).map_err(|e| format!("{}: {e}", path.display()))?;
+        written.push((format!("obs_{app}_{}", sys_slug(sys)), changed));
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_suite_is_clean() {
+        let (table, failures) = run();
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+        assert!(
+            table.rows.iter().any(|r| r[0].contains("matches golden")),
+            "snapshot rows present"
+        );
+        assert!(
+            table.rows.iter().any(|r| r[0].contains("byte-identical")),
+            "determinism rows present"
+        );
+    }
+
+    #[test]
+    fn snapshots_carry_expected_metric_families() {
+        let (rec, _) = record("hpcg", SystemId::A64fx);
+        let snap = snapshot(&rec, "hpcg", SystemId::A64fx);
+        for key in ["app.phases", "mpi.allreduce.calls", "mpi.sync_wait_us"] {
+            assert!(snap.contains(key), "snapshot lacks {key}:\n{snap}");
+        }
+        assert!(rec.totals().spans > 0, "run emitted no spans");
+    }
+}

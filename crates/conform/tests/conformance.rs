@@ -1,7 +1,8 @@
 //! The conformance suites as ordinary integration tests, so
 //! `cargo test -p conform` (and tier-1 `cargo test`) holds the simulation
-//! to its goldens, its DES, its kernel-parity promises, and the fault
-//! layer's strict-additivity contract on every run.
+//! to its goldens, its DES, its kernel-parity promises, the fault layer's
+//! strict-additivity contract, and the tracing/metrics layer's
+//! determinism and purity contracts on every run.
 
 #[test]
 fn golden_tables_conform() {
@@ -37,6 +38,17 @@ fn fault_layer_is_strictly_additive() {
     assert!(
         r.passed(),
         "resilience parity violations:\n{}\n\n{}",
+        r.failures.join("\n"),
+        r.report
+    );
+}
+
+#[test]
+fn observability_is_deterministic_and_pure() {
+    let r = conform::obs_suite(false);
+    assert!(
+        r.passed(),
+        "observability violations:\n{}\n\n{}",
         r.failures.join("\n"),
         r.report
     );

@@ -19,6 +19,15 @@
 //! runner's worker team; the `A64FX_REPRO_THREADS` environment variable is
 //! the fallback (invalid values warn and are ignored), and the default is
 //! `available_parallelism`.
+//!
+//! `--trace-out <file>` and `--metrics-out <file>` (anywhere on the
+//! command line) record the run with an [`obs::MemRecorder`] and write a
+//! Chrome Trace Event JSON (load it in `chrome://tracing` or Perfetto)
+//! and a deterministic metrics snapshot respectively. They apply to the
+//! single-run modes `--exp`, `--exp-json` and `--timeline`; both files
+//! are byte-identical across repeated runs of the same command.
+
+use std::sync::Arc;
 
 use a64fx_apps::{castep, cosa, hpcg, minikab, nekbone, opensbli};
 use a64fx_core::costmodel::JobLayout;
@@ -27,9 +36,69 @@ use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads <n>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+        "usage: repro [--threads <n>] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
     );
     std::process::exit(2);
+}
+
+/// Strip `<flag> <path>` out of `args` (wherever it appears), returning
+/// the path if the flag was given.
+fn take_out_path(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(path) = args.get(i + 1).cloned() else {
+        eprintln!("{flag} needs a file path");
+        std::process::exit(2);
+    };
+    args.drain(i..=i + 1);
+    Some(path)
+}
+
+/// Recording sink behind `--trace-out` / `--metrics-out`: one in-memory
+/// recorder for the run, flushed to the requested files at the end.
+struct ObsSink {
+    rec: Arc<obs::MemRecorder>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl ObsSink {
+    /// Strip both output flags from `args`; `Some` if either was given.
+    fn take(args: &mut Vec<String>) -> Option<Self> {
+        let trace_out = take_out_path(args, "--trace-out");
+        let metrics_out = take_out_path(args, "--metrics-out");
+        if trace_out.is_none() && metrics_out.is_none() {
+            return None;
+        }
+        Some(Self {
+            rec: Arc::new(obs::MemRecorder::new()),
+            trace_out,
+            metrics_out,
+        })
+    }
+
+    fn recorder(&self) -> Arc<obs::MemRecorder> {
+        self.rec.clone()
+    }
+
+    /// Write the requested output files; `meta` is embedded in the
+    /// metrics snapshot so a reader knows what produced it.
+    fn flush(&self, meta: &[(&str, String)]) {
+        if let Some(path) = &self.trace_out {
+            if let Err(why) = std::fs::write(path, self.rec.chrome_trace_json()) {
+                eprintln!("--trace-out {path}: {why}");
+                std::process::exit(1);
+            }
+            // Flamegraph-style rollup on stderr: instant feedback without
+            // opening the trace in Perfetto (stdout stays diffable JSON).
+            eprintln!("{}", self.rec.rollup());
+        }
+        if let Some(path) = &self.metrics_out {
+            if let Err(why) = std::fs::write(path, self.rec.metrics_json(meta)) {
+                eprintln!("--metrics-out {path}: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Strip `--threads N` out of `args` (wherever it appears) and resolve the
@@ -57,9 +126,36 @@ fn take_threads(args: &mut Vec<String>) -> usize {
     runner::resolve_threads(threads)
 }
 
+/// Run one experiment under the hardened runner with the sink's recorder
+/// installed on the worker thread, then flush the sink's output files.
+fn run_observed(id: &str, sink: &ObsSink) -> runner::ExperimentOutcome {
+    let id = id.to_ascii_lowercase();
+    if !experiments::all_ids().contains(&id.as_str()) {
+        eprintln!("unknown experiment '{id}'; try --list");
+        std::process::exit(1);
+    }
+    let body_id = id.clone();
+    let outcome =
+        runner::run_isolated_observed(&id, runner::DEFAULT_DEADLINE, sink.recorder(), move || {
+            experiments::run_one(&body_id).expect("id validated above")
+        });
+    sink.flush(&[("experiment", id)]);
+    outcome
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads(&mut args);
+    let sink = ObsSink::take(&mut args);
+    if sink.is_some()
+        && !matches!(
+            args.first().map(String::as_str),
+            Some("--exp" | "--exp-json" | "--timeline")
+        )
+    {
+        eprintln!("--trace-out/--metrics-out apply to --exp, --exp-json and --timeline");
+        std::process::exit(2);
+    }
     match args.first().map(String::as_str) {
         Some("--all") | None => {
             let outcomes = runner::run_all_isolated(threads, runner::DEFAULT_DEADLINE);
@@ -79,22 +175,43 @@ fn main() {
         }
         Some("--exp") => {
             let id = args.get(1).unwrap_or_else(|| usage());
-            match experiments::run_one(id) {
-                Some(t) => println!("{}", t.render()),
-                None => {
-                    eprintln!("unknown experiment '{id}'; try --list");
-                    std::process::exit(1);
+            match &sink {
+                Some(s) => {
+                    let o = run_observed(id, s);
+                    println!("{}", o.render());
+                    if o.failed() {
+                        std::process::exit(1);
+                    }
                 }
+                None => match experiments::run_one(id) {
+                    Some(t) => println!("{}", t.render()),
+                    None => {
+                        eprintln!("unknown experiment '{id}'; try --list");
+                        std::process::exit(1);
+                    }
+                },
             }
         }
         Some("--exp-json") => {
             let id = args.get(1).unwrap_or_else(|| usage());
-            match experiments::run_one(id) {
-                Some(t) => println!("{}", t.to_json(&[])),
-                None => {
-                    eprintln!("unknown experiment '{id}'; try --list");
-                    std::process::exit(1);
+            match &sink {
+                Some(s) => {
+                    let o = run_observed(id, s);
+                    match &o.result {
+                        Ok(t) => println!("{}", t.to_json(&[])),
+                        Err(_) => {
+                            eprint!("{}", o.render());
+                            std::process::exit(1);
+                        }
+                    }
                 }
+                None => match experiments::run_one(id) {
+                    Some(t) => println!("{}", t.to_json(&[])),
+                    None => {
+                        eprintln!("unknown experiment '{id}'; try --list");
+                        std::process::exit(1);
+                    }
+                },
             }
         }
         Some("--ablations") => {
@@ -153,7 +270,19 @@ fn main() {
                 eprintln!("the paper did not run {app} on {sys_name}");
                 std::process::exit(1);
             };
-            let entries = timeline::iteration_timeline(&spec, &tc, &trace, layout);
+            let entries = match &sink {
+                Some(s) => {
+                    let entries = obs::with_recorder(s.recorder(), || {
+                        timeline::iteration_timeline(&spec, &tc, &trace, layout)
+                    });
+                    s.flush(&[
+                        ("app", app.to_string()),
+                        ("system", sys_name.to_ascii_lowercase()),
+                    ]);
+                    entries
+                }
+                None => timeline::iteration_timeline(&spec, &tc, &trace, layout),
+            };
             let title = format!(
                 "{app} on one {} node: one iteration, phase by phase",
                 spec.name

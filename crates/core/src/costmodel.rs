@@ -230,7 +230,9 @@ impl<'a> Executor<'a> {
         compute_us: &mut [f64],
         profile: &mut HashMap<KernelClass, f64>,
     ) {
+        let trace_spans = obs::enabled();
         for phase in phases {
+            let before = if trace_spans { world.now_us(0) } else { 0.0 };
             match phase {
                 Phase::Compute { class, work } => {
                     let n = world.ranks();
@@ -249,6 +251,18 @@ impl<'a> Executor<'a> {
                 Phase::Allgather { bytes } => world.allgather(*bytes),
                 Phase::Barrier => world.barrier(),
                 Phase::Overhead { us } => world.compute_uniform(*us),
+            }
+            if trace_spans {
+                // Rank-0 view of the phase — the same interval and label
+                // the per-iteration timeline reports.
+                obs::add("app.phases", 1);
+                obs::span(
+                    "app.phase",
+                    &phase.label(),
+                    before,
+                    world.now_us(0) - before,
+                    &[],
+                );
             }
         }
     }

@@ -102,6 +102,21 @@ pub fn run_resilient(
             world.compute_uniform(model.restart_s * 1e6);
             let lost = it - last_ckpt_iter;
             rollback_iters += u64::from(lost);
+            if obs::enabled() {
+                obs::add("ckpt.rollback_iters", u64::from(lost));
+                obs::instant(
+                    "ckpt",
+                    "ckpt.rollback",
+                    world.elapsed_us(),
+                    &[
+                        ("lost_iters", obs::AttrValue::U64(u64::from(lost))),
+                        (
+                            "alive_ranks",
+                            obs::AttrValue::U64(u64::from(world.alive_ranks())),
+                        ),
+                    ],
+                );
+            }
             for _ in 0..lost {
                 ex.replay_iteration(trace, &mut world);
             }
@@ -114,6 +129,19 @@ pub fn run_resilient(
             checkpoint_s += (world.elapsed_us() - before) / 1e6;
             checkpoints += 1;
             last_ckpt_iter = it;
+            if obs::enabled() {
+                obs::add("ckpt.writes", 1);
+                obs::span(
+                    "ckpt",
+                    "ckpt.write",
+                    before,
+                    world.elapsed_us() - before,
+                    &[(
+                        "bytes_per_rank",
+                        obs::AttrValue::U64(ckpt_spec.map_or(0, |s| s.bytes_per_rank)),
+                    )],
+                );
+            }
         }
     }
 
@@ -268,6 +296,54 @@ mod tests {
             "checkpoints must bound the replayed work: {} vs {}",
             with_ckpt.rollback_iters,
             without.rollback_iters
+        );
+    }
+
+    #[test]
+    fn resilient_run_records_checkpoint_and_rollback_events() {
+        let (spec, tc, trace, layout) = setup();
+        let ex = Executor::new(&spec, &tc);
+        let base = ex.run(&trace, layout).runtime_s;
+        let mut sched = FaultSchedule::none(SystemId::A64fx, layout.ranks, layout.nodes() as usize);
+        sched.events.push(FaultEvent::NodeCrash {
+            node: 1,
+            at_us: base * 1e6 * 0.25,
+        });
+        let model = CheckpointModel {
+            every_iters: 4,
+            io_gbs_per_node: 2.0,
+            restart_s: 5.0,
+        };
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        let r = obs::with_recorder(rec.clone(), || {
+            run_resilient(
+                &ex,
+                &trace,
+                layout,
+                &sched,
+                RetryPolicy::default_policy(),
+                &model,
+            )
+        });
+        assert_eq!(rec.counter("ckpt.writes"), Some(u64::from(r.checkpoints)));
+        assert_eq!(rec.counter("ckpt.rollback_iters"), Some(r.rollback_iters));
+        let spans = rec.spans();
+        let writes: Vec<_> = spans.iter().filter(|s| s.name == "ckpt.write").collect();
+        assert_eq!(writes.len(), r.checkpoints as usize);
+        assert!(writes.iter().all(|s| s.dur_us > 0.0));
+        // The shrink recorded one fault.crash instant per lost rank plus
+        // one ckpt.rollback marker.
+        let instants = rec.instants();
+        assert_eq!(
+            instants.iter().filter(|i| i.name == "fault.crash").count(),
+            r.ranks_lost as usize
+        );
+        assert_eq!(
+            instants
+                .iter()
+                .filter(|i| i.name == "ckpt.rollback")
+                .count(),
+            r.recoveries as usize
         );
     }
 

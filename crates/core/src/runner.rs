@@ -16,7 +16,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::experiments;
@@ -62,6 +62,27 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
     densela::pool::available_parallelism()
 }
 
+/// Record-volume summary of an observed experiment: how much the recorder
+/// captured, plus the DES queue high-water mark (0 when the experiment
+/// never touched the event queue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsSummary {
+    /// Span/instant/metric-point counts.
+    pub totals: obs::Totals,
+    /// Peak `netsim` event-queue depth (`des.queue.peak_depth` gauge).
+    pub peak_queue_depth: f64,
+}
+
+impl ObsSummary {
+    /// Summarise a recorder after a run.
+    pub fn of(rec: &obs::MemRecorder) -> Self {
+        ObsSummary {
+            totals: rec.totals(),
+            peak_queue_depth: rec.gauge("des.queue.peak_depth").unwrap_or(0.0),
+        }
+    }
+}
+
 /// The outcome of one isolated experiment: the table, or why it failed.
 #[derive(Debug)]
 pub struct ExperimentOutcome {
@@ -72,6 +93,9 @@ pub struct ExperimentOutcome {
     pub result: Result<Table, String>,
     /// Wall-clock time the experiment took (up to the deadline).
     pub elapsed: Duration,
+    /// Recording summary when the experiment ran observed
+    /// ([`run_isolated_observed`]); `None` for unobserved runs.
+    pub obs: Option<ObsSummary>,
 }
 
 impl ExperimentOutcome {
@@ -80,12 +104,24 @@ impl ExperimentOutcome {
         self.result.is_err()
     }
 
-    /// Render for the console: the table, or a one-line FAILED row.
+    /// Render for the console: the table (or a one-line FAILED row), plus
+    /// an observability summary row when the run was observed.
     pub fn render(&self) -> String {
-        match &self.result {
+        let mut out = match &self.result {
             Ok(t) => t.render(),
             Err(why) => format!("== {} FAILED: {} ==\n", self.id, why),
+        };
+        if let Some(o) = &self.obs {
+            out.push_str(&format!(
+                "[obs {}] {} spans, {} instants, {} metric points, peak queue depth {:.0}\n",
+                self.id,
+                o.totals.spans,
+                o.totals.instants,
+                o.totals.metric_points,
+                o.peak_queue_depth
+            ));
         }
+        out
     }
 }
 
@@ -112,10 +148,44 @@ pub fn run_isolated<F>(id: &str, deadline: Duration, body: F) -> ExperimentOutco
 where
     F: FnOnce() -> Table + Send + 'static,
 {
+    run_isolated_inner(id, deadline, None, body)
+}
+
+/// [`run_isolated`] with `rec` installed as the worker thread's ambient
+/// recorder for the duration of the experiment body. The outcome carries
+/// an [`ObsSummary`] of what was captured — also on failure, since
+/// whatever the experiment recorded before panicking or hanging is often
+/// the best clue to why.
+pub fn run_isolated_observed<F>(
+    id: &str,
+    deadline: Duration,
+    rec: Arc<obs::MemRecorder>,
+    body: F,
+) -> ExperimentOutcome
+where
+    F: FnOnce() -> Table + Send + 'static,
+{
+    run_isolated_inner(id, deadline, Some(rec), body)
+}
+
+fn run_isolated_inner<F>(
+    id: &str,
+    deadline: Duration,
+    rec: Option<Arc<obs::MemRecorder>>,
+    body: F,
+) -> ExperimentOutcome
+where
+    F: FnOnce() -> Table + Send + 'static,
+{
     let started = Instant::now();
     let (tx, rx) = mpsc::channel();
+    let worker_rec = rec.clone();
     std::thread::spawn(move || {
-        let result = catch_unwind(AssertUnwindSafe(body)).map_err(panic_message);
+        let observed = move || match worker_rec {
+            Some(r) => obs::with_recorder(r, body),
+            None => body(),
+        };
+        let result = catch_unwind(AssertUnwindSafe(observed)).map_err(panic_message);
         // The receiver may have given up at the deadline: ignore send errors.
         let _ = tx.send(result);
     });
@@ -127,6 +197,7 @@ where
         id: id.to_string(),
         result,
         elapsed: started.elapsed(),
+        obs: rec.map(|r| ObsSummary::of(&r)),
     }
 }
 
@@ -264,5 +335,44 @@ mod tests {
         });
         assert!(!o.failed());
         assert_eq!(o.result.as_ref().unwrap().id, "T1");
+        assert!(o.obs.is_none(), "unobserved runs carry no obs summary");
+        assert!(!o.render().contains("[obs"));
+    }
+
+    #[test]
+    fn observed_run_summarises_recording_in_render() {
+        let rec = Arc::new(obs::MemRecorder::new());
+        let o = run_isolated_observed("ok", DEFAULT_DEADLINE, rec.clone(), || {
+            // The recorder is installed on the worker thread, so ambient
+            // instrumentation inside the body lands in `rec`.
+            obs::span("app.phase", "warmup", 0.0, 1.0, &[]);
+            experiments::run_one("t1").expect("known id")
+        });
+        assert!(!o.failed());
+        let summary = o.obs.expect("observed run must carry a summary");
+        assert!(summary.totals.spans >= 1, "body span must be recorded");
+        assert_eq!(summary.totals, rec.totals());
+        let rendered = o.render();
+        assert!(rendered.contains("[obs ok]"), "{rendered}");
+        assert!(rendered.contains("spans"), "{rendered}");
+        // The table itself is identical to the unobserved run.
+        let plain = run_isolated("ok", DEFAULT_DEADLINE, || {
+            experiments::run_one("t1").expect("known id")
+        });
+        assert_eq!(o.result.unwrap(), plain.result.unwrap());
+    }
+
+    #[test]
+    fn observed_failure_still_reports_partial_recording() {
+        let rec = Arc::new(obs::MemRecorder::new());
+        let o = run_isolated_observed("boom", DEFAULT_DEADLINE, rec, || {
+            obs::add("progress.marker", 1);
+            panic!("deliberate test panic");
+        });
+        assert!(o.failed());
+        let summary = o.obs.expect("failed observed runs keep their summary");
+        assert_eq!(summary.totals.metric_points, 1);
+        assert!(o.render().contains("FAILED"));
+        assert!(o.render().contains("[obs boom]"));
     }
 }

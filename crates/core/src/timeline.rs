@@ -6,7 +6,7 @@
 //! analysis in §VII.C): a breakdown a user can read to see *why* a system
 //! is fast or slow on a benchmark.
 
-use a64fx_apps::trace::{Phase, Trace, WorkDist};
+use a64fx_apps::trace::Trace;
 use archsim::{SystemSpec, Toolchain};
 use simmpi::{Placement, PlacementPolicy, World};
 
@@ -52,31 +52,30 @@ pub fn iteration_timeline(
             checkpoint: None,
         };
         ex.replay(&single, &mut world);
-        let label = match phase {
-            Phase::Compute { class, work } => {
-                let w = match work {
-                    WorkDist::Uniform(w) => *w,
-                    WorkDist::PerRank(v) => v[0],
-                };
-                format!(
-                    "compute:{} ({:.1} Mflop)",
-                    class.name(),
-                    w.flops as f64 / 1e6
-                )
-            }
-            Phase::Allreduce { bytes } => format!("allreduce({bytes}B)"),
-            Phase::Halo { pairs } => format!("halo({} pairs)", pairs.len()),
-            Phase::Alltoall { bytes_per_pair } => format!("alltoall({bytes_per_pair}B/pair)"),
-            Phase::Allgather { bytes } => format!("allgather({bytes}B)"),
-            Phase::Barrier => "barrier".to_string(),
-            Phase::Overhead { us } => format!("runtime overhead ({us}us)"),
-        };
         out.push(TimelineEntry {
-            label,
+            label: phase.label(),
             us: world.now_us(0) - before,
         });
     }
     out
+}
+
+/// Derive timeline entries from recorded trace spans: every `app.phase`
+/// span becomes one entry, in record order. With a recorder active this is
+/// the span-eye view of the same per-phase breakdown
+/// [`iteration_timeline`] computes directly — the executor emits spans
+/// with [`a64fx_apps::trace::Phase::label`] labels over rank-0 intervals,
+/// so for a single replayed iteration the two views agree to round-off
+/// (asserted by this module's tests).
+pub fn spans_to_timeline(spans: &[obs::Span]) -> Vec<TimelineEntry> {
+    spans
+        .iter()
+        .filter(|s| s.cat == "app.phase")
+        .map(|s| TimelineEntry {
+            label: s.name.clone(),
+            us: s.dur_us,
+        })
+        .collect()
 }
 
 /// Render a timeline as a table with time shares and a bar chart.
@@ -136,6 +135,30 @@ mod tests {
             .sum();
         let total: f64 = tl.iter().map(|e| e.us).sum();
         assert!(symgs / total > 0.5, "SymGS share {:.2}", symgs / total);
+    }
+
+    #[test]
+    fn span_derived_timeline_agrees_with_direct_view() {
+        let spec = system(SystemId::A64fx);
+        let tc = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
+        let layout = JobLayout::mpi_full(1, &spec);
+        let trace = hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks);
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        let direct = obs::with_recorder(rec.clone(), || {
+            iteration_timeline(&spec, &tc, &trace, layout)
+        });
+        let derived = spans_to_timeline(&rec.spans());
+        assert_eq!(derived.len(), direct.len());
+        for (d, t) in derived.iter().zip(&direct) {
+            assert_eq!(d.label, t.label);
+            assert!(
+                (d.us - t.us).abs() <= 1e-9 * (1.0 + t.us.abs()),
+                "span view {} vs direct view {} for {}",
+                d.us,
+                t.us,
+                t.label
+            );
+        }
     }
 
     #[test]

@@ -144,11 +144,13 @@ impl KernelPool {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&f)
                 as *const _
         });
+        let generation;
         {
             let mut st = self.shared.state.lock().unwrap();
             debug_assert_eq!(st.remaining, 0, "dispatch while a job is still running");
             st.job = Some(job);
             st.generation += 1;
+            generation = st.generation;
             st.remaining = self.workers.len();
             self.shared.work_cv.notify_all();
         }
@@ -160,6 +162,18 @@ impl KernelPool {
         st.job = None;
         let worker_panicked = std::mem::replace(&mut st.panicked, false);
         drop(st);
+        if obs::enabled() {
+            // The pool has no simulated clock; spans live on a logical
+            // timeline where each dispatch generation occupies one unit.
+            obs::add("pool.dispatches", 1);
+            obs::span(
+                "pool",
+                "pool.dispatch",
+                (generation - 1) as f64,
+                1.0,
+                &[("lanes", obs::AttrValue::U64(self.threads as u64))],
+            );
+        }
         if lane0_panicked || worker_panicked {
             panic!("kernel pool job panicked");
         }
@@ -316,6 +330,29 @@ mod tests {
         let serial = KernelPool::new(1);
         serial.run(|_| {});
         assert_eq!(serial.dispatches(), 0);
+    }
+
+    #[test]
+    fn dispatches_record_pool_spans_on_logical_clock() {
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        obs::with_recorder(rec.clone(), || {
+            let pool = KernelPool::new(3);
+            pool.run(|_| {});
+            pool.run(|_| {});
+        });
+        assert_eq!(rec.counter("pool.dispatches"), Some(2));
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].cat, "pool");
+        assert_eq!(spans[0].start_us, 0.0);
+        assert_eq!(
+            spans[1].start_us, 1.0,
+            "logical clock: one unit per generation"
+        );
+        // Serial pools run inline and record nothing.
+        let serial_rec = std::sync::Arc::new(obs::MemRecorder::new());
+        obs::with_recorder(serial_rec.clone(), || KernelPool::new(1).run(|_| {}));
+        assert_eq!(serial_rec.counter("pool.dispatches"), None);
     }
 
     #[test]

@@ -60,8 +60,10 @@ impl LinkFaults {
         }
         if failures > 0 {
             self.retries += u64::from(failures);
+            obs::add("fault.msg_drops", u64::from(failures));
             if failures == self.retry.max_retries {
                 self.exhausted += 1;
+                obs::add("fault.retry_exhausted", 1);
             }
         }
         failures
@@ -124,6 +126,18 @@ mod tests {
         assert!(a.retries() > 0, "30% drop must retry sometimes");
         let frac = fa.iter().filter(|&&f| f > 0).count() as f64 / 500.0;
         assert!((frac - 0.3).abs() < 0.08, "observed drop fraction {frac}");
+    }
+
+    #[test]
+    fn drops_report_fault_counters() {
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        obs::with_recorder(rec.clone(), || {
+            let mut lf = lossy(1.0);
+            lf.next_message_failures();
+        });
+        let max = u64::from(RetryPolicy::default_policy().max_retries);
+        assert_eq!(rec.counter("fault.msg_drops"), Some(max));
+        assert_eq!(rec.counter("fault.retry_exhausted"), Some(1));
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Event<T>>,
     next_seq: u64,
     now_us: f64,
+    scheduled_total: u64,
+    popped_total: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -65,6 +67,8 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now_us: 0.0,
+            scheduled_total: 0,
+            popped_total: 0,
         }
     }
 
@@ -87,11 +91,16 @@ impl<T> EventQueue<T> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.scheduled_total += 1;
         self.heap.push(Event {
             time_us,
             seq,
             payload,
         });
+        if obs::enabled() {
+            obs::add("des.events.scheduled", 1);
+            obs::gauge_max("des.queue.peak_depth", self.heap.len() as f64);
+        }
     }
 
     /// Schedule `payload` at `delay_us` after the current virtual time.
@@ -104,7 +113,20 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<Event<T>> {
         let ev = self.heap.pop()?;
         self.now_us = ev.time_us;
+        self.popped_total += 1;
+        obs::add("des.events.popped", 1);
         Some(ev)
+    }
+
+    /// Total events ever scheduled (monotonic; not reset by pops).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events ever popped. When the queue is drained,
+    /// `popped_total() == scheduled_total()`.
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
     }
 
     /// Number of pending events.
@@ -174,6 +196,49 @@ mod tests {
     }
 
     #[test]
+    fn totals_track_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.popped_total(), 0);
+        q.schedule_at(1.0, ());
+        q.schedule_at(2.0, ());
+        q.schedule_at(3.0, ());
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.popped_total(), 0);
+        q.pop();
+        assert_eq!(q.popped_total(), 1);
+        // Pending = scheduled - popped while events remain.
+        assert_eq!(
+            q.len() as u64,
+            q.scheduled_total() - q.popped_total(),
+            "len must equal scheduled - popped"
+        );
+        while q.pop().is_some() {}
+        // Drain invariant: every scheduled event was eventually popped.
+        assert_eq!(q.popped_total(), q.scheduled_total());
+        assert!(q.is_empty());
+        // Totals are monotonic: draining does not reset them.
+        assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn scheduling_reports_queue_metrics() {
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        obs::with_recorder(rec.clone(), || {
+            let mut q = EventQueue::new();
+            q.schedule_at(1.0, ());
+            q.schedule_at(2.0, ());
+            q.schedule_at(3.0, ());
+            q.pop();
+            q.schedule_at(4.0, ());
+            while q.pop().is_some() {}
+        });
+        assert_eq!(rec.counter("des.events.scheduled"), Some(4));
+        assert_eq!(rec.counter("des.events.popped"), Some(4));
+        assert_eq!(rec.gauge("des.queue.peak_depth"), Some(3.0));
+    }
+
+    #[test]
     fn negative_delay_clamps_to_now() {
         let mut q = EventQueue::new();
         q.schedule_at(10.0, ());
@@ -215,6 +280,7 @@ mod proptests {
                 prop_assert_eq!(q.len(), n);
             }
             prop_assert!(q.is_empty());
+            prop_assert_eq!(q.popped_total(), q.scheduled_total());
         }
     }
 }

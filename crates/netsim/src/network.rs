@@ -130,6 +130,10 @@ impl Network {
     pub fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, issue_us: f64) -> f64 {
         self.messages += 1;
         self.bytes += u128::from(bytes);
+        if obs::enabled() {
+            obs::add("net.msg", 1);
+            obs::add("net.bytes", bytes);
+        }
         if src == dst {
             // Intra-node: no NIC involvement.
             return issue_us + SHM_LATENCY_US + bytes as f64 / (SHM_BW_GBS * 1e3);
@@ -145,10 +149,17 @@ impl Network {
             let failures = f.next_message_failures();
             if failures > 0 {
                 issue_us += f.retry_penalty_us(failures);
+                obs::add("net.retries", u64::from(failures));
             }
             degrade = f.path_factor(src, dst, issue_us);
+            if degrade < 1.0 {
+                obs::add("net.degraded_transfers", 1);
+            }
         }
         let hops = self.topo.hops(src, dst);
+        if obs::enabled() {
+            obs::observe("net.hops", f64::from(hops));
+        }
         let wire_us =
             bytes as f64 / (self.link.injection_bw_gbs() * self.congestion * degrade * 1e3);
         let header_us = self.link.latency_us + f64::from(hops) * self.link.per_hop_us;
@@ -213,6 +224,25 @@ mod tests {
             intra < inter,
             "shared memory should beat the wire ({intra} vs {inter})"
         );
+    }
+
+    #[test]
+    fn transfer_reports_message_metrics() {
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        let baseline = {
+            let mut net = edr(4);
+            net.transfer(0, 1, 100, 0.0)
+        };
+        let traced = obs::with_recorder(rec.clone(), || {
+            let mut net = edr(4);
+            net.transfer(2, 2, 50, 0.0); // intra-node: counted, no hops
+            net.transfer(0, 1, 100, 0.0)
+        });
+        assert_eq!(traced, baseline, "recording must not perturb timing");
+        assert_eq!(rec.counter("net.msg"), Some(2));
+        assert_eq!(rec.counter("net.bytes"), Some(150));
+        assert_eq!(rec.histogram("net.hops").unwrap().count, 1);
+        assert_eq!(rec.counter("net.retries"), None);
     }
 
     #[test]

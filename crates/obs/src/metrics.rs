@@ -1,0 +1,314 @@
+//! Deterministic metrics: counters, high-water gauges, and fixed
+//! log2-bucket histograms, snapshotted to byte-stable JSON.
+
+use std::collections::BTreeMap;
+
+use crate::{json_escape, json_f64};
+
+/// Number of histogram buckets. Bucket `i` (for `i >= 1`) holds values
+/// whose integer part `u` satisfies `2^(i-1) <= u < 2^i`; bucket 0 holds
+/// values below 1. Bucket 63 absorbs everything at or above `2^62`.
+pub const BUCKETS: usize = 64;
+
+/// Map a value to its histogram bucket using pure integer arithmetic —
+/// no float log2, so the mapping is identical on every platform.
+/// Negative and non-finite values clamp to bucket 0.
+pub fn bucket_index(value: f64) -> usize {
+    if !value.is_finite() || value < 1.0 {
+        return 0;
+    }
+    let u = if value >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        value as u64
+    };
+    let idx = 64 - u.leading_zeros() as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// A fixed log2-bucket histogram. Deterministic: bucket assignment is
+/// integer math and `sum` accumulates in observation order (callers
+/// observe in deterministic order, so the float sum is reproducible).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+    }
+}
+
+/// A registry of named counters, gauges, and histograms. `BTreeMap`
+/// storage keeps snapshot key order stable regardless of insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter (created at 0 on first use).
+    pub fn add(&mut self, counter: &str, delta: u64) {
+        *self.counters.entry(counter.to_string()).or_insert(0) += delta;
+    }
+
+    /// Raise the named high-water gauge to at least `value`.
+    pub fn gauge_max(&mut self, gauge: &str, value: f64) {
+        let g = self.gauges.entry(gauge.to_string()).or_insert(f64::MIN);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&mut self, hist: &str, value: f64) {
+        self.histograms
+            .entry(hist.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of a gauge, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Total number of metric points (counters + gauges + histogram
+    /// observations) — used for summary rows.
+    pub fn points(&self) -> u64 {
+        self.counters.len() as u64
+            + self.gauges.len() as u64
+            + self.histograms.values().map(|h| h.count).sum::<u64>()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another registry into this one (counters add, gauges max,
+    /// histograms element-wise add).
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauge_max(k, v);
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_default();
+            mine.count += h.count;
+            mine.sum += h.sum;
+            for (m, o) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
+                *m += o;
+            }
+        }
+    }
+
+    /// Serialise the registry to a stable, pretty-printed JSON snapshot.
+    /// Keys appear in `BTreeMap` order; histogram buckets are emitted
+    /// sparsely as `{"bucket_index": count}` so snapshots stay readable.
+    /// `meta` key/value pairs (already-ordered) head the document.
+    pub fn snapshot_json(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        for (k, v) in meta {
+            out.push_str(&format!(
+                "  \"{}\": \"{}\",\n",
+                json_escape(k),
+                json_escape(v)
+            ));
+        }
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(k), v));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(k), json_f64(*v)));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+                json_escape(k),
+                h.count,
+                json_f64(h.sum)
+            ));
+            let mut bfirst = true;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !bfirst {
+                    out.push_str(", ");
+                }
+                bfirst = false;
+                out.push_str(&format!("\"{i}\": {c}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_integer_log2() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.5), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(1.9), 1);
+        assert_eq!(bucket_index(2.0), 2);
+        assert_eq!(bucket_index(3.0), 2);
+        assert_eq!(bucket_index(4.0), 3);
+        assert_eq!(bucket_index(1024.0), 11);
+        assert_eq!(bucket_index(1e300), BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), 0); // non-finite clamps low
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = Histogram::default();
+        h.observe(1.0);
+        h.observe(3.0);
+        h.observe(8.0);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.max_bucket(), Some(4));
+    }
+
+    #[test]
+    fn registry_snapshot_is_stable_and_ordered() {
+        let mut r = Registry::new();
+        r.add("zeta", 2);
+        r.add("alpha", 1);
+        r.gauge_max("g", 3.0);
+        r.gauge_max("g", 2.0); // lower: ignored
+        r.observe("h", 5.0);
+        let s1 = r.snapshot_json(&[("experiment", "t".to_string())]);
+        let s2 = r.snapshot_json(&[("experiment", "t".to_string())]);
+        assert_eq!(s1, s2);
+        // alpha before zeta regardless of insertion order.
+        let a = s1.find("alpha").unwrap();
+        let z = s1.find("zeta").unwrap();
+        assert!(a < z);
+        assert!(s1.contains("\"g\": 3"));
+        assert!(s1.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_valid_shape() {
+        let r = Registry::new();
+        let s = r.snapshot_json(&[]);
+        assert!(s.contains("\"counters\": {}"));
+        assert!(s.contains("\"gauges\": {}"));
+        assert!(s.contains("\"histograms\": {}"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = Registry::new();
+        a.add("c", 1);
+        a.gauge_max("g", 1.0);
+        a.observe("h", 2.0);
+        let mut b = Registry::new();
+        b.add("c", 2);
+        b.gauge_max("g", 5.0);
+        b.observe("h", 4.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.gauge("g"), Some(5.0));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 6.0);
+    }
+}

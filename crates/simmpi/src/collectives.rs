@@ -28,6 +28,17 @@ pub enum CollectiveAlgorithm {
     Ring,
 }
 
+impl CollectiveAlgorithm {
+    /// Stable lowercase label, used as a metric-name suffix
+    /// (e.g. `mpi.allreduce.alg.ring.calls`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveAlgorithm::RecursiveDoubling => "recursive_doubling",
+            CollectiveAlgorithm::Ring => "ring",
+        }
+    }
+}
+
 /// Message size (bytes) above which bandwidth-optimal algorithms win.
 pub const ALGORITHM_CUTOVER_BYTES: u64 = 16 * 1024;
 

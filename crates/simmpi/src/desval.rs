@@ -9,6 +9,28 @@
 
 use netsim::{EventQueue, Network};
 
+/// [`Network::transfer`] with a `net.hop` span when a recorder is active:
+/// one span per simulated message, over the send->arrival interval. Only
+/// the message-level DES path emits these — the analytic collective
+/// models move far too many logical messages to trace individually.
+fn hop(net: &mut Network, src: usize, dst: usize, bytes: u64, t_send: f64) -> f64 {
+    let done = net.transfer(src, dst, bytes, t_send);
+    if obs::enabled() {
+        obs::span(
+            "net",
+            "net.hop",
+            t_send,
+            done - t_send,
+            &[
+                ("src_node", obs::AttrValue::U64(src as u64)),
+                ("dst_node", obs::AttrValue::U64(dst as u64)),
+                ("bytes", obs::AttrValue::U64(bytes)),
+            ],
+        );
+    }
+    done
+}
+
 /// One message delivery in the event-driven allreduce.
 #[derive(Debug, Clone, Copy)]
 struct Arrival {
@@ -47,7 +69,13 @@ pub fn allreduce_recursive_doubling_des(
                 continue; // padded rank: no message this round
             }
             let t_send = clock[rank];
-            let done = net.transfer(node_of_rank[rank], node_of_rank[partner], bytes, t_send);
+            let done = hop(
+                net,
+                node_of_rank[rank],
+                node_of_rank[partner],
+                bytes,
+                t_send,
+            );
             q.schedule_at(
                 done.max(q.now_us()),
                 Arrival {
@@ -90,7 +118,7 @@ pub fn allreduce_ring_des(net: &mut Network, node_of_rank: &[usize], bytes: u64)
         let sends: Vec<f64> = (0..p)
             .map(|r| {
                 let dst = (r + 1) % p;
-                net.transfer(node_of_rank[r], node_of_rank[dst], chunk, clock[r])
+                hop(net, node_of_rank[r], node_of_rank[dst], chunk, clock[r])
             })
             .collect();
         let mut next = clock.clone();
@@ -121,7 +149,7 @@ pub fn allreduce_rabenseifner_des(net: &mut Network, node_of_rank: &[usize], byt
     // Pre-round: rank p2 + i folds its payload into rank i.
     for i in 0..extras {
         let src = p2 + i;
-        let done = net.transfer(node_of_rank[src], node_of_rank[i], bytes, clock[src]);
+        let done = hop(net, node_of_rank[src], node_of_rank[i], bytes, clock[src]);
         clock[i] = clock[i].max(done);
     }
     // Reduce-scatter by recursive halving, then allgather by recursive
@@ -133,13 +161,15 @@ pub fn allreduce_rabenseifner_des(net: &mut Network, node_of_rank: &[usize], byt
             if partner < rank {
                 continue; // handle each pair once, both directions below
             }
-            let fwd = net.transfer(
+            let fwd = hop(
+                net,
                 node_of_rank[rank],
                 node_of_rank[partner],
                 chunk,
                 clock[rank],
             );
-            let rev = net.transfer(
+            let rev = hop(
+                net,
                 node_of_rank[partner],
                 node_of_rank[rank],
                 chunk,
@@ -159,7 +189,7 @@ pub fn allreduce_rabenseifner_des(net: &mut Network, node_of_rank: &[usize], byt
     // Post-round: results flow back to the folded ranks.
     for i in 0..extras {
         let dst = p2 + i;
-        let done = net.transfer(node_of_rank[i], node_of_rank[dst], bytes, clock[i]);
+        let done = hop(net, node_of_rank[i], node_of_rank[dst], bytes, clock[i]);
         clock[dst] = clock[dst].max(done);
     }
     clock.into_iter().fold(0.0, f64::max)
@@ -179,7 +209,7 @@ fn shm_tree_des(net: &mut Network, node: usize, ranks: usize, bytes: u64) -> f64
         let stride = 1usize << round;
         let mut idx = 0;
         while idx + stride < ranks {
-            let done = net.transfer(node, node, bytes, clock[idx + stride]);
+            let done = hop(net, node, node, bytes, clock[idx + stride]);
             clock[idx] = clock[idx].max(done);
             idx += stride * 2;
         }
@@ -248,6 +278,32 @@ mod tests {
 
     fn one_rank_per_node(n: usize) -> Vec<usize> {
         (0..n).collect()
+    }
+
+    #[test]
+    fn des_transfers_emit_hop_spans_without_perturbing_time() {
+        let placement = one_rank_per_node(4);
+        let mut net = Network::new(InterconnectKind::EdrInfiniband, 4);
+        let plain = allreduce_recursive_doubling_des(&mut net, &placement, 4096);
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        let traced = obs::with_recorder(rec.clone(), || {
+            let mut net = Network::new(InterconnectKind::EdrInfiniband, 4);
+            allreduce_recursive_doubling_des(&mut net, &placement, 4096)
+        });
+        assert_eq!(
+            traced.to_bits(),
+            plain.to_bits(),
+            "recording moved the DES clock"
+        );
+        let hops: Vec<_> = rec
+            .spans()
+            .iter()
+            .filter(|s| s.cat == "net" && s.name == "net.hop")
+            .cloned()
+            .collect();
+        // 4 ranks, 2 rounds of recursive doubling: 4 messages per round.
+        assert_eq!(hops.len(), 8, "one span per simulated message");
+        assert!(hops.iter().all(|s| s.dur_us > 0.0));
     }
 
     #[test]

@@ -154,6 +154,24 @@ impl World {
             }
         }
         self.recoveries += 1;
+        if obs::enabled() {
+            obs::add("mpi.shrink.ops", 1);
+            obs::add("mpi.shrink.ranks_removed", failed.len() as u64);
+            for &r in &failed {
+                obs::instant(
+                    "fault",
+                    "fault.crash",
+                    self.clock_us[r as usize],
+                    &[
+                        ("rank", obs::AttrValue::U64(u64::from(r))),
+                        (
+                            "node",
+                            obs::AttrValue::U64(self.node_map[r as usize] as u64),
+                        ),
+                    ],
+                );
+            }
+        }
         // Agreement + communicator rebuild among the survivors.
         self.barrier();
         self.barrier();
@@ -245,6 +263,10 @@ impl World {
                     .transfer(self.node_map[s], self.node_map[d], bytes, self.clock_us[s]);
             self.clock_us[s] += SEND_OVERHEAD_US;
             arrivals[d] = arrivals[d].max(done);
+            if obs::enabled() {
+                obs::add("mpi.p2p.msgs", 1);
+                obs::add("mpi.p2p.bytes", bytes);
+            }
         }
         for (r, &arr) in arrivals.iter().enumerate() {
             if arr > self.clock_us[r] {
@@ -272,14 +294,47 @@ impl World {
             .zip(&self.alive)
             .filter_map(|(&c, &a)| a.then_some(c))
             .fold(0.0, f64::max);
+        let trace = obs::enabled();
         for (r, c) in self.clock_us.iter_mut().enumerate() {
             if !self.alive[r] {
                 continue;
             }
             self.wait_us[r] += t - *c;
+            if trace {
+                // Rendezvous skew absorbed at this sync point, per rank
+                // (the latest rank contributes a 0-wait observation).
+                obs::observe("mpi.sync_wait_us", t - *c);
+            }
             *c = t;
         }
         t
+    }
+
+    /// Record one collective into the ambient recorder: an `mpi.<op>` span
+    /// over the synchronised interval plus call/byte counters, split per
+    /// selected algorithm when the op is size-switched.
+    fn record_collective(&self, op: &str, bytes: Option<u64>, start_us: f64, dur_us: f64) {
+        if !obs::enabled() {
+            return;
+        }
+        let name = format!("mpi.{op}");
+        obs::add(&format!("{name}.calls"), 1);
+        let mut attrs: Vec<(&str, obs::AttrValue)> =
+            vec![("ranks", obs::AttrValue::U64(u64::from(self.alive_ranks())))];
+        if let Some(b) = bytes {
+            obs::add(&format!("{name}.bytes"), b);
+            attrs.push(("bytes", obs::AttrValue::U64(b)));
+        }
+        // allreduce/bcast pick their algorithm by message size; count the
+        // calls each algorithm actually serves (ablation evidence).
+        if matches!(op, "allreduce" | "bcast") {
+            if let Some(b) = bytes {
+                let alg = collectives::select_algorithm(b).name();
+                obs::add(&format!("{name}.alg.{alg}.calls"), 1);
+                attrs.push(("alg", obs::AttrValue::Str(alg)));
+            }
+        }
+        obs::span("mpi", &name, start_us, dur_us, &attrs);
     }
 
     /// The node map restricted to live ranks — what the collectives see.
@@ -303,6 +358,7 @@ impl World {
     pub fn allreduce(&mut self, bytes: u64) {
         let start = self.synchronise();
         let t = collectives::allreduce_time_us(&self.net, &self.live_node_map(), bytes);
+        self.record_collective("allreduce", Some(bytes), start, t);
         self.set_all(start + t);
     }
 
@@ -310,6 +366,7 @@ impl World {
     pub fn bcast(&mut self, bytes: u64) {
         let start = self.synchronise();
         let t = collectives::bcast_time_us(&self.net, &self.live_node_map(), bytes);
+        self.record_collective("bcast", Some(bytes), start, t);
         self.set_all(start + t);
     }
 
@@ -317,6 +374,7 @@ impl World {
     pub fn barrier(&mut self) {
         let start = self.synchronise();
         let t = collectives::barrier_time_us(&self.net, &self.live_node_map());
+        self.record_collective("barrier", None, start, t);
         self.set_all(start + t);
     }
 
@@ -324,6 +382,7 @@ impl World {
     pub fn allgather(&mut self, bytes: u64) {
         let start = self.synchronise();
         let t = collectives::allgather_time_us(&self.net, &self.live_node_map(), bytes);
+        self.record_collective("allgather", Some(bytes), start, t);
         self.set_all(start + t);
     }
 
@@ -331,6 +390,7 @@ impl World {
     pub fn alltoall(&mut self, bytes_per_pair: u64) {
         let start = self.synchronise();
         let t = collectives::alltoall_time_us(&self.net, &self.live_node_map(), bytes_per_pair);
+        self.record_collective("alltoall", Some(bytes_per_pair), start, t);
         self.set_all(start + t);
     }
 
@@ -620,6 +680,72 @@ mod tests {
         // A second shrink with nothing new failed is a no-op.
         assert!(w.shrink_failed().is_empty());
         assert_eq!(w.recoveries(), 1);
+    }
+
+    #[test]
+    fn collectives_record_spans_without_perturbing_clocks() {
+        let plain = {
+            let mut w = world(2, 4);
+            run_workload(&mut w)
+        };
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        let traced = obs::with_recorder(rec.clone(), || {
+            let mut w = world(2, 4);
+            run_workload(&mut w)
+        });
+        for (x, y) in plain.iter().zip(&traced) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "recording must be pure observation"
+            );
+        }
+        assert_eq!(rec.counter("mpi.allreduce.calls"), Some(1));
+        assert_eq!(rec.counter("mpi.allreduce.bytes"), Some(8));
+        // 8 bytes < cutover: recursive doubling serves the call.
+        assert_eq!(
+            rec.counter("mpi.allreduce.alg.recursive_doubling.calls"),
+            Some(1)
+        );
+        assert_eq!(rec.counter("mpi.barrier.calls"), Some(1));
+        assert_eq!(
+            rec.counter("mpi.p2p.msgs"),
+            Some(4),
+            "2 halo pairs = 4 messages"
+        );
+        let spans = rec.spans();
+        let allreduce = spans.iter().find(|s| s.name == "mpi.allreduce").unwrap();
+        assert!(allreduce.dur_us > 0.0);
+        assert!(allreduce
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "alg" && v.contains("recursive_doubling")));
+        // Each sync point contributes one wait observation per live rank.
+        let waits = rec.histogram("mpi.sync_wait_us").unwrap();
+        assert_eq!(waits.count, 16, "2 sync points x 8 ranks");
+    }
+
+    #[test]
+    fn shrink_records_crash_instants() {
+        let mut s = FaultSchedule::none(SystemId::A64fx, 8, 2);
+        s.events.push(faultsim::FaultEvent::NodeCrash {
+            node: 1,
+            at_us: 500.0,
+        });
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        obs::with_recorder(rec.clone(), || {
+            let mut w = world(2, 4);
+            w.install_faults(&s, RetryPolicy::default_policy());
+            w.compute_uniform(600.0);
+            w.shrink_failed();
+        });
+        assert_eq!(rec.counter("mpi.shrink.ops"), Some(1));
+        assert_eq!(rec.counter("mpi.shrink.ranks_removed"), Some(4));
+        let instants = rec.instants();
+        assert_eq!(instants.len(), 4);
+        assert!(instants
+            .iter()
+            .all(|i| i.name == "fault.crash" && i.at_us == 500.0));
     }
 
     #[test]

@@ -80,6 +80,19 @@ impl Team {
         !self.serial(n)
     }
 
+    /// Row partition for a pooled kernel over `n` rows, reporting each
+    /// lane's share to the ambient recorder — the per-dispatch imbalance
+    /// histogram, in rows (the team's simulated work unit).
+    fn partition(&self, n: usize) -> RowPartition {
+        let part = RowPartition::new(n, self.threads());
+        if obs::enabled() {
+            for lane in 0..self.threads() {
+                obs::observe("pool.lane_rows", part.count(lane) as f64);
+            }
+        }
+        part
+    }
+
     /// Parallel SpMV `y = A x`: rows are block-partitioned over the team;
     /// every lane writes only its own range of `y`. Row results are
     /// bit-identical to [`CsrMatrix::spmv`].
@@ -89,7 +102,7 @@ impl Team {
         if self.serial(a.rows()) {
             return a.spmv(x, y);
         }
-        let part = RowPartition::new(a.rows(), self.threads());
+        let part = self.partition(a.rows());
         let out = SharedSlice::new(y);
         self.pool.run(|lane| {
             let (lo, hi) = part.range(lane);
@@ -125,7 +138,7 @@ impl Team {
             return (acc, w + extra);
         }
         let t = self.threads();
-        let part = RowPartition::new(n, t);
+        let part = self.partition(n);
         let mut partials = vec![0.0f64; t];
         let parts = SharedSlice::new(&mut partials);
         let out = SharedSlice::new(y);
@@ -158,7 +171,7 @@ impl Team {
             return densela::vecops::dot(x, y);
         }
         let t = self.threads();
-        let part = RowPartition::new(x.len(), t);
+        let part = self.partition(x.len());
         let mut partials = vec![0.0f64; t];
         let parts = SharedSlice::new(&mut partials);
         self.pool.run(|lane| {
@@ -180,7 +193,7 @@ impl Team {
             return densela::vecops::norm2_sq(x);
         }
         let t = self.threads();
-        let part = RowPartition::new(x.len(), t);
+        let part = self.partition(x.len());
         let mut partials = vec![0.0f64; t];
         let parts = SharedSlice::new(&mut partials);
         self.pool.run(|lane| {
@@ -202,7 +215,7 @@ impl Team {
         if self.serial(x.len()) {
             return densela::vecops::axpy(alpha, x, y);
         }
-        let part = RowPartition::new(x.len(), self.threads());
+        let part = self.partition(x.len());
         let out = SharedSlice::new(y);
         self.pool.run(|lane| {
             let (lo, hi) = part.range(lane);
@@ -233,7 +246,7 @@ impl Team {
             return (acc, work);
         }
         let t = self.threads();
-        let part = RowPartition::new(x.len(), t);
+        let part = self.partition(x.len());
         let mut partials = vec![0.0f64; t];
         let parts = SharedSlice::new(&mut partials);
         let out = SharedSlice::new(y);
@@ -262,7 +275,7 @@ impl Team {
             }
             return work;
         }
-        let part = RowPartition::new(r.len(), self.threads());
+        let part = self.partition(r.len());
         let out = SharedSlice::new(p);
         self.pool.run(|lane| {
             let (lo, hi) = part.range(lane);
@@ -320,7 +333,7 @@ impl Team {
                     relax_row(r);
                 }
             } else {
-                let part = RowPartition::new(rows.len(), t);
+                let part = self.partition(rows.len());
                 self.pool.run(|lane| {
                     let (lo, hi) = part.range(lane);
                     for &r in &rows[lo..hi] {
@@ -349,7 +362,7 @@ impl Team {
         if self.serial(m.rows()) || ns < self.threads() {
             return m.spmv(x, y);
         }
-        let part = RowPartition::new(ns, self.threads());
+        let part = self.partition(ns);
         let out = SharedSlice::new(y);
         self.pool.run(|lane| {
             let (lo, hi) = part.range(lane);
@@ -606,6 +619,20 @@ mod tests {
             team.spmv(&a, &x, &mut y_par);
             assert_eq!(y_serial, y_par, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn pooled_kernels_record_lane_imbalance_histogram() {
+        let rec = std::sync::Arc::new(obs::MemRecorder::new());
+        obs::with_recorder(rec.clone(), || {
+            // 10 rows over 4 lanes: 3/3/2/2.
+            let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+            Team::new(4).dot(&x, &x);
+        });
+        let h = rec.histogram("pool.lane_rows").unwrap();
+        assert_eq!(h.count, 4, "one observation per lane");
+        assert_eq!(h.sum, 10.0, "lane shares cover every row");
+        assert_eq!(rec.counter("pool.dispatches"), Some(1));
     }
 
     #[test]
