@@ -1,4 +1,5 @@
-//! `bench_json` — machine-readable kernel timings, no criterion.
+//! `bench_json` — machine-readable kernel and repro-suite timings, no
+//! criterion.
 //!
 //! Times the shared-memory kernel runtime three ways — serial, the old
 //! spawn-a-thread-scope-per-call team, and the persistent kernel pool — on
@@ -6,6 +7,13 @@
 //! dot, AXPY, and a full CG solve on the 48³ 27-point stencil), and writes
 //! the results as JSON to `BENCH_kernels.json` (or the path given as the
 //! first argument).
+//!
+//! It then times one full repro run — every experiment through the
+//! isolated runner, trace cache on — and writes `BENCH_repro.json` (or the
+//! path given as the second argument): wall seconds, per-experiment
+//! seconds, trace-cache and collective-cache hit counters, and a DES
+//! drain microbench (events popped per second through a pre-sized
+//! [`netsim::des::EventQueue`]).
 //!
 //! Each timing is the best of a few repetitions of `std::time::Instant`
 //! around the kernel. The file records `available_parallelism` so readers
@@ -58,10 +66,71 @@ impl Row {
     }
 }
 
+/// Time one full repro run (all experiments through the isolated runner,
+/// trace cache on) and write the result as JSON to `path`.
+fn bench_repro(path: &str) {
+    use a64fx_core::{runner, tracecache};
+    use simmpi::collcache;
+
+    let threads = runner::resolve_threads(None);
+    eprintln!("timing full repro suite ({threads} worker threads)...");
+    let trace0 = tracecache::stats();
+    let coll0 = collcache::stats();
+    let t0 = Instant::now();
+    let outcomes = runner::run_all_isolated(threads, runner::DEFAULT_DEADLINE);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let trace1 = tracecache::stats();
+    let coll1 = collcache::stats();
+    let failed = outcomes.iter().filter(|o| o.failed()).count();
+    let per_exp: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"failed\": {}}}",
+                o.id,
+                o.elapsed.as_secs_f64(),
+                o.failed(),
+            )
+        })
+        .collect();
+
+    // DES drain microbench: schedule-then-drain through a pre-sized queue,
+    // the pattern the simulator's validation path uses. `popped_total()`
+    // gives the event count without needing an obs recorder around the
+    // timed region.
+    const DES_EVENTS: usize = 100_000;
+    let mut q = netsim::des::EventQueue::with_capacity(DES_EVENTS);
+    let d0 = Instant::now();
+    for i in 0..DES_EVENTS {
+        q.schedule_at(i as f64 * 0.5, i);
+    }
+    while q.pop().is_some() {}
+    let des_s = d0.elapsed().as_secs_f64();
+    let des_popped = q.popped_total();
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"available_parallelism\": {ap},\n  \"wall_s\": {wall_s:.3},\n  \"experiments\": {nexp},\n  \"failed\": {failed},\n  \"trace_cache\": {{\"hits\": {th}, \"misses\": {tm}, \"inserts\": {ti}}},\n  \"collective_cache\": {{\"hits\": {ch}, \"misses\": {cm}}},\n  \"des_drain\": {{\"events_popped\": {des_popped}, \"wall_s\": {des_s:.6}}},\n  \"per_experiment\": [\n{per}\n  ]\n}}\n",
+        ap = densela::pool::available_parallelism(),
+        nexp = outcomes.len(),
+        th = trace1.hits - trace0.hits,
+        tm = trace1.misses - trace0.misses,
+        ti = trace1.inserts - trace0.inserts,
+        ch = coll1.hits - coll0.hits,
+        cm = coll1.misses - coll0.misses,
+        per = per_exp.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("writing the repro benchmark file failed");
+    eprintln!("wrote {path}");
+    println!("{json}");
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let repro_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_repro.json".to_string());
     let (nx, ny, nz) = GRID;
     eprintln!("building {nx}x{ny}x{nz} stencil27 operator...");
     let a = stencil27(nx, ny, nz);
@@ -181,4 +250,6 @@ fn main() {
     std::fs::write(&path, &json).expect("writing the benchmark file failed");
     eprintln!("wrote {path}");
     println!("{json}");
+
+    bench_repro(&repro_path);
 }

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use a64fx_apps::trace::Trace;
 use a64fx_apps::{hpcg, nekbone};
 use a64fx_core::costmodel::{Executor, JobLayout};
+use a64fx_core::tracecache;
 use a64fx_core::Table;
 use archsim::{paper_toolchain, system, SystemId};
 
@@ -48,10 +49,10 @@ fn sys_slug(sys: SystemId) -> &'static str {
     }
 }
 
-fn app_trace(app: &str, ranks: u32) -> Trace {
+fn app_trace(app: &str, ranks: u32) -> Arc<Trace> {
     match app {
-        "hpcg" => hpcg::trace(hpcg::HpcgConfig::paper(), ranks),
-        "nekbone" => nekbone::trace(nekbone::NekboneConfig::paper(), ranks),
+        "hpcg" => tracecache::hpcg(hpcg::HpcgConfig::paper(), ranks),
+        "nekbone" => tracecache::nekbone(nekbone::NekboneConfig::paper(), ranks),
         other => unreachable!("unknown obs app {other}"),
     }
 }

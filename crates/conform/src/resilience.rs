@@ -13,6 +13,7 @@ use a64fx_apps::trace::Trace;
 use a64fx_apps::{hpcg, minikab, nekbone};
 use a64fx_core::costmodel::{Executor, JobLayout};
 use a64fx_core::resilience::run_resilient;
+use a64fx_core::tracecache;
 use a64fx_core::Table;
 use archsim::{paper_toolchain, system, SystemId};
 use faultsim::{CheckpointModel, FaultConfig, FaultSchedule, RetryPolicy};
@@ -46,11 +47,11 @@ impl Checker {
     }
 }
 
-fn app_trace(app: &str, ranks: u32) -> Trace {
+fn app_trace(app: &str, ranks: u32) -> std::sync::Arc<Trace> {
     match app {
-        "hpcg" => hpcg::trace(hpcg::HpcgConfig::paper(), ranks),
-        "nekbone" => nekbone::trace(nekbone::NekboneConfig::paper(), ranks),
-        "minikab" => minikab::trace(minikab::MinikabConfig::paper(), ranks),
+        "hpcg" => tracecache::hpcg(hpcg::HpcgConfig::paper(), ranks),
+        "nekbone" => tracecache::nekbone(nekbone::NekboneConfig::paper(), ranks),
+        "minikab" => tracecache::minikab(minikab::MinikabConfig::paper(), ranks),
         other => unreachable!("unknown parity app {other}"),
     }
 }

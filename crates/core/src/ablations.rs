@@ -14,6 +14,7 @@ use simmpi::{Placement, PlacementPolicy, World};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::report::Table;
+use crate::tracecache;
 
 /// Sweep the A64FX's sustained memory bandwidth: what if it had DDR4
 /// instead of HBM2? HPCG and Nekbone collapse; OpenSBLI barely moves
@@ -39,11 +40,11 @@ pub fn bandwidth_sweep() -> Table {
         };
         let layout = JobLayout::mpi_full(1, &spec);
         let h = Executor::with_calibration(&spec, &tc_hpcg, calib).run(
-            &hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks),
+            &tracecache::hpcg(hpcg::HpcgConfig::paper(), layout.ranks),
             layout,
         );
         let n = Executor::with_calibration(&spec, &tc_nek, calib).run(
-            &nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks),
+            &tracecache::nekbone(nekbone::NekboneConfig::paper(), layout.ranks),
             layout,
         );
         let label = match frac {
@@ -76,7 +77,7 @@ pub fn topology_swap() -> Table {
     let spec = system(SystemId::A64fx);
     let tc = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
     let layout = JobLayout::mpi_full(8, &spec);
-    let trace = hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks);
+    let trace = tracecache::hpcg(hpcg::HpcgConfig::paper(), layout.ranks);
     let mut baseline = 0.0;
     for kind in [
         InterconnectKind::TofuD,
@@ -125,7 +126,7 @@ pub fn cosa_block_sweep() -> Table {
             iterations: 100,
         };
         let part = sparsela::partition::BlockPartition::new(cfg.blocks, 768);
-        let trace = cosa::trace(cfg, layout.ranks);
+        let trace = tracecache::cosa(cfg, layout.ranks);
         let r = Executor::new(&spec, &tc).run(&trace, layout);
         t.push_row(vec![
             cfg.blocks.to_string(),
@@ -152,7 +153,7 @@ pub fn placement_policy() -> Table {
     let spec = system(SystemId::A64fx);
     let tc = paper_toolchain(SystemId::A64fx, "minikab").unwrap();
     let cfg = minikab::MinikabConfig::paper();
-    let trace = minikab::trace(cfg, 48);
+    let trace = tracecache::minikab(cfg, 48);
     let mut base = 0.0;
     for (name, policy) in [
         (

@@ -11,6 +11,7 @@ use archsim::{paper_toolchain, system, SystemId};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::report::Table;
+use crate::tracecache;
 
 /// One evaluated configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +53,7 @@ pub fn tune_minikab(sys: SystemId, nodes: u32) -> Vec<TunedLayout> {
             ranks_per_node: rpn,
             threads_per_rank: threads,
         };
-        let trace = minikab::trace(cfg, ranks);
+        let trace = tracecache::minikab(cfg, ranks);
         let r = ex.run(&trace, layout);
         out.push(TunedLayout {
             ranks_per_node: rpn,
@@ -87,7 +88,7 @@ pub fn tune_nekbone(sys: SystemId, nodes: u32) -> Vec<TunedLayout> {
             elements_per_rank: total_elements / ranks as usize,
             ..nekbone::NekboneConfig::paper()
         };
-        let trace = nekbone::trace(cfg, ranks);
+        let trace = tracecache::nekbone(cfg, ranks);
         let r = ex.run(&trace, layout);
         out.push(TunedLayout {
             ranks_per_node: rpn,

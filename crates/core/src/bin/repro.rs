@@ -20,6 +20,11 @@
 //! the fallback (invalid values warn and are ignored), and the default is
 //! `available_parallelism`.
 //!
+//! `--no-cache` (anywhere on the command line) disables the process-wide
+//! trace cache (`a64fx_core::tracecache`); `A64FX_TRACE_CACHE=off` is the
+//! environment equivalent. Reports are byte-identical either way — the
+//! cache only skips rebuilding identical app traces.
+//!
 //! `--trace-out <file>` and `--metrics-out <file>` (anywhere on the
 //! command line) record the run with an [`obs::MemRecorder`] and write a
 //! Chrome Trace Event JSON (load it in `chrome://tracing` or Perfetto)
@@ -31,12 +36,12 @@ use std::sync::Arc;
 
 use a64fx_apps::{castep, cosa, hpcg, minikab, nekbone, opensbli};
 use a64fx_core::costmodel::JobLayout;
-use a64fx_core::{ablations, autotune, experiments, extensions, runner, timeline};
+use a64fx_core::{ablations, autotune, experiments, extensions, runner, timeline, tracecache};
 use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads <n>] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+        "usage: repro [--threads <n>] [--no-cache] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
     );
     std::process::exit(2);
 }
@@ -101,6 +106,16 @@ impl ObsSink {
     }
 }
 
+/// Strip `--no-cache` out of `args` (wherever it appears); when given,
+/// pin the process-wide trace cache off, so every fetch rebuilds its
+/// trace — the byte-identity escape hatch.
+fn take_no_cache(args: &mut Vec<String>) {
+    if let Some(i) = args.iter().position(|a| a == "--no-cache") {
+        args.remove(i);
+        a64fx_core::tracecache::set_enabled(false);
+    }
+}
+
 /// Strip `--threads N` out of `args` (wherever it appears) and resolve the
 /// worker count: flag, then `A64FX_REPRO_THREADS`, then
 /// `available_parallelism`.
@@ -145,6 +160,7 @@ fn run_observed(id: &str, sink: &ObsSink) -> runner::ExperimentOutcome {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    take_no_cache(&mut args);
     let threads = take_threads(&mut args);
     let sink = ObsSink::take(&mut args);
     if sink.is_some()
@@ -255,12 +271,12 @@ fn main() {
             let spec = system(sys);
             let layout = JobLayout::mpi_full(1, &spec);
             let trace = match app {
-                "hpcg" => hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks),
-                "minikab" => minikab::trace(minikab::MinikabConfig::paper(), layout.ranks),
-                "nekbone" => nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks),
-                "cosa" => cosa::trace(cosa::CosaConfig::paper(), layout.ranks),
-                "castep" => castep::trace(castep::CastepConfig::paper(), layout.ranks),
-                "opensbli" => opensbli::trace(opensbli::OpensbliConfig::paper(), layout.ranks),
+                "hpcg" => tracecache::hpcg(hpcg::HpcgConfig::paper(), layout.ranks),
+                "minikab" => tracecache::minikab(minikab::MinikabConfig::paper(), layout.ranks),
+                "nekbone" => tracecache::nekbone(nekbone::NekboneConfig::paper(), layout.ranks),
+                "cosa" => tracecache::cosa(cosa::CosaConfig::paper(), layout.ranks),
+                "castep" => tracecache::castep(castep::CastepConfig::paper(), layout.ranks),
+                "opensbli" => tracecache::opensbli(opensbli::OpensbliConfig::paper(), layout.ranks),
                 other => {
                     eprintln!("unknown app '{other}'");
                     std::process::exit(1);

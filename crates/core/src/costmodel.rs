@@ -97,6 +97,30 @@ impl ExecutionResult {
     }
 }
 
+/// A trace priced for one (system, toolchain, calibration, placement):
+/// every compute phase carries its per-rank durations, computed once by
+/// [`Executor::price`] and reused across iterations.
+///
+/// Pricing is iteration-invariant — the roofline in
+/// [`Executor`] reads only static world state (placement geometry,
+/// bandwidth shares, installed memory derates), never the virtual
+/// clocks — so replaying a priced trace is bit-identical to re-pricing
+/// every iteration: the same `f64` durations are accumulated in the same
+/// order. Straggler stretching and dead-rank skipping still happen
+/// inside [`World::compute`], so a priced trace stays valid across fault
+/// injection and ULFM shrink (price *after* [`World::install_faults`] so
+/// memory derates are seen).
+pub struct PricedTrace<'t> {
+    prologue: Vec<PricedPhase<'t>>,
+    body: Vec<PricedPhase<'t>>,
+}
+
+/// One phase plus, for compute phases, its per-rank priced durations (µs).
+struct PricedPhase<'t> {
+    phase: &'t Phase,
+    times: Option<Vec<f64>>,
+}
+
 /// Replays traces on one simulated system with one toolchain.
 pub struct Executor<'a> {
     spec: &'a SystemSpec,
@@ -146,11 +170,12 @@ impl<'a> Executor<'a> {
     pub fn run(&self, trace: &Trace, layout: JobLayout) -> ExecutionResult {
         let mut world = self.build_world(trace, layout);
 
+        let priced = self.price(trace, &world);
         let mut compute_us = vec![0.0f64; layout.ranks as usize];
         let mut profile: HashMap<KernelClass, f64> = HashMap::new();
-        self.replay_phases_profiled(&trace.prologue, &mut world, &mut compute_us, &mut profile);
+        self.replay_priced_phases(&priced.prologue, &mut world, &mut compute_us, &mut profile);
         for _ in 0..trace.iterations {
-            self.replay_phases_profiled(&trace.body, &mut world, &mut compute_us, &mut profile);
+            self.replay_priced_phases(&priced.body, &mut world, &mut compute_us, &mut profile);
         }
 
         let runtime_s = world.elapsed_s();
@@ -199,51 +224,95 @@ impl<'a> Executor<'a> {
     /// world — the entry point for ablations that build their own
     /// `Placement`/`Network`.
     pub fn replay(&self, trace: &Trace, world: &mut World) {
+        let priced = self.price(trace, world);
         let mut compute_us = vec![0.0f64; world.ranks() as usize];
-        self.replay_phases(&trace.prologue, world, &mut compute_us);
+        let mut sink = HashMap::new();
+        self.replay_priced_phases(&priced.prologue, world, &mut compute_us, &mut sink);
         for _ in 0..trace.iterations {
-            self.replay_phases(&trace.body, world, &mut compute_us);
+            self.replay_priced_phases(&priced.body, world, &mut compute_us, &mut sink);
         }
+    }
+
+    /// Price every compute phase of `trace` against `world`, once. The
+    /// world must be the one the priced trace will be replayed onto (in
+    /// particular, price *after* [`World::install_faults`]).
+    pub fn price<'t>(&self, trace: &'t Trace, world: &World) -> PricedTrace<'t> {
+        PricedTrace {
+            prologue: self.price_phases(&trace.prologue, world),
+            body: self.price_phases(&trace.body, world),
+        }
+    }
+
+    fn price_phases<'t>(&self, phases: &'t [Phase], world: &World) -> Vec<PricedPhase<'t>> {
+        phases
+            .iter()
+            .map(|phase| {
+                let times = match phase {
+                    Phase::Compute { class, work } => {
+                        let n = world.ranks();
+                        let mut times = Vec::with_capacity(n as usize);
+                        for r in 0..n {
+                            times.push(self.compute_time_us(world, r, *class, work));
+                        }
+                        Some(times)
+                    }
+                    _ => None,
+                };
+                PricedPhase { phase, times }
+            })
+            .collect()
     }
 
     /// Replay only the trace's prologue onto `world`.
     pub fn replay_prologue(&self, trace: &Trace, world: &mut World) {
+        let priced = self.price_phases(&trace.prologue, world);
         let mut compute_us = vec![0.0f64; world.ranks() as usize];
-        self.replay_phases(&trace.prologue, world, &mut compute_us);
+        let mut sink = HashMap::new();
+        self.replay_priced_phases(&priced, world, &mut compute_us, &mut sink);
     }
 
     /// Replay one iteration of the trace's body onto `world`.
     pub fn replay_iteration(&self, trace: &Trace, world: &mut World) {
+        let priced = self.price_phases(&trace.body, world);
         let mut compute_us = vec![0.0f64; world.ranks() as usize];
-        self.replay_phases(&trace.body, world, &mut compute_us);
-    }
-
-    fn replay_phases(&self, phases: &[Phase], world: &mut World, compute_us: &mut [f64]) {
         let mut sink = HashMap::new();
-        self.replay_phases_profiled(phases, world, compute_us, &mut sink);
+        self.replay_priced_phases(&priced, world, &mut compute_us, &mut sink);
     }
 
-    fn replay_phases_profiled(
+    /// Replay the priced trace's prologue onto `world` — the pre-priced
+    /// counterpart of [`Executor::replay_prologue`] for callers (the
+    /// resilient executor) that replay the same body many times.
+    pub fn replay_priced_prologue(&self, priced: &PricedTrace<'_>, world: &mut World) {
+        let mut compute_us = vec![0.0f64; world.ranks() as usize];
+        let mut sink = HashMap::new();
+        self.replay_priced_phases(&priced.prologue, world, &mut compute_us, &mut sink);
+    }
+
+    /// Replay one iteration of the priced trace's body onto `world`.
+    pub fn replay_priced_iteration(&self, priced: &PricedTrace<'_>, world: &mut World) {
+        let mut compute_us = vec![0.0f64; world.ranks() as usize];
+        let mut sink = HashMap::new();
+        self.replay_priced_phases(&priced.body, world, &mut compute_us, &mut sink);
+    }
+
+    fn replay_priced_phases(
         &self,
-        phases: &[Phase],
+        phases: &[PricedPhase<'_>],
         world: &mut World,
         compute_us: &mut [f64],
         profile: &mut HashMap<KernelClass, f64>,
     ) {
         let trace_spans = obs::enabled();
-        for phase in phases {
+        for pp in phases {
             let before = if trace_spans { world.now_us(0) } else { 0.0 };
-            match phase {
-                Phase::Compute { class, work } => {
-                    let n = world.ranks();
-                    let mut times = Vec::with_capacity(n as usize);
-                    for r in 0..n {
-                        let us = self.compute_time_us(world, r, *class, work);
-                        compute_us[r as usize] += us;
-                        times.push(us);
+            match pp.phase {
+                Phase::Compute { class, .. } => {
+                    let times = pp.times.as_deref().expect("compute phases are priced");
+                    for (r, &us) in times.iter().enumerate() {
+                        compute_us[r] += us;
                     }
                     *profile.entry(*class).or_insert(0.0) += times[0];
-                    world.compute_all(&times);
+                    world.compute_all(times);
                 }
                 Phase::Allreduce { bytes } => world.allreduce(*bytes),
                 Phase::Halo { pairs } => world.halo_exchange(pairs),
@@ -258,7 +327,7 @@ impl<'a> Executor<'a> {
                 obs::add("app.phases", 1);
                 obs::span(
                     "app.phase",
-                    &phase.label(),
+                    &pp.phase.label(),
                     before,
                     world.now_us(0) - before,
                     &[],
@@ -376,6 +445,40 @@ mod tests {
             threads_per_rank: 1,
         };
         ex.run(&t, bad);
+    }
+
+    #[test]
+    fn priced_replay_matches_unpriced_bitwise() {
+        let (spec, tc) = exec_for(SystemId::A64fx, "hpcg");
+        let ex = Executor::new(&spec, &tc);
+        let t = hpcg::trace(
+            hpcg::HpcgConfig {
+                local: (16, 16, 16),
+                mg_levels: 3,
+                iterations: 5,
+            },
+            48,
+        );
+        let layout = JobLayout::mpi_full(1, &spec);
+        let mut plain = ex.build_world(&t, layout);
+        ex.replay_prologue(&t, &mut plain);
+        for _ in 0..t.iterations {
+            ex.replay_iteration(&t, &mut plain);
+        }
+        let mut priced_world = ex.build_world(&t, layout);
+        let priced = ex.price(&t, &priced_world);
+        ex.replay_priced_prologue(&priced, &mut priced_world);
+        for _ in 0..t.iterations {
+            ex.replay_priced_iteration(&priced, &mut priced_world);
+        }
+        assert_eq!(
+            plain.elapsed_us().to_bits(),
+            priced_world.elapsed_us().to_bits(),
+            "pricing once must not move a single bit"
+        );
+        // run() prices internally and must agree too.
+        let r = ex.run(&t, layout);
+        assert_eq!(r.runtime_s.to_bits(), priced_world.elapsed_s().to_bits());
     }
 
     #[test]

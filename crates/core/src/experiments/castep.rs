@@ -1,11 +1,12 @@
 //! F5/T9 — CASTEP TiN experiments (paper Figure 5, Table IX).
 
-use a64fx_apps::castep::{core_count_allowed, trace, CastepConfig};
+use a64fx_apps::castep::{core_count_allowed, CastepConfig};
 use archsim::{paper_toolchain, system, SystemId};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::paper;
 use crate::report::{pair, Table};
+use crate::tracecache;
 
 /// Simulated CASTEP SCF cycles/s on one node of `sys` with `cores` MPI
 /// ranks (MPI-only, the paper's best configuration everywhere).
@@ -19,7 +20,7 @@ pub fn castep_scf_per_s(sys: SystemId, cores: u32) -> f64 {
         threads_per_rank: 1,
     };
     let cfg = CastepConfig::paper();
-    let t = trace(cfg, cores);
+    let t = tracecache::castep(cfg, cores);
     let r = ex.run(&t, layout);
     f64::from(cfg.scf_cycles) / r.runtime_s
 }

@@ -1,11 +1,12 @@
 //! T8/F4 — COSA experiments (paper Table VIII, Figure 4).
 
-use a64fx_apps::cosa::{trace, CosaConfig};
+use a64fx_apps::cosa::CosaConfig;
 use archsim::{paper_toolchain, system, SystemId};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::paper;
 use crate::report::{secs, Table};
+use crate::tracecache;
 
 /// Simulated COSA runtime (seconds, 100 iterations) on `nodes` fully
 /// populated nodes. Returns `None` when the ~60 GB case does not fit
@@ -20,7 +21,7 @@ pub fn cosa_runtime_s(sys: SystemId, nodes: u32) -> Option<f64> {
     let tc = paper_toolchain(sys, "cosa")?;
     let ex = Executor::new(&spec, &tc);
     let layout = JobLayout::mpi_full(nodes, &spec);
-    let t = trace(cfg, layout.ranks);
+    let t = tracecache::cosa(cfg, layout.ranks);
     Some(ex.run(&t, layout).runtime_s)
 }
 

@@ -1,13 +1,14 @@
 //! T3/T4 — HPCG single-node and multi-node performance (paper Tables
 //! III and IV).
 
-use a64fx_apps::hpcg::{trace, HpcgConfig};
+use a64fx_apps::hpcg::HpcgConfig;
 use archsim::{paper_toolchain, system, SystemId};
 
 use crate::calibration::Calibration;
 use crate::costmodel::{Executor, JobLayout};
 use crate::paper;
 use crate::report::{pair, Table};
+use crate::tracecache;
 
 /// Simulated HPCG GFLOP/s on `nodes` fully-populated nodes of `sys`,
 /// `optimised` selecting the vendor-tuned kernels where the paper had them.
@@ -20,7 +21,7 @@ pub fn hpcg_gflops(sys: SystemId, nodes: u32, optimised: bool) -> f64 {
     };
     let ex = Executor::with_calibration(&spec, &tc, calib);
     let layout = JobLayout::mpi_full(nodes, &spec);
-    let t = trace(HpcgConfig::paper(), layout.ranks);
+    let t = tracecache::hpcg(HpcgConfig::paper(), layout.ranks);
     ex.run(&t, layout).gflops
 }
 

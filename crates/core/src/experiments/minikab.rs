@@ -1,11 +1,12 @@
 //! T5/F1/F2 — minikab experiments (paper Table V, Figures 1 and 2).
 
-use a64fx_apps::minikab::{fits_in_memory, trace, MinikabConfig};
+use a64fx_apps::minikab::{fits_in_memory, MinikabConfig};
 use archsim::{paper_toolchain, system, SystemId};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::paper;
 use crate::report::{pair, secs, Table};
+use crate::tracecache;
 
 /// Simulated minikab solver runtime (seconds) on `sys` with `ranks` ranks
 /// of `threads` threads over `nodes` nodes. Returns `None` when the job
@@ -27,7 +28,7 @@ pub fn minikab_runtime_s(sys: SystemId, nodes: u32, ranks: u32, threads: u32) ->
         ranks_per_node: rpn,
         threads_per_rank: threads,
     };
-    let t = trace(cfg, ranks);
+    let t = tracecache::minikab(cfg, ranks);
     Some(ex.run(&t, layout).runtime_s)
 }
 

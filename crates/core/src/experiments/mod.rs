@@ -30,58 +30,61 @@ pub mod specs;
 
 use crate::report::Table;
 
+/// One registry row: `(id, paper artefact, generator)`.
+pub type ExperimentEntry = (&'static str, &'static str, fn() -> Table);
+
+/// The experiment registry, in paper order (R1 is beyond the paper).
+/// `run_all`, `run_one` and `all_ids` all derive from this one table, so
+/// an experiment added here is runnable, listable and addressable
+/// everywhere at once.
+pub const REGISTRY: [ExperimentEntry; 16] = [
+    ("t1", "Table I, node specs", specs::table1),
+    ("t2", "Table II, toolchains", specs::table2),
+    ("t3", "Table III, single-node HPCG", hpcg::table3),
+    ("t4", "Table IV, multi-node HPCG", hpcg::table4),
+    ("t5", "Table V, single-core minikab", minikab::table5),
+    (
+        "f1",
+        "Fig. 1, minikab process/thread configs",
+        minikab::figure1,
+    ),
+    ("f2", "Fig. 2, minikab strong scaling", minikab::figure2),
+    ("t6", "Table VI, Nekbone node GFLOP/s", nekbone::table6),
+    ("f3", "Fig. 3, Nekbone core scaling", nekbone::figure3),
+    (
+        "t7",
+        "Table VII, Nekbone parallel efficiency",
+        nekbone::table7,
+    ),
+    ("t8", "Table VIII, COSA ranks per node", cosa::table8),
+    ("f4", "Fig. 4, COSA strong scaling", cosa::figure4),
+    ("f5", "Fig. 5, CASTEP core scaling", castep::figure5),
+    ("t9", "Table IX, CASTEP best node", castep::table9),
+    ("t10", "Table X, OpenSBLI runtimes", opensbli::table10),
+    (
+        "r1",
+        "beyond the paper: resilience overhead vs MTBF",
+        resilience::r1,
+    ),
+];
+
 /// Run every experiment, in paper order.
 pub fn run_all() -> Vec<Table> {
-    vec![
-        specs::table1(),
-        specs::table2(),
-        hpcg::table3(),
-        hpcg::table4(),
-        minikab::table5(),
-        minikab::figure1(),
-        minikab::figure2(),
-        nekbone::table6(),
-        nekbone::figure3(),
-        nekbone::table7(),
-        cosa::table8(),
-        cosa::figure4(),
-        castep::figure5(),
-        castep::table9(),
-        opensbli::table10(),
-        resilience::r1(),
-    ]
+    REGISTRY.iter().map(|(_, _, f)| f()).collect()
 }
 
 /// Run one experiment by id (case-insensitive, e.g. "t3" or "F4").
 pub fn run_one(id: &str) -> Option<Table> {
-    let t = match id.to_ascii_lowercase().as_str() {
-        "t1" => specs::table1(),
-        "t2" => specs::table2(),
-        "t3" => hpcg::table3(),
-        "t4" => hpcg::table4(),
-        "t5" => minikab::table5(),
-        "f1" => minikab::figure1(),
-        "f2" => minikab::figure2(),
-        "t6" => nekbone::table6(),
-        "f3" => nekbone::figure3(),
-        "t7" => nekbone::table7(),
-        "t8" => cosa::table8(),
-        "f4" => cosa::figure4(),
-        "f5" => castep::figure5(),
-        "t9" => castep::table9(),
-        "t10" => opensbli::table10(),
-        "r1" => resilience::r1(),
-        _ => return None,
-    };
-    Some(t)
+    let id = id.to_ascii_lowercase();
+    REGISTRY
+        .iter()
+        .find(|(key, _, _)| *key == id)
+        .map(|(_, _, f)| f())
 }
 
 /// All experiment ids, in paper order (R1 is beyond the paper).
 pub fn all_ids() -> [&'static str; 16] {
-    [
-        "t1", "t2", "t3", "t4", "t5", "f1", "f2", "t6", "f3", "t7", "t8", "f4", "f5", "t9", "t10",
-        "r1",
-    ]
+    REGISTRY.map(|(id, _, _)| id)
 }
 
 #[cfg(test)]
@@ -98,6 +101,15 @@ mod tests {
     fn all_ids_resolve() {
         for id in all_ids() {
             assert!(run_one(id).is_some(), "{id}");
+        }
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_lowercase() {
+        let ids = all_ids();
+        for (i, a) in ids.iter().enumerate() {
+            assert_eq!(*a, a.to_ascii_lowercase(), "ids are stored lowercase");
+            assert!(!ids[i + 1..].contains(a), "duplicate id {a}");
         }
     }
 }

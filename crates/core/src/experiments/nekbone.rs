@@ -1,11 +1,12 @@
 //! T6/F3/T7 — Nekbone experiments (paper Table VI, Figure 3, Table VII).
 
-use a64fx_apps::nekbone::{trace, NekboneConfig};
+use a64fx_apps::nekbone::NekboneConfig;
 use archsim::{paper_toolchain, system, SystemId};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::paper;
 use crate::report::{pair, Table};
+use crate::tracecache;
 
 /// Systems the paper ran Nekbone on.
 pub const NEKBONE_SYSTEMS: [SystemId; 4] = [
@@ -28,7 +29,7 @@ pub fn nekbone_gflops(sys: SystemId, nodes: u32, ranks: u32, fastmath: bool) -> 
         ranks_per_node: ranks.div_ceil(nodes),
         threads_per_rank: 1,
     };
-    let t = trace(NekboneConfig::paper(), ranks);
+    let t = tracecache::nekbone(NekboneConfig::paper(), ranks);
     ex.run(&t, layout).gflops
 }
 
@@ -43,7 +44,7 @@ pub fn nekbone_gflops_default(sys: SystemId, nodes: u32, ranks: u32) -> f64 {
         ranks_per_node: ranks.div_ceil(nodes),
         threads_per_rank: 1,
     };
-    let t = trace(NekboneConfig::paper(), ranks);
+    let t = tracecache::nekbone(NekboneConfig::paper(), ranks);
     ex.run(&t, layout).gflops
 }
 

@@ -1,11 +1,12 @@
 //! T10 — OpenSBLI Taylor–Green vortex runtimes (paper Table X).
 
-use a64fx_apps::opensbli::{trace, OpensbliConfig};
+use a64fx_apps::opensbli::OpensbliConfig;
 use archsim::{paper_toolchain, system, SystemId};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::paper;
 use crate::report::{pair, Table};
+use crate::tracecache;
 
 /// Systems the paper ran OpenSBLI on (no ARCHER row in Table X).
 pub const OPENSBLI_SYSTEMS: [SystemId; 4] = [
@@ -22,7 +23,7 @@ pub fn opensbli_runtime_s(sys: SystemId, nodes: u32) -> f64 {
     let tc = paper_toolchain(sys, "opensbli").expect("system ran opensbli");
     let ex = Executor::new(&spec, &tc);
     let layout = JobLayout::mpi_full(nodes, &spec);
-    let t = trace(OpensbliConfig::paper(), layout.ranks);
+    let t = tracecache::opensbli(OpensbliConfig::paper(), layout.ranks);
     ex.run(&t, layout).runtime_s
 }
 

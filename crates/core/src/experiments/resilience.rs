@@ -10,13 +10,14 @@
 //! The schedule seed is fixed ([`R1_SEED`]), so the table is reproducible
 //! byte-for-byte — CI regenerates it twice and diffs the JSON.
 
-use a64fx_apps::hpcg::{trace, HpcgConfig};
+use a64fx_apps::hpcg::HpcgConfig;
 use archsim::{paper_toolchain, system, SystemId};
 use faultsim::{CheckpointModel, FaultConfig, FaultSchedule, RetryPolicy};
 
 use crate::costmodel::{Executor, JobLayout};
 use crate::report::Table;
 use crate::resilience::{run_resilient, ResilientResult};
+use crate::tracecache;
 
 /// The fixed schedule seed R1 is generated with.
 pub const R1_SEED: u64 = 0xA64F;
@@ -41,7 +42,7 @@ pub fn r1_point(sys: SystemId, mtbf_s: f64) -> (ResilientResult, f64) {
     let tc = paper_toolchain(sys, "hpcg").expect("every system ran HPCG");
     let ex = Executor::new(&spec, &tc);
     let layout = JobLayout::mpi_full(R1_NODES, &spec);
-    let t = trace(HpcgConfig::paper(), layout.ranks);
+    let t = tracecache::hpcg(HpcgConfig::paper(), layout.ranks);
     let baseline_s = ex.run(&t, layout).runtime_s;
 
     // Horizon: generously past the fault-free runtime so late-run crashes

@@ -18,6 +18,7 @@ use archsim::{paper_toolchain, system, SystemId};
 use crate::calibration::Calibration;
 use crate::costmodel::{Executor, JobLayout};
 use crate::report::Table;
+use crate::tracecache;
 
 /// X1 — GFLOP/s per watt on single-node HPCG and Nekbone.
 pub fn power_efficiency() -> Table {
@@ -115,32 +116,35 @@ pub fn profile_table(sys: SystemId) -> Table {
         &["App", "dominant class", "share", "2nd class", "share "],
     );
     let layout = JobLayout::mpi_full(1, &spec);
-    let runs: Vec<(&str, Option<a64fx_apps::Trace>)> = vec![
+    let runs: Vec<(&str, Option<std::sync::Arc<a64fx_apps::Trace>>)> = vec![
         (
             "hpcg",
-            Some(hpcg::trace(hpcg::HpcgConfig::paper(), layout.ranks)),
+            Some(tracecache::hpcg(hpcg::HpcgConfig::paper(), layout.ranks)),
         ),
         (
             "minikab",
             paper_toolchain(sys, "minikab")
-                .map(|_| minikab::trace(minikab::MinikabConfig::paper(), layout.ranks)),
+                .map(|_| tracecache::minikab(minikab::MinikabConfig::paper(), layout.ranks)),
         ),
         (
             "nekbone",
             paper_toolchain(sys, "nekbone")
-                .map(|_| nekbone::trace(nekbone::NekboneConfig::paper(), layout.ranks)),
+                .map(|_| tracecache::nekbone(nekbone::NekboneConfig::paper(), layout.ranks)),
         ),
         (
             "cosa",
-            Some(cosa::trace(cosa::CosaConfig::paper(), layout.ranks)),
+            Some(tracecache::cosa(cosa::CosaConfig::paper(), layout.ranks)),
         ),
         (
             "castep",
-            Some(castep::trace(castep::CastepConfig::paper(), layout.ranks)),
+            Some(tracecache::castep(
+                castep::CastepConfig::paper(),
+                layout.ranks,
+            )),
         ),
         (
             "opensbli",
-            Some(opensbli::trace(
+            Some(tracecache::opensbli(
                 opensbli::OpensbliConfig::paper(),
                 layout.ranks,
             )),

@@ -45,6 +45,7 @@ pub mod report;
 pub mod resilience;
 pub mod runner;
 pub mod timeline;
+pub mod tracecache;
 
 pub use calibration::Calibration;
 pub use costmodel::{ExecutionResult, Executor, JobLayout};

@@ -72,6 +72,12 @@ pub fn run_resilient(
     if !sched.is_empty() {
         world.install_faults(sched, retry);
     }
+    // Price once, *after* fault installation (memory derates feed the
+    // roofline), and replay the priced body every iteration — including
+    // rollback replays. Straggler stretch and dead-rank skipping happen
+    // inside the world, so the priced durations stay valid across
+    // shrink-and-recover.
+    let priced = ex.price(trace, &world);
 
     let ckpt_spec = trace.checkpoint;
     let every = model.every_iters;
@@ -85,11 +91,11 @@ pub fn run_resilient(
     let mut rollback_iters = 0u64;
     let mut last_ckpt_iter = 0u32;
 
-    ex.replay_prologue(trace, &mut world);
+    ex.replay_priced_prologue(&priced, &mut world);
 
     let mut it = 0u32;
     while it < trace.iterations {
-        ex.replay_iteration(trace, &mut world);
+        ex.replay_priced_iteration(&priced, &mut world);
         it += 1;
 
         // Crash handling: shrink, pay the restart, replay the work lost
@@ -118,7 +124,7 @@ pub fn run_resilient(
                 );
             }
             for _ in 0..lost {
-                ex.replay_iteration(trace, &mut world);
+                ex.replay_priced_iteration(&priced, &mut world);
             }
         }
 

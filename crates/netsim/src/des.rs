@@ -63,8 +63,16 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Create an empty queue at virtual time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Create an empty queue at virtual time zero with heap space for
+    /// `capacity` pending events. Simulations that know their peak queue
+    /// depth (e.g. one in-flight event per rank) pre-size the heap so
+    /// steady-state scheduling never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             now_us: 0.0,
             scheduled_total: 0,
@@ -114,7 +122,9 @@ impl<T> EventQueue<T> {
         let ev = self.heap.pop()?;
         self.now_us = ev.time_us;
         self.popped_total += 1;
-        obs::add("des.events.popped", 1);
+        if obs::enabled() {
+            obs::add("des.events.popped", 1);
+        }
         Some(ev)
     }
 
@@ -236,6 +246,17 @@ mod tests {
         assert_eq!(rec.counter("des.events.scheduled"), Some(4));
         assert_eq!(rec.counter("des.events.popped"), Some(4));
         assert_eq!(rec.gauge("des.queue.peak_depth"), Some(3.0));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        q.schedule_at(2.0, "b");
+        q.schedule_at(1.0, "a");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b"]);
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.popped_total(), 2);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub fn allreduce_recursive_doubling_des(
     }
     let rounds = usize::BITS - (p - 1).leading_zeros();
     let mut clock = vec![0.0f64; p];
-    let mut q: EventQueue<Arrival> = EventQueue::new();
+    // Peak depth is one in-flight arrival per rank (rounds are drained
+    // before the next is scheduled), so pre-size the heap to match.
+    let mut q: EventQueue<Arrival> = EventQueue::with_capacity(p);
 
     // Round 0 sends are scheduled immediately; later rounds are scheduled
     // when both partners have finished the previous round. We process

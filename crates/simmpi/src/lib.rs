@@ -18,9 +18,12 @@
 //!   MPI implementations.
 //! * [`desval`] — message-level discrete-event simulations of the same
 //!   collectives, used to validate the analytic models.
+//! * [`collcache`] — process-wide hit/miss counters for the per-`World`
+//!   collective-time memo tables.
 
 #![warn(missing_docs)]
 
+pub mod collcache;
 pub mod collectives;
 pub mod desval;
 pub mod placement;

@@ -9,12 +9,24 @@
 //! appears naturally: ranks with more work arrive late at the next
 //! collective and everyone else waits.
 
+use std::collections::HashMap;
+
 use archsim::Node;
 use faultsim::{FaultSchedule, LinkFaults, RetryPolicy};
 use netsim::Network;
 
+use crate::collcache;
 use crate::collectives;
 use crate::placement::Placement;
+
+/// Cache keys for the collective memo table: one code per collective op,
+/// so e.g. an 8-byte allreduce and the barrier (internally an 8-byte
+/// allreduce) keep distinct entries.
+const OP_ALLREDUCE: u8 = 0;
+const OP_BCAST: u8 = 1;
+const OP_BARRIER: u8 = 2;
+const OP_ALLGATHER: u8 = 3;
+const OP_ALLTOALL: u8 = 4;
 
 /// World-level fault state: what an installed [`FaultSchedule`] means for
 /// this job's ranks and nodes. Held separately from the schedule so the
@@ -44,6 +56,11 @@ pub struct World {
     faults: Option<WorldFaults>,
     /// Completed shrink-and-recover operations.
     recoveries: u32,
+    /// Memoized closed-form collective durations, keyed `(op, bytes)`.
+    /// The closed forms depend only on the network and the live node
+    /// map, so entries stay valid until [`World::shrink_failed`] changes
+    /// the live set (which clears the table).
+    coll_cache: HashMap<(u8, u64), f64>,
 }
 
 impl World {
@@ -68,6 +85,7 @@ impl World {
             alive: vec![true; n],
             faults: None,
             recoveries: 0,
+            coll_cache: HashMap::new(),
         }
     }
 
@@ -172,6 +190,10 @@ impl World {
                 );
             }
         }
+        // The live set just changed, so every memoized collective time
+        // is stale — including the two rebuild barriers below, which
+        // must be priced over the shrunk communicator.
+        self.coll_cache.clear();
         // Agreement + communicator rebuild among the survivors.
         self.barrier();
         self.barrier();
@@ -354,10 +376,34 @@ impl World {
         }
     }
 
+    /// Memoized closed-form collective duration. The closed forms are
+    /// pure in (network, live node map, bytes); the network is fixed for
+    /// the world's lifetime (faults act on point-to-point delivery and
+    /// compute, never on these forms) and the live map only changes in
+    /// [`World::shrink_failed`], which clears the table. A hit returns
+    /// the exact `f64` a fresh evaluation would produce, so cached runs
+    /// are bit-identical — they merely skip the per-call node-map
+    /// dedup/sort inside the models.
+    fn collective_time(
+        &mut self,
+        op: u8,
+        bytes: u64,
+        f: fn(&Network, &[usize], u64) -> f64,
+    ) -> f64 {
+        if let Some(&t) = self.coll_cache.get(&(op, bytes)) {
+            collcache::record_hit();
+            return t;
+        }
+        let t = f(&self.net, &self.live_node_map(), bytes);
+        collcache::record_miss();
+        self.coll_cache.insert((op, bytes), t);
+        t
+    }
+
     /// `MPI_Allreduce` of `bytes` per rank across all ranks.
     pub fn allreduce(&mut self, bytes: u64) {
         let start = self.synchronise();
-        let t = collectives::allreduce_time_us(&self.net, &self.live_node_map(), bytes);
+        let t = self.collective_time(OP_ALLREDUCE, bytes, collectives::allreduce_time_us);
         self.record_collective("allreduce", Some(bytes), start, t);
         self.set_all(start + t);
     }
@@ -365,7 +411,7 @@ impl World {
     /// `MPI_Bcast` of `bytes` from rank 0.
     pub fn bcast(&mut self, bytes: u64) {
         let start = self.synchronise();
-        let t = collectives::bcast_time_us(&self.net, &self.live_node_map(), bytes);
+        let t = self.collective_time(OP_BCAST, bytes, collectives::bcast_time_us);
         self.record_collective("bcast", Some(bytes), start, t);
         self.set_all(start + t);
     }
@@ -373,7 +419,9 @@ impl World {
     /// `MPI_Barrier`.
     pub fn barrier(&mut self) {
         let start = self.synchronise();
-        let t = collectives::barrier_time_us(&self.net, &self.live_node_map());
+        let t = self.collective_time(OP_BARRIER, 0, |net, map, _| {
+            collectives::barrier_time_us(net, map)
+        });
         self.record_collective("barrier", None, start, t);
         self.set_all(start + t);
     }
@@ -381,7 +429,7 @@ impl World {
     /// `MPI_Allgather`, `bytes` contributed per rank.
     pub fn allgather(&mut self, bytes: u64) {
         let start = self.synchronise();
-        let t = collectives::allgather_time_us(&self.net, &self.live_node_map(), bytes);
+        let t = self.collective_time(OP_ALLGATHER, bytes, collectives::allgather_time_us);
         self.record_collective("allgather", Some(bytes), start, t);
         self.set_all(start + t);
     }
@@ -389,7 +437,7 @@ impl World {
     /// `MPI_Alltoall`, `bytes` per (src, dst) pair.
     pub fn alltoall(&mut self, bytes_per_pair: u64) {
         let start = self.synchronise();
-        let t = collectives::alltoall_time_us(&self.net, &self.live_node_map(), bytes_per_pair);
+        let t = self.collective_time(OP_ALLTOALL, bytes_per_pair, collectives::alltoall_time_us);
         self.record_collective("alltoall", Some(bytes_per_pair), start, t);
         self.set_all(start + t);
     }
@@ -680,6 +728,60 @@ mod tests {
         // A second shrink with nothing new failed is a no-op.
         assert!(w.shrink_failed().is_empty());
         assert_eq!(w.recoveries(), 1);
+    }
+
+    #[test]
+    fn collective_cache_hits_serve_the_exact_f64() {
+        let mut w = world(2, 4);
+        let t0 = w.now_us(0);
+        w.allreduce(1 << 20);
+        let miss = w.now_us(0) - t0;
+        let t1 = w.now_us(0);
+        w.allreduce(1 << 20);
+        let hit = w.now_us(0) - t1;
+        assert_eq!(miss.to_bits(), hit.to_bits(), "hit must be bit-identical");
+        // The cached value is exactly what a fresh evaluation produces.
+        let fresh = collectives::allreduce_time_us(w.network(), &w.placement().node_map(), 1 << 20);
+        assert_eq!(miss.to_bits(), fresh.to_bits());
+        // Barrier and an 8-byte allreduce are distinct keys even though
+        // the barrier is internally an 8-byte allreduce.
+        let before = collcache::stats();
+        w.allreduce(8);
+        w.barrier();
+        let after = collcache::stats();
+        assert!(after.misses >= before.misses + 2, "distinct ops must miss");
+    }
+
+    #[test]
+    fn shrink_invalidates_collective_cache() {
+        let mut s = FaultSchedule::none(SystemId::A64fx, 8, 2);
+        s.events.push(faultsim::FaultEvent::NodeCrash {
+            node: 1,
+            at_us: 500.0,
+        });
+        let mut w = world(2, 4);
+        w.install_faults(&s, RetryPolicy::default_policy());
+        let t0 = w.now_us(0);
+        w.allreduce(8);
+        let pre = w.now_us(0) - t0;
+        w.compute_uniform(600.0);
+        w.shrink_failed();
+        let t1 = w.now_us(0);
+        w.allreduce(8);
+        let post = w.now_us(0) - t1;
+        assert_ne!(
+            pre.to_bits(),
+            post.to_bits(),
+            "shrunk communicator must be re-priced, not served stale"
+        );
+        // The re-priced value matches a fresh evaluation over the
+        // survivors (all four on node 0). Shrink ends with a barrier, so
+        // every survivor clock equals `t1` and the collective advances the
+        // clock to exactly `t1 + fresh`; comparing the absolute clock keeps
+        // the check bit-exact (the `post` delta re-rounds through the
+        // subtraction and need not equal `fresh` bitwise).
+        let fresh = collectives::allreduce_time_us(w.network(), &[0, 0, 0, 0], 8);
+        assert_eq!(w.now_us(0).to_bits(), (t1 + fresh).to_bits());
     }
 
     #[test]
