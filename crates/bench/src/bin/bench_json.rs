@@ -15,11 +15,21 @@
 //! drain microbench (events popped per second through a pre-sized
 //! [`netsim::des::EventQueue`]).
 //!
+//! Finally it times the backend-routed DES allreduce (serial heap vs the
+//! sharded conservative-lookahead engine at 2 and 4 shards) at 1k/16k/131k
+//! simulated nodes, writing events/sec and engine statistics to
+//! `BENCH_des.json` (or the path given as the third argument).
+//! `bench_json --des [path]` runs only this part — the fast mode CI's
+//! `des` job uses.
+//!
 //! Each timing is the best of a few repetitions of `std::time::Instant`
 //! around the kernel. The file records `available_parallelism` so readers
 //! can judge the numbers: on a single-core host the pooled kernels cannot
 //! beat serial — what the pool still demonstrates there is the amortised
-//! spawn overhead against the spawn-per-call team.
+//! spawn overhead against the spawn-per-call team. The kernel file also
+//! records the team's `serial_cutover_ops` — kernels below it run inline
+//! (the small-kernel regression fix), so their pooled and serial columns
+//! should read within noise of each other.
 
 use sparsela::coloring::Coloring;
 use sparsela::ell::SellMatrix;
@@ -124,13 +134,102 @@ fn bench_repro(path: &str) {
     println!("{json}");
 }
 
+/// Time the backend-routed DES allreduce (serial heap vs the sharded
+/// conservative-lookahead engine at 2 and 4 shards) at several simulated
+/// node scales, and write the results as JSON to `path`. Simulated times,
+/// event counts and window counts are backend-invariant (the engine's
+/// determinism guarantee, asserted here); events/sec is the figure of
+/// merit. On a single-core host the sharded lanes are oversubscribed —
+/// `available_parallelism` is recorded so readers can judge the numbers.
+fn bench_des(path: &str) {
+    use netsim::{DesBackend, Network};
+    use simmpi::desval::allreduce_des_stats;
+
+    const SCALES: [usize; 3] = [1024, 16_384, 131_072];
+    const DES_BYTES: u64 = 8;
+    const DES_REPS: u32 = 3;
+    let backends = [
+        DesBackend::Serial,
+        DesBackend::Sharded { shards: 2 },
+        DesBackend::Sharded { shards: 4 },
+    ];
+    let mut entries = Vec::new();
+    for nodes in SCALES {
+        eprintln!("timing DES allreduce at {nodes} simulated nodes...");
+        let placement: Vec<usize> = (0..nodes).collect();
+        let net = Network::new(archsim::InterconnectKind::TofuD, nodes);
+        let mut serial_wall = f64::NAN;
+        let mut serial_bits = 0u64;
+        for backend in backends {
+            let mut best = f64::INFINITY;
+            let mut sim_us = 0.0;
+            let mut stats = netsim::RunStats::default();
+            for _ in 0..DES_REPS {
+                let t0 = Instant::now();
+                let (t, s) = black_box(allreduce_des_stats(&net, &placement, DES_BYTES, backend));
+                best = best.min(t0.elapsed().as_secs_f64());
+                (sim_us, stats) = (t, s);
+            }
+            match backend {
+                DesBackend::Serial => {
+                    serial_wall = best;
+                    serial_bits = sim_us.to_bits();
+                }
+                DesBackend::Sharded { .. } => assert_eq!(
+                    sim_us.to_bits(),
+                    serial_bits,
+                    "sharded result drifted from serial at {nodes} nodes"
+                ),
+            }
+            entries.push(format!(
+                "    {{\"nodes\": {nodes}, \"backend\": \"{backend}\", \"shards\": {shards}, \
+                 \"wall_s\": {best:.6e}, \"events\": {events}, \"events_per_s\": {eps:.3e}, \
+                 \"windows\": {windows}, \"stalls\": {stalls}, \"cross_msgs\": {cross}, \
+                 \"sim_us\": {sim_us:.3}, \"vs_serial\": {ratio:.3}}}",
+                shards = backend.shards(),
+                events = stats.events,
+                eps = stats.events as f64 / best,
+                windows = stats.windows,
+                stalls = stats.stalls,
+                cross = stats.cross_msgs,
+                ratio = serial_wall / best,
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bytes\": {DES_BYTES},\n  \"available_parallelism\": {ap},\n  \"runs\": [\n{rows}\n  ]\n}}\n",
+        ap = densela::pool::available_parallelism(),
+        rows = entries.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("writing the DES benchmark file failed");
+    eprintln!("wrote {path}");
+    println!("{json}");
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--des [path]`: only the DES engine benchmark — the fast mode CI's
+    // des job uses (no kernel timings, no full repro run).
+    if let Some(i) = args.iter().position(|a| a == "--des") {
+        let des_path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_des.json".to_string());
+        bench_des(&des_path);
+        return;
+    }
+    let path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    let repro_path = std::env::args()
-        .nth(2)
+    let repro_path = args
+        .get(1)
+        .cloned()
         .unwrap_or_else(|| "BENCH_repro.json".to_string());
+    let des_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_des.json".to_string());
     let (nx, ny, nz) = GRID;
     eprintln!("building {nx}x{ny}x{nz} stencil27 operator...");
     let a = stencil27(nx, ny, nz);
@@ -242,8 +341,9 @@ fn main() {
 
     let kernel_lines: Vec<String> = rows.iter().map(Row::json).collect();
     let json = format!(
-        "{{\n  \"grid\": [{nx}, {ny}, {nz}],\n  \"rows\": {n},\n  \"threads\": {THREADS},\n  \"available_parallelism\": {ap},\n  \"cg_iterations\": {CG_ITERS},\n  \"cg\":\n{cg_line},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n",
+        "{{\n  \"grid\": [{nx}, {ny}, {nz}],\n  \"rows\": {n},\n  \"threads\": {THREADS},\n  \"available_parallelism\": {ap},\n  \"serial_cutover_ops\": {cutover},\n  \"cg_iterations\": {CG_ITERS},\n  \"cg\":\n{cg_line},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n",
         ap = densela::pool::available_parallelism(),
+        cutover = team.serial_cutover_ops(),
         cg_line = cg.json(),
         kernels = kernel_lines.join(",\n"),
     );
@@ -252,4 +352,5 @@ fn main() {
     println!("{json}");
 
     bench_repro(&repro_path);
+    bench_des(&des_path);
 }

@@ -1,10 +1,10 @@
 //! Conformance runner.
 //!
 //! ```text
-//! conform                 run all five suites, exit 1 on any failure
+//! conform                 run all six suites, exit 1 on any failure
 //! conform --bless         rewrite the golden snapshots from the current run
 //! conform golden          run only the named suite(s): golden, differential,
-//!                         parity, resilience, obs
+//!                         parity, resilience, obs, des
 //! conform --report p.txt  also write the full report to a file (CI artifact)
 //! ```
 
@@ -25,11 +25,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "golden" | "differential" | "parity" | "resilience" | "obs" => suites.push(arg),
+            "golden" | "differential" | "parity" | "resilience" | "obs" | "des" => suites.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs]..."
+                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs|des]..."
                 );
                 return ExitCode::FAILURE;
             }
@@ -53,6 +53,9 @@ fn main() -> ExitCode {
     }
     if want("obs") {
         results.push(conform::obs_suite(bless));
+    }
+    if want("des") {
+        results.push(conform::des_suite());
     }
 
     let mut out = String::new();

@@ -23,14 +23,14 @@ pub const REL_ERR_BOUND: f64 = 0.25;
 
 /// Nodes in every sweep (spans two recursive-doubling rounds and a
 /// non-trivial Rabenseifner schedule).
-const SWEEP_NODES: u32 = 8;
+pub(crate) const SWEEP_NODES: u32 = 8;
 
 /// Message sizes, bytes: latency floor, small, the 16 KiB algorithm
 /// crossover itself, bandwidth mid-range, bandwidth-bound.
-const SWEEP_BYTES: [u64; 5] = [8, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024];
+pub(crate) const SWEEP_BYTES: [u64; 5] = [8, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024];
 
 /// The four topology families the paper's systems use.
-const FAMILIES: [InterconnectKind; 4] = [
+pub(crate) const FAMILIES: [InterconnectKind; 4] = [
     InterconnectKind::TofuD,
     InterconnectKind::Aries,
     InterconnectKind::EdrInfiniband,
@@ -41,7 +41,7 @@ const FAMILIES: [InterconnectKind; 4] = [
 /// one-rank-per-CMG hybrid (round-robin policy), and a packed
 /// four-rank-per-node layout (packed policy) — two distinct
 /// [`PlacementPolicy`] values and three ranks-per-node shapes.
-fn sweep_placements() -> Vec<(&'static str, Placement)> {
+pub(crate) fn sweep_placements() -> Vec<(&'static str, Placement)> {
     let node = &system(SystemId::A64fx).node;
     vec![
         (

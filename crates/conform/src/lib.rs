@@ -22,8 +22,13 @@
 //!   as goldens, double runs must reproduce metrics and Chrome-trace JSON
 //!   exactly, and an installed recorder may not move a priced runtime by
 //!   a single ulp.
+//! * [`sharded`] — the parallel sharded DES engine must be invisible:
+//!   serial and 2/4-shard runs of the backend-routed allreduce are held to
+//!   bit-identity on every differential sweep cell, and the event-driven
+//!   model is held within a small factor of the analytic model at
+//!   1024/4096 simulated nodes.
 //!
-//! The `conform` binary runs all five suites (exit 1 on any failure);
+//! The `conform` binary runs all six suites (exit 1 on any failure);
 //! `cargo test -p conform` runs them as ordinary tests.
 
 #![warn(missing_docs)]
@@ -34,6 +39,7 @@ pub mod json;
 pub mod obs;
 pub mod parity;
 pub mod resilience;
+pub mod sharded;
 
 use a64fx_core::Table;
 
@@ -150,6 +156,16 @@ pub fn obs_suite(bless: bool) -> SuiteResult {
     let (table, failures) = obs::run();
     SuiteResult {
         name: "obs",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Run the sharded-DES bit-identity and at-scale fidelity suite.
+pub fn des_suite() -> SuiteResult {
+    let (table, failures) = sharded::run();
+    SuiteResult {
+        name: "des",
         report: render(&table),
         failures,
     }

@@ -5,7 +5,7 @@
 //!                        #   panicking/hung experiment prints a FAILED row
 //!                        #   and repro exits nonzero after the rest finish)
 //! repro --exp t3         # one experiment (t1, t3, t4, t5, f1, f2, t6,
-//!                        #   f3, t7, t8, f4, f5, t9, t10, r1)
+//!                        #   f3, t7, t8, f4, f5, t9, t10, r1, d1)
 //! repro --exp-json r1    # one experiment as JSON (CI reproducibility diffs)
 //! repro --markdown       # --all, rendered as markdown (EXPERIMENTS.md body)
 //! repro --list           # list experiment ids
@@ -19,6 +19,13 @@
 //! runner's worker team; the `A64FX_REPRO_THREADS` environment variable is
 //! the fallback (invalid values warn and are ignored), and the default is
 //! `available_parallelism`.
+//!
+//! `--des-backend serial|sharded<N>` (anywhere on the command line)
+//! selects the discrete-event engine for DES-routed experiments (e.g.
+//! D1); the `A64FX_DES_BACKEND` environment variable is the fallback
+//! (invalid values warn and are ignored), and the default is `serial`.
+//! Serial and sharded runs are byte-identical — the sharded engine only
+//! changes wall-clock time at scale.
 //!
 //! `--no-cache` (anywhere on the command line) disables the process-wide
 //! trace cache (`a64fx_core::tracecache`); `A64FX_TRACE_CACHE=off` is the
@@ -41,7 +48,7 @@ use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads <n>] [--no-cache] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+        "usage: repro [--threads <n>] [--des-backend serial|sharded<n>] [--no-cache] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
     );
     std::process::exit(2);
 }
@@ -141,6 +148,33 @@ fn take_threads(args: &mut Vec<String>) -> usize {
     runner::resolve_threads(threads)
 }
 
+/// Strip `--des-backend <value>` out of `args` (wherever it appears) and
+/// resolve the discrete-event engine: flag, then `A64FX_DES_BACKEND`, then
+/// serial. The resolved backend is installed process-wide so every
+/// DES-routed experiment (e.g. D1) picks it up; serial and sharded runs
+/// are byte-identical by construction.
+fn take_des_backend(args: &mut Vec<String>) -> netsim::DesBackend {
+    let mut explicit = None;
+    if let Some(i) = args.iter().position(|a| a == "--des-backend") {
+        let v = match args.get(i + 1) {
+            Some(raw) => match netsim::DesBackend::parse(raw) {
+                Ok(v) => v,
+                Err(why) => {
+                    eprintln!("--des-backend: {why}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("--des-backend needs 'serial' or 'sharded<N>'");
+                std::process::exit(2);
+            }
+        };
+        explicit = Some(v);
+        args.drain(i..=i + 1);
+    }
+    runner::resolve_des_backend(explicit)
+}
+
 /// Run one experiment under the hardened runner with the sink's recorder
 /// installed on the worker thread, then flush the sink's output files.
 fn run_observed(id: &str, sink: &ObsSink) -> runner::ExperimentOutcome {
@@ -162,6 +196,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_no_cache(&mut args);
     let threads = take_threads(&mut args);
+    netsim::shard::set_default_backend(take_des_backend(&mut args));
     let sink = ObsSink::take(&mut args);
     if sink.is_some()
         && !matches!(

@@ -62,6 +62,27 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
     densela::pool::available_parallelism()
 }
 
+/// Resolve the discrete-event simulation backend: an explicit request
+/// (e.g. a `--des-backend` flag) wins, then the `A64FX_DES_BACKEND`
+/// environment variable (`serial` or `sharded<N>`), then the serial
+/// engine. As with [`resolve_threads`], a present-but-invalid environment
+/// variable is treated as unset with a one-line warning on stderr — a typo
+/// in a login script must never change results or refuse to run.
+pub fn resolve_des_backend(explicit: Option<netsim::DesBackend>) -> netsim::DesBackend {
+    if let Some(b) = explicit {
+        return b;
+    }
+    if let Ok(raw) = std::env::var("A64FX_DES_BACKEND") {
+        match netsim::DesBackend::parse(&raw) {
+            Ok(b) => return b,
+            Err(why) => {
+                eprintln!("warning: ignoring A64FX_DES_BACKEND ({why}); using default");
+            }
+        }
+    }
+    netsim::DesBackend::Serial
+}
+
 /// Record-volume summary of an observed experiment: how much the recorder
 /// captured, plus the DES queue high-water mark (0 when the experiment
 /// never touched the event queue).
@@ -304,6 +325,13 @@ mod tests {
         assert_eq!(resolve_threads(Some(3)), 3);
         // Zero explicit request falls through to the default chain.
         assert!(resolve_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn explicit_des_backend_wins() {
+        // The flag beats the environment and the serial default.
+        let b = resolve_des_backend(Some(netsim::DesBackend::Sharded { shards: 4 }));
+        assert_eq!(b, netsim::DesBackend::Sharded { shards: 4 });
     }
 
     #[test]

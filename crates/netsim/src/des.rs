@@ -87,18 +87,44 @@ impl<T> EventQueue<T> {
 
     /// Schedule `payload` at absolute virtual time `time_us`.
     ///
+    /// # Contract
+    /// `time_us` must be a finite float no earlier than [`Self::now_us`].
+    /// Non-finite times (NaN, `+inf`, `-inf` — the latter is the non-finite
+    /// *negative-time* case) are rejected uniformly rather than being left
+    /// to scramble the heap's ordering or hang a drain loop, and past times
+    /// are a causality violation: virtual time only moves forward.
+    ///
     /// # Panics
-    /// Panics if `time_us` is NaN or earlier than the current virtual time
-    /// (causality violation).
+    /// Panics if `time_us` is not finite, or is earlier than the current
+    /// virtual time (causality violation).
     pub fn schedule_at(&mut self, time_us: f64, payload: T) {
-        assert!(!time_us.is_nan(), "event time must not be NaN");
+        let seq = self.take_seq();
+        self.schedule_with_seq(time_us, seq, payload);
+    }
+
+    /// Schedule `payload` at `time_us` with a caller-chosen sequence number.
+    ///
+    /// This is the seam the sharded engine uses: a cross-shard message must
+    /// keep the sequence number minted on its *source* shard so that the
+    /// merged `(time, seq)` order is independent of which worker drained
+    /// which mailbox. Callers own the seq space — mixing explicit seqs with
+    /// [`Self::schedule_at`]'s internal counter is only deterministic if the
+    /// two ranges cannot collide (the sharded engine sets the top bit on
+    /// derived seqs for exactly this reason).
+    ///
+    /// # Panics
+    /// Same contract as [`Self::schedule_at`]: `time_us` must be finite and
+    /// not in the past.
+    pub fn schedule_with_seq(&mut self, time_us: f64, seq: u64, payload: T) {
+        assert!(
+            time_us.is_finite(),
+            "event time must be finite, got {time_us}"
+        );
         assert!(
             time_us >= self.now_us,
             "causality violation: scheduling at {time_us} before now {}",
             self.now_us
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(Event {
             time_us,
@@ -111,10 +137,29 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Claim the next internal sequence number without scheduling anything.
+    ///
+    /// Lets an orchestrator mint seqs centrally (deterministic in program
+    /// order) and hand them to [`Self::schedule_with_seq`] on whichever
+    /// shard queue owns the destination entity.
+    pub fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
     /// Schedule `payload` at `delay_us` after the current virtual time.
     pub fn schedule_after(&mut self, delay_us: f64, payload: T) {
         let now = self.now_us;
         self.schedule_at(now + delay_us.max(0.0), payload);
+    }
+
+    /// Timestamp of the earliest pending event without popping it, or
+    /// `None` when the queue is empty. Does not advance virtual time —
+    /// the conservative-lookahead loop uses this to compute each window's
+    /// horizon before deciding whether the head event is safe to process.
+    pub fn peek_time_us(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time_us)
     }
 
     /// Pop the earliest event, advancing virtual time to its timestamp.
@@ -203,6 +248,58 @@ mod tests {
         q.schedule_at(10.0, ());
         q.pop();
         q.schedule_at(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scheduling_nan_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scheduling_positive_infinity_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(f64::INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scheduling_negative_infinity_panics() {
+        // -inf is both non-finite and negative; the finiteness check fires
+        // first so the panic message is consistent for all non-finite input.
+        let mut q = EventQueue::new();
+        q.schedule_at(f64::NEG_INFINITY, ());
+    }
+
+    #[test]
+    fn peek_does_not_advance_time_or_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time_us(), None);
+        q.schedule_at(7.0, "x");
+        q.schedule_at(3.0, "y");
+        assert_eq!(q.peek_time_us(), Some(3.0));
+        assert_eq!(q.now_us(), 0.0);
+        assert_eq!(q.len(), 2);
+        // Peeking repeatedly is idempotent.
+        assert_eq!(q.peek_time_us(), Some(3.0));
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, "y");
+        assert_eq!(q.peek_time_us(), Some(7.0));
+    }
+
+    #[test]
+    fn explicit_seqs_order_ties_and_skip_the_counter() {
+        let mut q = EventQueue::new();
+        // Explicit seqs control tie-breaking regardless of insertion order.
+        q.schedule_with_seq(5.0, 2, "second");
+        q.schedule_with_seq(5.0, 1, "first");
+        // The internal counter is untouched by explicit scheduling.
+        assert_eq!(q.take_seq(), 0);
+        assert_eq!(q.pop().unwrap().payload, "first");
+        assert_eq!(q.pop().unwrap().payload, "second");
+        assert_eq!(q.scheduled_total(), 2);
     }
 
     #[test]

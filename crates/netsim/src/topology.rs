@@ -25,6 +25,25 @@ pub trait Topology: Send + Sync + std::fmt::Debug {
 
     /// Human-readable topology name.
     fn name(&self) -> &'static str;
+
+    /// Assign `node` to one of `shards` spatially coherent regions for the
+    /// sharded DES engine. Implementations should keep topological
+    /// neighbours together (axis slabs on a torus, leaf pods on a fat tree)
+    /// so most event traffic stays shard-local; the default is a
+    /// deterministic hash spread for topologies with no exploitable
+    /// locality. The returned shard is always `< shards`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    fn shard_of(&self, node: usize, shards: usize) -> usize {
+        assert!(shards > 0, "need at least one shard");
+        // splitmix64 finalizer: deterministic, well-spread hash fallback.
+        let mut h = node as u64;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h % shards as u64) as usize
+    }
 }
 
 /// A 6-dimensional torus as used by Fujitsu's TofuD (coordinates
@@ -123,6 +142,19 @@ impl Topology for Torus6d {
 
     fn name(&self) -> &'static str {
         "TofuD 6-D torus"
+    }
+
+    fn shard_of(&self, node: usize, shards: usize) -> usize {
+        assert!(shards > 0, "need at least one shard");
+        // Slab-partition along the largest of the extensible x/y/z axes:
+        // contiguous coordinate slabs keep each shard a spatially compact
+        // block of the torus, so nearest-neighbour and tree traffic is
+        // mostly shard-local. Empty shards (shards > axis length) are fine —
+        // the engine just sees idle queues.
+        let axis = (0..3).max_by_key(|&i| self.dims[i]).unwrap();
+        let len = self.dims[axis];
+        let c = self.coords(node)[axis];
+        (c * shards / len).min(shards - 1)
     }
 }
 
@@ -282,6 +314,15 @@ impl Topology for FatTree {
     fn name(&self) -> &'static str {
         "fat tree"
     }
+
+    fn shard_of(&self, node: usize, shards: usize) -> usize {
+        assert!(shards > 0, "need at least one shard");
+        // Pod partitioning: whole leaf switches go to one shard, and
+        // consecutive leaves form contiguous pods, so intra-leaf (1-hop)
+        // traffic never crosses a shard boundary.
+        let num_leaves = self.num_nodes.div_ceil(self.nodes_per_leaf);
+        (self.leaf_of(node) * shards / num_leaves).min(shards - 1)
+    }
 }
 
 /// Build the topology appropriate to an interconnect family, sized for
@@ -377,6 +418,59 @@ mod tests {
                 _ => assert!(b < 1.0, "{id:?} is oversubscribed or tapered"),
             }
         }
+    }
+
+    #[test]
+    fn torus_shards_are_contiguous_axis_slabs() {
+        let t = Torus6d::new([8, 2, 1, 2, 3, 2]);
+        let n = t.num_nodes();
+        for shards in [1, 2, 4, 8] {
+            // Every node lands in range, and the shard index is monotone in
+            // the slab coordinate (x here, the largest axis).
+            let mut seen = vec![false; shards];
+            for node in 0..n {
+                let s = t.shard_of(node, shards);
+                assert!(s < shards);
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "no empty shard at {shards} slabs");
+        }
+        // Nodes sharing all coords but x=0 vs x=7 sit in first/last shard.
+        assert_eq!(t.shard_of(0, 4), 0);
+        assert_eq!(t.shard_of(7, 4), 3);
+    }
+
+    #[test]
+    fn fat_tree_shards_keep_leaves_whole() {
+        let f = FatTree::nonblocking(128); // 4 leaves of 32
+        for shards in [2, 4] {
+            for node in 0..128 {
+                let leaf_first = (node / 32) * 32;
+                assert_eq!(
+                    f.shard_of(node, shards),
+                    f.shard_of(leaf_first, shards),
+                    "leaf split across shards at node {node}"
+                );
+            }
+        }
+        // 4 leaves over 4 shards: one pod per shard.
+        assert_eq!(f.shard_of(0, 4), 0);
+        assert_eq!(f.shard_of(127, 4), 3);
+    }
+
+    #[test]
+    fn hash_fallback_is_deterministic_and_in_range() {
+        let d = Dragonfly::aries(2000);
+        for shards in [1, 3, 7] {
+            for node in [0, 1, 999, 1999] {
+                let s = d.shard_of(node, shards);
+                assert!(s < shards);
+                assert_eq!(s, d.shard_of(node, shards), "hash must be stable");
+            }
+        }
+        // The spread actually uses more than one shard on a real system.
+        let used: std::collections::HashSet<_> = (0..2000).map(|n| d.shard_of(n, 4)).collect();
+        assert_eq!(used.len(), 4);
     }
 
     #[test]

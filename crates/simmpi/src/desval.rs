@@ -7,6 +7,7 @@
 //! the event-driven ground truth. This is what keeps the fast analytic path
 //! honest.
 
+use netsim::shard::{Ctx, DesBackend, RunStats, ShardedEventQueue};
 use netsim::{EventQueue, Network};
 
 /// [`Network::transfer`] with a `net.hop` span when a recorder is active:
@@ -272,6 +273,282 @@ pub fn allreduce_hierarchical_des(net: &mut Network, node_of_rank: &[usize], byt
     reduce_t + inter_t + bcast_t
 }
 
+/// One round of a leader's precomputed pairwise-exchange schedule: an
+/// optional send of `bytes` to `(dst leader, dst round index)` issued on
+/// entering the round, and optionally one expected arrival gating exit.
+struct ExchangeRound {
+    send: Option<(usize, u32)>,
+    bytes: u64,
+    expect: bool,
+}
+
+/// Recursive-doubling schedule over `p` leaders: `ceil(log2 p)` rounds, in
+/// round `k` leader `r` exchanges the full payload with `r ^ (1 << k)`.
+/// Leaders whose partner falls beyond `p` (virtual power-of-two padding)
+/// idle through that round, as in [`allreduce_recursive_doubling_des`].
+fn doubling_schedule(p: usize, bytes: u64) -> Vec<Vec<ExchangeRound>> {
+    let rounds = usize::BITS - (p - 1).leading_zeros();
+    (0..p)
+        .map(|rank| {
+            (0..rounds)
+                .map(|k| {
+                    let partner = rank ^ (1usize << k);
+                    if partner < p {
+                        ExchangeRound {
+                            send: Some((partner, k)),
+                            bytes,
+                            expect: true,
+                        }
+                    } else {
+                        ExchangeRound {
+                            send: None,
+                            bytes: 0,
+                            expect: false,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Rabenseifner schedule over `p` leaders: recursive-halving
+/// reduce-scatter then recursive-doubling allgather (the same pairs, same
+/// chunk sizes, mirrored), with leaders beyond the largest power of two
+/// folding into a partner in a pre-round and receiving the result in a
+/// post-round, as in [`allreduce_rabenseifner_des`].
+fn rabenseifner_schedule(p: usize, bytes: u64) -> Vec<Vec<ExchangeRound>> {
+    let steps = usize::BITS - 1 - p.leading_zeros(); // floor(log2 p)
+    let p2 = 1usize << steps;
+    let extras = p - p2;
+    // Leaders below `extras` open with a pre-round arrival slot, shifting
+    // their exchange rounds by one.
+    let offset = |rank: usize| -> u32 { u32::from(rank < extras) };
+    (0..p)
+        .map(|rank| {
+            if rank >= p2 {
+                // Folded leader: hand off at the start, collect at the end.
+                return vec![
+                    ExchangeRound {
+                        send: Some((rank - p2, 0)),
+                        bytes,
+                        expect: false,
+                    },
+                    ExchangeRound {
+                        send: None,
+                        bytes: 0,
+                        expect: true,
+                    },
+                ];
+            }
+            let mut rounds = Vec::with_capacity(2 * steps as usize + 2);
+            if rank < extras {
+                rounds.push(ExchangeRound {
+                    send: None,
+                    bytes: 0,
+                    expect: true,
+                });
+            }
+            for s in 0..2 * steps {
+                let h = if s < steps { s } else { 2 * steps - 1 - s };
+                let partner = rank ^ (1usize << h);
+                rounds.push(ExchangeRound {
+                    send: Some((partner, offset(partner) + s)),
+                    bytes: (bytes >> (h + 1)).max(1),
+                    expect: true,
+                });
+            }
+            if rank < extras {
+                rounds.push(ExchangeRound {
+                    send: Some((p2 + rank, 1)),
+                    bytes,
+                    expect: false,
+                });
+            }
+            rounds
+        })
+        .collect()
+}
+
+/// Message payload of the engine-driven leader allreduce.
+#[derive(Debug, Clone, Copy)]
+enum LeaderMsg {
+    /// Root event: the leader enters round 0 at time zero.
+    Start,
+    /// A partner's chunk for the given round index arrived.
+    Arrive(u32),
+}
+
+/// Per-leader progress through its exchange schedule.
+#[derive(Debug, Clone)]
+struct LeaderState {
+    clock: f64,
+    round: usize,
+    sent: bool,
+    arrived: Vec<f64>, // per round; NaN = not yet
+}
+
+/// Advance leader `e` through its schedule as far as buffered arrivals
+/// allow: each round's send is issued once at the clock the leader entered
+/// with, and an expected round is left only when its arrival is in —
+/// `clock = max(clock, arrival)`, the LogGP dependency rule.
+fn pump_leader<F>(
+    ctx: &mut Ctx<'_, LeaderState, LeaderMsg>,
+    e: usize,
+    schedule: &[ExchangeRound],
+    node_of_leader: &[usize],
+    flight: &F,
+) where
+    F: Fn(usize, usize, u64) -> f64,
+{
+    loop {
+        let (r, clock, sent) = {
+            let st = ctx.state(e);
+            (st.round, st.clock, st.sent)
+        };
+        if r >= schedule.len() {
+            break;
+        }
+        let round = &schedule[r];
+        if !sent {
+            ctx.state(e).sent = true;
+            if let Some((dst, dst_round)) = round.send {
+                let t = clock + flight(node_of_leader[e], node_of_leader[dst], round.bytes);
+                ctx.emit(dst, t, LeaderMsg::Arrive(dst_round));
+            }
+        }
+        if round.expect {
+            let arrival = ctx.state(e).arrived[r];
+            if arrival.is_nan() {
+                break;
+            }
+            let st = ctx.state(e);
+            st.clock = st.clock.max(arrival);
+        }
+        let st = ctx.state(e);
+        st.round += 1;
+        st.sent = false;
+    }
+}
+
+/// Event-engine simulation of the hierarchical allreduce, routed through a
+/// [`DesBackend`]: closed-form on-node shm reduce/broadcast phases (which
+/// the pure-flight binomial tree prices exactly) around an event-driven
+/// inter-node leader leg on the serial or sharded engine. The leader leg
+/// runs the same algorithm the analytic model selects — recursive doubling
+/// below the cutover, Rabenseifner (with the fabric derated to the
+/// topology's bisection factor) at or above it.
+///
+/// Serial and sharded backends produce **bit-identical** times at every
+/// shard count — the engine's determinism guarantee, pinned by the conform
+/// `des` suite. Returns `(completion time in microseconds, engine run
+/// statistics)`; stats are zero when fewer than two nodes are involved.
+pub fn allreduce_des_stats(
+    net: &Network,
+    node_of_rank: &[usize],
+    bytes: u64,
+    backend: DesBackend,
+) -> (f64, RunStats) {
+    let p = node_of_rank.len();
+    if p <= 1 {
+        return (0.0, RunStats::default());
+    }
+    let mut nodes = node_of_rank.to_vec();
+    nodes.sort_unstable();
+    nodes.dedup();
+    // Phases 1 and 3: binomial shm tree per node, priced in closed form —
+    // under pure flights the tree root finishes after exactly
+    // ceil(log2(local)) * shm_flight, which is shm_tree_des to the bit.
+    let mut local = vec![0u32; nodes.last().map_or(0, |&n| n + 1)];
+    for &n in node_of_rank {
+        local[n] += 1;
+    }
+    let max_local = nodes.iter().map(|&n| local[n]).max().unwrap_or(1);
+    let shm_phase = if max_local > 1 {
+        let rounds = 32 - (max_local - 1).leading_zeros();
+        f64::from(rounds) * net.flight_time_us(nodes[0], nodes[0], bytes)
+    } else {
+        0.0
+    };
+    // Phase 2: leaders exchange over the wire on the selected engine.
+    let (inter_t, stats) = if nodes.len() > 1 {
+        let algo = crate::collectives::select_algorithm(bytes);
+        let (schedule, fabric) = match algo {
+            crate::collectives::CollectiveAlgorithm::RecursiveDoubling => {
+                (doubling_schedule(nodes.len(), bytes), 1.0)
+            }
+            crate::collectives::CollectiveAlgorithm::Ring => (
+                rabenseifner_schedule(nodes.len(), bytes),
+                net.topology().bisection_factor(),
+            ),
+        };
+        let link = net.link();
+        let topo = net.topology();
+        let flight = move |a: usize, b: usize, chunk: u64| -> f64 {
+            let hops = topo.hops(a, b);
+            let base = link.latency_us + f64::from(hops) * link.per_hop_us;
+            let wire = chunk as f64 / (link.injection_bw_gbs() * fabric * 1e3);
+            if chunk >= link.rendezvous_cutover_bytes {
+                2.0 * base + wire
+            } else {
+                base + wire
+            }
+        };
+        // Every cross-shard flight is a wire flight (leaders sit on
+        // distinct nodes), so the link latency is a sound lookahead.
+        let mut engine: ShardedEventQueue<LeaderMsg> =
+            ShardedEventQueue::for_backend(backend, topo, &nodes, link.latency_us);
+        let mut states: Vec<LeaderState> = schedule
+            .iter()
+            .map(|rounds| LeaderState {
+                clock: 0.0,
+                round: 0,
+                sent: false,
+                arrived: vec![f64::NAN; rounds.len()],
+            })
+            .collect();
+        for e in 0..nodes.len() {
+            engine.schedule_at(e, 0.0, LeaderMsg::Start);
+        }
+        let threads = backend
+            .shards()
+            .min(densela::pool::available_parallelism())
+            .max(1);
+        let pool = densela::KernelPool::new(threads);
+        let stats = engine.run(&pool, &mut states, |ctx, t, e, msg| {
+            if let LeaderMsg::Arrive(round) = msg {
+                let st = ctx.state(e);
+                debug_assert!(st.arrived[round as usize].is_nan(), "duplicate arrival");
+                st.arrived[round as usize] = t;
+            }
+            pump_leader(ctx, e, &schedule[e], &nodes, &flight);
+        });
+        let inter = states
+            .iter()
+            .enumerate()
+            .map(|(e, st)| {
+                assert_eq!(st.round, schedule[e].len(), "leader {e} did not finish");
+                st.clock
+            })
+            .fold(0.0, f64::max);
+        (inter, stats)
+    } else {
+        (0.0, RunStats::default())
+    };
+    (shm_phase + inter_t + shm_phase, stats)
+}
+
+/// [`allreduce_des_stats`] without the statistics: the backend-routed
+/// completion time in microseconds.
+pub fn allreduce_des(
+    net: &Network,
+    node_of_rank: &[usize],
+    bytes: u64,
+    backend: DesBackend,
+) -> f64 {
+    allreduce_des_stats(net, node_of_rank, bytes, backend).0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +718,96 @@ mod tests {
         let mut n2 = Network::new(InterconnectKind::EdrInfiniband, 8);
         let doubling = allreduce_recursive_doubling_des(&mut n2, &placement, bytes);
         assert!(ring < doubling, "ring {ring} vs doubling {doubling}");
+    }
+
+    #[test]
+    fn backend_routed_allreduce_is_bit_identical_across_shard_counts() {
+        // The engine's core guarantee: serial and sharded runs produce the
+        // same completion time to the bit, for both collective algorithms,
+        // mixed placements, and non-power-of-two leader counts.
+        let placements: Vec<Vec<usize>> = vec![
+            one_rank_per_node(6),
+            one_rank_per_node(16),
+            vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4],
+            vec![0, 2, 2, 5, 5, 5, 7],
+        ];
+        for kind in [
+            InterconnectKind::TofuD,
+            InterconnectKind::Aries,
+            InterconnectKind::EdrInfiniband,
+        ] {
+            for placement in &placements {
+                for bytes in [8u64, 4096, 1 << 20] {
+                    let nodes = placement.iter().max().unwrap() + 1;
+                    let net = Network::new(kind, nodes);
+                    let serial = allreduce_des(&net, placement, bytes, DesBackend::Serial);
+                    for shards in [2usize, 4] {
+                        let sharded =
+                            allreduce_des(&net, placement, bytes, DesBackend::Sharded { shards });
+                        assert_eq!(
+                            serial.to_bits(),
+                            sharded.to_bits(),
+                            "{kind:?} {placement:?} {bytes}B: serial {serial} vs sharded{shards} {sharded}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_routed_allreduce_tracks_the_analytic_model() {
+        // Same algorithm, same flight pricing, different accounting of
+        // overlap: the engine and the closed form should stay within 2.5x
+        // in both the latency- and bandwidth-dominated regimes.
+        for nodes in [4usize, 16, 64] {
+            for bytes in [8u64, 1 << 20] {
+                let placement = one_rank_per_node(nodes);
+                let net = Network::new(InterconnectKind::TofuD, nodes);
+                let des = allreduce_des(&net, &placement, bytes, DesBackend::Serial);
+                let analytic = allreduce_time_us(&net, &placement, bytes);
+                let ratio = des / analytic;
+                assert!(
+                    (0.4..=2.5).contains(&ratio),
+                    "{nodes} nodes {bytes}B: DES {des:.2}us vs analytic {analytic:.2}us"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_routed_allreduce_matches_shm_closed_form_on_one_node() {
+        // Single node: no wire leg, just the two shm tree phases, which
+        // the closed-form analytic model prices identically.
+        let placement = vec![0usize; 8];
+        let net = Network::new(InterconnectKind::Aries, 2);
+        let des = allreduce_des(&net, &placement, 4096, DesBackend::Sharded { shards: 4 });
+        let analytic = allreduce_time_us(&net, &placement, 4096);
+        assert!(
+            (des - analytic).abs() <= 1e-9 * analytic.max(1.0),
+            "DES {des} vs analytic {analytic}"
+        );
+        // And the degenerate cases are free.
+        assert_eq!(allreduce_des(&net, &[0], 4096, DesBackend::Serial), 0.0);
+        assert_eq!(allreduce_des(&net, &[], 4096, DesBackend::Serial), 0.0);
+    }
+
+    #[test]
+    fn backend_routed_allreduce_reports_run_stats() {
+        let placement = one_rank_per_node(16);
+        let net = Network::new(InterconnectKind::TofuD, 16);
+        let (t, stats) = allreduce_des_stats(&net, &placement, 8, DesBackend::Serial);
+        assert!(t > 0.0);
+        // 16 leaders, 4 recursive-doubling rounds: 16 Start roots plus one
+        // Arrive per message.
+        assert_eq!(stats.events, 16 + 16 * 4);
+        assert!(stats.windows > 0);
+        let (t2, stats2) =
+            allreduce_des_stats(&net, &placement, 8, DesBackend::Sharded { shards: 4 });
+        assert_eq!(t.to_bits(), t2.to_bits());
+        // Window count and event count are shard-invariant by construction.
+        assert_eq!(stats.windows, stats2.windows);
+        assert_eq!(stats.events, stats2.events);
+        assert!(stats2.cross_msgs > 0, "4 shards must exchange messages");
     }
 }

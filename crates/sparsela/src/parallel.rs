@@ -31,23 +31,46 @@ use std::sync::Arc;
 
 const F64B: u64 = 8;
 
+/// Default serial cutover, in kernel inner-loop operations (vector
+/// elements for the streaming kernels, stored nonzeros for the SpMV
+/// family). Below this a pool dispatch costs more than it buys: the
+/// `BENCH_kernels.json` small-kernel rows (48³ dot/axpy, the 16³ CG)
+/// ran 0.81–0.83x *slower* pooled than serial before the cutover, and
+/// the crossover sits near 2.5e5 ops on the benched host. Kernels at or
+/// above the cutover keep the pooled path and its amortised-spawn win.
+pub const DEFAULT_SERIAL_CUTOVER_OPS: usize = 262_144;
+
 /// A persistent thread team for shared-memory kernels.
 ///
 /// Cloning is cheap and shares the same pool (ranks hand the team to
 /// helpers without respawning threads). `threads == 1` is the serial
-/// fallback: no OS threads exist and every kernel runs inline.
+/// fallback: no OS threads exist and every kernel runs inline. Kernels
+/// smaller than the team's serial cutover (see
+/// [`DEFAULT_SERIAL_CUTOVER_OPS`]) also run inline — identical results,
+/// no dispatch overhead.
 #[derive(Debug, Clone)]
 pub struct Team {
     pool: Arc<KernelPool>,
+    serial_cutover_ops: usize,
 }
 
 impl Team {
-    /// A team of `threads` workers (1 = serial fallback). Spawns the
-    /// worker threads immediately; they live until the last clone drops.
+    /// A team of `threads` workers (1 = serial fallback) with the default
+    /// small-kernel serial cutover. Spawns the worker threads immediately;
+    /// they live until the last clone drops.
     pub fn new(threads: usize) -> Self {
+        Self::with_serial_cutover(threads, DEFAULT_SERIAL_CUTOVER_OPS)
+    }
+
+    /// A team with an explicit serial cutover in kernel ops; `0` disables
+    /// the cutover so every large-enough-to-partition kernel takes the
+    /// pooled path (what the parity suite and pool-behaviour tests use to
+    /// exercise the dispatch machinery on small fixtures).
+    pub fn with_serial_cutover(threads: usize, serial_cutover_ops: usize) -> Self {
         assert!(threads >= 1, "a team needs at least one thread");
         Team {
             pool: Arc::new(KernelPool::new(threads)),
+            serial_cutover_ops,
         }
     }
 
@@ -61,21 +84,28 @@ impl Team {
         self.pool.threads()
     }
 
+    /// The team's serial cutover, in kernel ops (0 = disabled).
+    pub fn serial_cutover_ops(&self) -> usize {
+        self.serial_cutover_ops
+    }
+
     /// The underlying pool (for callers composing their own jobs).
     pub fn pool(&self) -> &KernelPool {
         &self.pool
     }
 
-    /// Whether a kernel over `n` elements should run serially: one thread,
-    /// or too little work to amortise even a pool dispatch.
-    fn serial(&self, n: usize) -> bool {
-        self.threads() == 1 || n < 2 * self.threads()
+    /// Whether a kernel of `ops` inner-loop operations should run
+    /// serially: one thread, too little work to partition, or below the
+    /// team's serial cutover.
+    fn serial(&self, ops: usize) -> bool {
+        self.threads() == 1 || ops < 2 * self.threads() || ops < self.serial_cutover_ops
     }
 
     /// Whether a vector kernel over `n` elements takes the pooled parallel
-    /// path (as opposed to the inline serial fallback). A test seam: parity
-    /// suites size their inputs so this holds, then check the pool's
-    /// dispatch counter actually advanced.
+    /// path (as opposed to the inline serial fallback — one thread, too few
+    /// elements, or below the serial cutover). A test seam: parity suites
+    /// size their inputs (or disable the cutover) so this holds, then check
+    /// the pool's dispatch counter actually advanced.
     pub fn would_parallelize(&self, n: usize) -> bool {
         !self.serial(n)
     }
@@ -99,7 +129,7 @@ impl Team {
     pub fn spmv(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> Work {
         assert_eq!(x.len(), a.cols(), "spmv: x length mismatch");
         assert_eq!(y.len(), a.rows(), "spmv: y length mismatch");
-        if self.serial(a.rows()) {
+        if self.serial(a.nnz()) {
             return a.spmv(x, y);
         }
         let part = self.partition(a.rows());
@@ -129,7 +159,7 @@ impl Team {
         assert_eq!(a.rows(), a.cols(), "spmv_dot needs a square matrix");
         let n = a.rows();
         let extra = Work::new(2 * n as u64, 0, 0);
-        if self.serial(n) {
+        if self.serial(a.nnz()) {
             let w = a.spmv(p, y);
             let mut acc = 0.0;
             for r in 0..n {
@@ -327,8 +357,11 @@ impl Team {
             }
             unsafe { xs.set(r, acc / d) };
         };
+        // Gate each colour group on its share of the matrix's nonzeros —
+        // a group's relaxation cost scales with nnz, not row count.
+        let nnz_per_row = a.nnz() / a.rows().max(1);
         let relax_group = |rows: &[usize]| {
-            if rows.len() < 2 * t {
+            if rows.len() < 2 * t || self.serial(rows.len().saturating_mul(nnz_per_row.max(1))) {
                 for &r in rows {
                     relax_row(r);
                 }
@@ -359,7 +392,7 @@ impl Team {
         assert_eq!(x.len(), m.cols(), "sell_spmv: x length mismatch");
         assert_eq!(y.len(), m.rows(), "sell_spmv: y length mismatch");
         let ns = m.num_slices();
-        if self.serial(m.rows()) || ns < self.threads() {
+        if self.serial(m.nnz()) || ns < self.threads() {
             return m.spmv(x, y);
         }
         let part = self.partition(ns);
@@ -607,6 +640,12 @@ mod tests {
     use super::*;
     use crate::gen::{poisson7, stencil27, structural3d};
 
+    /// A team with the serial cutover disabled: these tests exercise the
+    /// pool dispatch machinery on fixtures far below the default cutover.
+    fn pooled(threads: usize) -> Team {
+        Team::with_serial_cutover(threads, 0)
+    }
+
     #[test]
     fn parallel_spmv_matches_serial() {
         let a = stencil27(10, 9, 8);
@@ -614,7 +653,7 @@ mod tests {
         let mut y_serial = vec![0.0; a.rows()];
         a.spmv(&x, &mut y_serial);
         for threads in [2usize, 3, 4, 7] {
-            let team = Team::new(threads);
+            let team = pooled(threads);
             let mut y_par = vec![0.0; a.rows()];
             team.spmv(&a, &x, &mut y_par);
             assert_eq!(y_serial, y_par, "{threads} threads");
@@ -627,7 +666,7 @@ mod tests {
         obs::with_recorder(rec.clone(), || {
             // 10 rows over 4 lanes: 3/3/2/2.
             let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
-            Team::new(4).dot(&x, &x);
+            pooled(4).dot(&x, &x);
         });
         let h = rec.histogram("pool.lane_rows").unwrap();
         assert_eq!(h.count, 4, "one observation per lane");
@@ -641,7 +680,7 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|v| v * 1.5 - 0.25).collect();
         let (serial, _) = densela::vecops::dot(&x, &y);
         for threads in [2usize, 5, 8] {
-            let (par, _) = Team::new(threads).dot(&x, &y);
+            let (par, _) = pooled(threads).dot(&x, &y);
             assert!(
                 (par - serial).abs() < 1e-9 * (1.0 + serial.abs()),
                 "{threads} threads"
@@ -655,7 +694,7 @@ mod tests {
         let mut y1: Vec<f64> = x.iter().map(|v| -v).collect();
         let mut y2 = y1.clone();
         densela::vecops::axpy(0.5, &x, &mut y1);
-        Team::new(4).axpy(0.5, &x, &mut y2);
+        pooled(4).axpy(0.5, &x, &mut y2);
         assert_eq!(y1, y2);
     }
 
@@ -663,7 +702,7 @@ mod tests {
     fn one_team_runs_many_kernels_without_respawning() {
         // The point of the pool: a long kernel sequence on one team. This
         // also exercises dispatch-after-dispatch reuse of the job slot.
-        let team = Team::new(4);
+        let team = pooled(4);
         let a = stencil27(8, 8, 8);
         let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.05).sin()).collect();
         let mut y = vec![0.0; a.rows()];
@@ -681,7 +720,7 @@ mod tests {
         let x: Vec<f64> = (0..4_001).map(|i| (i as f64 * 0.13).sin()).collect();
         let y0: Vec<f64> = x.iter().map(|v| 0.7 - v).collect();
         for threads in [1usize, 4] {
-            let team = Team::new(threads);
+            let team = pooled(threads);
             let mut y_fused = y0.clone();
             let (rr_fused, _) = team.axpy_dot(-0.3, &x, &mut y_fused);
             let mut y_ref = y0.clone();
@@ -702,7 +741,7 @@ mod tests {
             .map(|i| ((i * 13) % 17) as f64 - 8.0)
             .collect();
         for threads in [1usize, 4] {
-            let team = Team::new(threads);
+            let team = pooled(threads);
             let mut ap_fused = vec![0.0; a.rows()];
             let (pap_fused, _) = team.spmv_dot(&a, &p, &mut ap_fused);
             let mut ap_ref = vec![0.0; a.rows()];
@@ -727,7 +766,7 @@ mod tests {
             w_serial += coloring::mc_symgs_sweep(&a, &coloring, &b, &mut x_serial);
         }
         for threads in [2usize, 4, 7] {
-            let team = Team::new(threads);
+            let team = pooled(threads);
             let mut x_par = vec![0.0; a.rows()];
             let mut w_par = Work::ZERO;
             for _ in 0..3 {
@@ -750,7 +789,7 @@ mod tests {
             let mut y_serial = vec![0.0; a.rows()];
             sell.spmv(&x, &mut y_serial);
             for threads in [2usize, 3, 5] {
-                let team = Team::new(threads);
+                let team = pooled(threads);
                 let mut y_par = vec![0.0; a.rows()];
                 let w = team.sell_spmv(&sell, &x, &mut y_par);
                 assert_eq!(y_serial, y_par, "{threads} threads (c={c}, sigma={sigma})");
@@ -767,7 +806,7 @@ mod tests {
         a.spmv(&x_true, &mut b);
         for threads in [1usize, 4] {
             let mut x = vec![0.0; a.rows()];
-            let (iters, rel, work) = Team::new(threads).cg_solve(&a, &b, &mut x, 400, 1e-10);
+            let (iters, rel, work) = pooled(threads).cg_solve(&a, &b, &mut x, 400, 1e-10);
             assert!(
                 rel <= 1e-10,
                 "{threads} threads: rel {rel} after {iters} iters"
@@ -785,7 +824,7 @@ mod tests {
         let a = structural3d(3, 3, 3);
         let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
         let mut x = vec![0.0; a.rows()];
-        let (_, rel, _) = Team::new(4).cg_solve(&a, &b, &mut x, 600, 1e-9);
+        let (_, rel, _) = pooled(4).cg_solve(&a, &b, &mut x, 600, 1e-9);
         assert!(rel <= 1e-9, "rel {rel}");
     }
 
@@ -797,7 +836,7 @@ mod tests {
         let b: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.37).sin()).collect();
         let solve = || {
             let mut x = vec![0.0; a.rows()];
-            let (iters, rel, work) = Team::new(4).cg_solve(&a, &b, &mut x, 200, 1e-10);
+            let (iters, rel, work) = pooled(4).cg_solve(&a, &b, &mut x, 200, 1e-10);
             (x, iters, rel, work)
         };
         let (x1, i1, rel1, w1) = solve();
@@ -837,6 +876,33 @@ mod tests {
     }
 
     #[test]
+    fn default_cutover_serialises_small_kernels_without_changing_results() {
+        // The BENCH_kernels regression fix: a 48³-sized dot (1.1e5 elements,
+        // below the 2.6e5-op cutover) must not pay a pool dispatch on a
+        // default team, while a cutover-disabled team still dispatches.
+        let n = 110_592;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let default_team = Team::new(4);
+        assert_eq!(
+            default_team.serial_cutover_ops(),
+            DEFAULT_SERIAL_CUTOVER_OPS
+        );
+        assert!(!default_team.would_parallelize(n));
+        let before = default_team.pool().dispatches();
+        let (d_serial, _) = default_team.dot(&x, &x);
+        assert_eq!(default_team.pool().dispatches(), before, "no dispatch");
+        let bench_team = pooled(4);
+        assert!(bench_team.would_parallelize(n));
+        let before = bench_team.pool().dispatches();
+        let (d_pooled, _) = bench_team.dot(&x, &x);
+        assert_eq!(bench_team.pool().dispatches(), before + 1);
+        // Lane-ordered reduction vs serial: equal to roundoff.
+        assert!((d_serial - d_pooled).abs() <= 1e-9 * (1.0 + d_serial.abs()));
+        // Above the cutover the default team parallelises again.
+        assert!(default_team.would_parallelize(DEFAULT_SERIAL_CUTOVER_OPS));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = Team::new(0);
@@ -848,6 +914,10 @@ mod proptests {
     use super::*;
     use crate::gen::poisson7;
     use proptest::prelude::*;
+
+    fn pooled(threads: usize) -> Team {
+        Team::with_serial_cutover(threads, 0)
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
@@ -864,7 +934,7 @@ mod proptests {
             let mut y_serial = vec![0.0; a.rows()];
             a.spmv(&x, &mut y_serial);
             let mut y_par = vec![0.0; a.rows()];
-            Team::new(threads).spmv(&a, &x, &mut y_par);
+            pooled(threads).spmv(&a, &x, &mut y_par);
             prop_assert_eq!(y_serial, y_par);
         }
 
@@ -878,7 +948,7 @@ mod proptests {
             let mut y1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
             let mut y2 = y1.clone();
             densela::vecops::axpy(alpha, &x, &mut y1);
-            Team::new(threads).axpy(alpha, &x, &mut y2);
+            pooled(threads).axpy(alpha, &x, &mut y2);
             prop_assert_eq!(y1, y2);
         }
 
@@ -889,7 +959,7 @@ mod proptests {
         ) {
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin()).collect();
             let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.029).cos()).collect();
-            let team = Team::new(threads);
+            let team = pooled(threads);
             let (d1, _) = team.dot(&x, &y);
             let (d2, _) = team.dot(&x, &y);
             // Deterministic: identical dispatches give identical bits.
@@ -910,7 +980,7 @@ mod proptests {
             let mut x_serial = vec![0.0; a.rows()];
             coloring::mc_symgs_sweep(&a, &coloring, &b, &mut x_serial);
             let mut x_par = vec![0.0; a.rows()];
-            Team::new(threads).mc_symgs_sweep(&a, &coloring, &b, &mut x_par);
+            pooled(threads).mc_symgs_sweep(&a, &coloring, &b, &mut x_par);
             prop_assert_eq!(x_serial, x_par);
         }
 
@@ -927,7 +997,7 @@ mod proptests {
             let mut y_serial = vec![0.0; a.rows()];
             sell.spmv(&x, &mut y_serial);
             let mut y_par = vec![0.0; a.rows()];
-            Team::new(threads).sell_spmv(&sell, &x, &mut y_par);
+            pooled(threads).sell_spmv(&sell, &x, &mut y_par);
             prop_assert_eq!(y_serial, y_par);
         }
     }

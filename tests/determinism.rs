@@ -82,7 +82,10 @@ fn pooled_team_reductions_repeat_at_fixed_thread_counts() {
         std::env::set_var("A64FX_REPRO_THREADS", threads.to_string());
         let resolved = runner::resolve_threads(None);
         assert_eq!(resolved, threads, "env var must size the team");
-        let team = Team::new(resolved);
+        // Cutover disabled: the 10^3 fixture sits below the default
+        // small-kernel serial cutover, and the promise under test is the
+        // pooled reductions' repeatability.
+        let team = Team::with_serial_cutover(resolved, 0);
         assert!(team.would_parallelize(a.rows()));
         let mut y = vec![0.0; a.rows()];
         let (pap1, _) = team.spmv_dot(&a, &x, &mut y);
