@@ -271,15 +271,22 @@ pub fn trace(cfg: CastepConfig, ranks: u32) -> Trace {
     body.push(Phase::Compute {
         class: KernelClass::Fft,
         work: WorkDist::Uniform(fft_per_rank),
+        // One band's slab is the unit of reuse: the transform passes and
+        // transpose pack/unpack sweep it repeatedly.
+        ws_bytes: plan.slab_ws_bytes(C64B),
     });
     body.push(Phase::Compute {
         class: KernelClass::VectorOp,
         work: WorkDist::Uniform(point),
+        ws_bytes: 2 * n3 * C64B / p as u64,
     });
     // Overlap matrix reduction (nb x nb complex).
     body.push(Phase::Compute {
         class: KernelClass::Blas3,
         work: WorkDist::Uniform(blas3_per_rank),
+        // The coefficient panel a rank contracts plus the nb x nb overlap
+        // block it accumulates.
+        ws_bytes: 2 * nb * npw * C64B / p as u64 + nb * nb * C64B,
     });
     body.push(Phase::Allreduce {
         bytes: nb * nb * C64B,
@@ -287,6 +294,7 @@ pub fn trace(cfg: CastepConfig, ranks: u32) -> Trace {
     body.push(Phase::Compute {
         class: KernelClass::VectorOp,
         work: WorkDist::Uniform(dens),
+        ws_bytes: n3 * C64B / p as u64 + n3 * 8 / p as u64,
     });
     body.push(Phase::Allreduce {
         bytes: n3 * 8 / p as u64,
@@ -380,7 +388,7 @@ mod tests {
         let mut fft = 0u64;
         let mut rest = 0u64;
         for ph in &t.body {
-            if let Phase::Compute { class, work } = ph {
+            if let Phase::Compute { class, work, .. } = ph {
                 if *class == KernelClass::Fft {
                     fft += work.total(48).flops;
                 } else {

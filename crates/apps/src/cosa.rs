@@ -288,6 +288,15 @@ pub fn trace(cfg: CosaConfig, ranks: u32) -> Trace {
         Phase::Compute {
             class: KernelClass::CfdFlux,
             work: WorkDist::PerRank(works),
+            // A busy rank's hot set: its share of blocks, each holding the
+            // harmonic-balance state, residual, and flux arrays (3 arrays
+            // of cells x instances x 4 conserved vars).
+            ws_bytes: (cfg.blocks as u64).div_ceil(u64::from(ranks))
+                * cells_per_block
+                * nh
+                * 4
+                * 3
+                * F64B,
         },
         // Residual log (one global reduction per iteration).
         Phase::Allreduce { bytes: 8 },

@@ -188,6 +188,15 @@ fn level_dims(cfg: HpcgConfig, level: usize) -> (usize, usize, usize) {
     )
 }
 
+/// Per-rank working set of one MG level's sparse kernels (SpMV/SymGS): the
+/// level matrix (values, column indices, row pointers) plus the vector set
+/// the sweep revisits. This is what decides whether the coarse levels run
+/// from cache under the ECM pricing backend.
+pub fn level_ws_bytes(dims: (usize, usize, usize)) -> u64 {
+    let n = (dims.0 * dims.1 * dims.2) as u64;
+    stencil27_nnz(dims.0, dims.1, dims.2) * (F64B + IDXB) + (n + 1) * 8 + 4 * n * F64B
+}
+
 /// Halo pairs for one MG level: face exchange of one ghost layer over the
 /// rank partition (each face cell carries one f64).
 fn level_halo(part: &Partition3d, cfg: HpcgConfig, level: usize) -> Vec<(u32, u32, u64)> {
@@ -245,23 +254,27 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
             body.push(Phase::Compute {
                 class: KernelClass::SymGS,
                 work: WorkDist::Uniform(symgs_work_analytic(d) * 2),
+                ws_bytes: level_ws_bytes(d),
             });
             body.push(Phase::Halo { pairs: halo });
             body.push(Phase::Compute {
                 class: KernelClass::SpMV,
                 work: WorkDist::Uniform(spmv_work_analytic(d)),
+                ws_bytes: level_ws_bytes(d),
             });
             // Restrict + prolong vector traffic.
             let nc = ((d.0 / 2) * (d.1 / 2) * (d.2 / 2)) as u64;
             body.push(Phase::Compute {
                 class: KernelClass::VectorOp,
                 work: WorkDist::Uniform(Work::new(nc, 3 * nc * F64B, 2 * nc * F64B)),
+                ws_bytes: 5 * nc * F64B,
             });
         } else {
             body.push(Phase::Halo { pairs: halo });
             body.push(Phase::Compute {
                 class: KernelClass::SymGS,
                 work: WorkDist::Uniform(symgs_work_analytic(d)),
+                ws_bytes: level_ws_bytes(d),
             });
         }
     }
@@ -271,12 +284,14 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
     body.push(Phase::Compute {
         class: KernelClass::Dot,
         work: WorkDist::Uniform(Work::new(2 * n_local, 2 * vec_bytes, 0)),
+        ws_bytes: 2 * vec_bytes,
     });
     body.push(Phase::Allreduce { bytes: 8 });
     // p update (waxpby)
     body.push(Phase::Compute {
         class: KernelClass::VectorOp,
         work: WorkDist::Uniform(Work::new(3 * n_local, 2 * vec_bytes, vec_bytes)),
+        ws_bytes: 3 * vec_bytes,
     });
     // SpMV(A, p) with halo
     body.push(Phase::Halo {
@@ -285,21 +300,25 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
     body.push(Phase::Compute {
         class: KernelClass::SpMV,
         work: WorkDist::Uniform(spmv_work_analytic(cfg.local)),
+        ws_bytes: level_ws_bytes(cfg.local),
     });
     // dot(p, Ap) -> allreduce
     body.push(Phase::Compute {
         class: KernelClass::Dot,
         work: WorkDist::Uniform(Work::new(2 * n_local, 2 * vec_bytes, 0)),
+        ws_bytes: 2 * vec_bytes,
     });
     body.push(Phase::Allreduce { bytes: 8 });
     // x, r updates (2 waxpby) + residual norm (dot + allreduce)
     body.push(Phase::Compute {
         class: KernelClass::VectorOp,
         work: WorkDist::Uniform(Work::new(6 * n_local, 4 * vec_bytes, 2 * vec_bytes)),
+        ws_bytes: 6 * vec_bytes,
     });
     body.push(Phase::Compute {
         class: KernelClass::Dot,
         work: WorkDist::Uniform(Work::new(2 * n_local, vec_bytes, 0)),
+        ws_bytes: vec_bytes,
     });
     body.push(Phase::Allreduce { bytes: 8 });
 
@@ -311,10 +330,12 @@ pub fn trace(cfg: HpcgConfig, ranks: u32) -> Trace {
         Phase::Compute {
             class: KernelClass::SpMV,
             work: WorkDist::Uniform(spmv_work_analytic(cfg.local)),
+            ws_bytes: level_ws_bytes(cfg.local),
         },
         Phase::Compute {
             class: KernelClass::VectorOp,
             work: WorkDist::Uniform(Work::new(n_local, 2 * vec_bytes, vec_bytes)),
+            ws_bytes: 3 * vec_bytes,
         },
         Phase::Allreduce { bytes: 8 },
     ];
@@ -431,7 +452,7 @@ mod tests {
         let t = trace(HpcgConfig::paper(), 1);
         let mut by_class = std::collections::HashMap::new();
         for p in &t.body {
-            if let Phase::Compute { class, work } = p {
+            if let Phase::Compute { class, work, .. } = p {
                 *by_class.entry(class.name()).or_insert(0u64) += work.total(1).flops;
             }
         }

@@ -138,27 +138,34 @@ pub fn trace(cfg: MinikabConfig, ranks: u32) -> Trace {
         Phase::Compute {
             class: KernelClass::SpMV,
             work: WorkDist::Uniform(spmv),
+            // Per-rank CSR slice (values + column indices + row pointers)
+            // plus the operand/result vectors.
+            ws_bytes: nnz_per_rank * (F64B + IDXB) + (rows_max + 1) * 8 + 2 * vec_bytes,
         },
         // dot(p, Ap) + allreduce.
         Phase::Compute {
             class: KernelClass::Dot,
             work: WorkDist::Uniform(Work::new(2 * rows_max, 2 * vec_bytes, 0)),
+            ws_bytes: 2 * vec_bytes,
         },
         Phase::Allreduce { bytes: 8 },
         // x and r updates (2 axpy).
         Phase::Compute {
             class: KernelClass::VectorOp,
             work: WorkDist::Uniform(Work::new(4 * rows_max, 4 * vec_bytes, 2 * vec_bytes)),
+            ws_bytes: 4 * vec_bytes,
         },
         // dot(r, r) + allreduce + p update.
         Phase::Compute {
             class: KernelClass::Dot,
             work: WorkDist::Uniform(Work::new(2 * rows_max, vec_bytes, 0)),
+            ws_bytes: vec_bytes,
         },
         Phase::Allreduce { bytes: 8 },
         Phase::Compute {
             class: KernelClass::VectorOp,
             work: WorkDist::Uniform(Work::new(2 * rows_max, 2 * vec_bytes, vec_bytes)),
+            ws_bytes: 2 * vec_bytes,
         },
     ];
 

@@ -202,11 +202,16 @@ pub fn trace(cfg: NekboneConfig, ranks: u32) -> Trace {
         Phase::Compute {
             class: KernelClass::SmallGemm,
             work: WorkDist::Uniform(ax),
+            // The contraction's hot set is element-local: two n^3 fields
+            // plus the n^2 GLL derivative matrix — the cache residency
+            // that makes Nekbone compute-bound.
+            ws_bytes: (2 * (n * n * n) as u64 + (n * n) as u64) * F64B,
         },
         // Nekbone's glsc3 reductions: 2 dot products + residual norm.
         Phase::Compute {
             class: KernelClass::Dot,
             work: WorkDist::Uniform(Work::new(6 * pts, 4 * vec_bytes, 0)),
+            ws_bytes: 4 * vec_bytes,
         },
         Phase::Allreduce { bytes: 8 },
         Phase::Allreduce { bytes: 8 },
@@ -215,6 +220,7 @@ pub fn trace(cfg: NekboneConfig, ranks: u32) -> Trace {
         Phase::Compute {
             class: KernelClass::VectorOp,
             work: WorkDist::Uniform(Work::new(8 * pts, 6 * vec_bytes, 3 * vec_bytes)),
+            ws_bytes: 6 * vec_bytes,
         },
     ];
 
@@ -326,6 +332,7 @@ mod tests {
             if let Phase::Compute {
                 class: KernelClass::SmallGemm,
                 work,
+                ..
             } = p
             {
                 ax += work.total(48).flops;

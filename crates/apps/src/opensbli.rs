@@ -359,6 +359,9 @@ pub fn trace(cfg: OpensbliConfig, ranks: u32) -> Trace {
         body.push(Phase::Compute {
             class: KernelClass::StencilFD,
             work: WorkDist::Uniform(per_stage),
+            // The stage's live arrays: 5 conserved fields plus ~8 OPS work
+            // arrays over the rank's cells.
+            ws_bytes: cells_max * (NFIELDS as u64 + 8) * F64B,
         });
         body.push(Phase::Overhead {
             us: STAGE_OVERHEAD_US,

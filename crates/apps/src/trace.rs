@@ -6,6 +6,7 @@
 //! phases onto a `simmpi::World`, pricing every compute phase with the
 //! per-system roofline for its [`KernelClass`].
 
+use archsim::AccessPattern;
 use densela::Work;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,22 @@ impl KernelClass {
             KernelClass::VectorOp,
             KernelClass::Dot,
         ]
+    }
+
+    /// How kernels of this class walk memory — drives the ECM backend's
+    /// hardware-prefetch effectiveness. Sparse solvers gather through
+    /// column indices, stencils and FFT butterflies stride, everything
+    /// else streams.
+    pub fn access_pattern(&self) -> AccessPattern {
+        match self {
+            KernelClass::SpMV | KernelClass::SymGS => AccessPattern::Gather,
+            KernelClass::StencilFD | KernelClass::Fft => AccessPattern::Strided,
+            KernelClass::CfdFlux
+            | KernelClass::SmallGemm
+            | KernelClass::Blas3
+            | KernelClass::VectorOp
+            | KernelClass::Dot => AccessPattern::Streaming,
+        }
     }
 
     /// Short display name.
@@ -112,6 +129,12 @@ pub enum Phase {
         class: KernelClass,
         /// Work per rank.
         work: WorkDist,
+        /// Per-rank working-set size in bytes — the data the kernel
+        /// revisits across its sweep, which decides what cache level it
+        /// runs from under the ECM pricing backend. Zero means unknown:
+        /// the ECM backend then streams everything from memory, matching
+        /// the flat roofline. The flat backend ignores this field.
+        ws_bytes: u64,
     },
     /// An `MPI_Allreduce` of `bytes` per rank.
     Allreduce {
@@ -152,7 +175,7 @@ impl Phase {
     /// which is what lets the conformance tests equate the two views.
     pub fn label(&self) -> String {
         match self {
-            Phase::Compute { class, work } => {
+            Phase::Compute { class, work, .. } => {
                 let w = work.of_rank(0);
                 format!(
                     "compute:{} ({:.1} Mflop)",
@@ -270,11 +293,13 @@ mod tests {
             prologue: vec![Phase::Compute {
                 class: KernelClass::VectorOp,
                 work: WorkDist::Uniform(Work::new(100, 0, 0)),
+                ws_bytes: 0,
             }],
             body: vec![
                 Phase::Compute {
                     class: KernelClass::SpMV,
                     work: WorkDist::Uniform(Work::new(10, 0, 0)),
+                    ws_bytes: 0,
                 },
                 Phase::Allreduce { bytes: 8 },
                 Phase::Halo {
@@ -295,6 +320,7 @@ mod tests {
         let c = Phase::Compute {
             class: KernelClass::SymGS,
             work: WorkDist::Uniform(Work::new(52_400_000, 0, 0)),
+            ws_bytes: 0,
         };
         assert_eq!(c.label(), "compute:SymGS (52.4 Mflop)");
         assert_eq!(Phase::Allreduce { bytes: 8 }.label(), "allreduce(8B)");
@@ -321,6 +347,25 @@ mod tests {
     }
 
     #[test]
+    fn access_patterns_follow_kernel_shape() {
+        assert_eq!(KernelClass::SpMV.access_pattern(), AccessPattern::Gather);
+        assert_eq!(KernelClass::SymGS.access_pattern(), AccessPattern::Gather);
+        assert_eq!(
+            KernelClass::StencilFD.access_pattern(),
+            AccessPattern::Strided
+        );
+        assert_eq!(KernelClass::Fft.access_pattern(), AccessPattern::Strided);
+        assert_eq!(
+            KernelClass::VectorOp.access_pattern(),
+            AccessPattern::Streaming
+        );
+        for class in KernelClass::all() {
+            let p = class.access_pattern().prefetch_effectiveness();
+            assert!((0.0..=1.0).contains(&p), "{class:?}");
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn per_rank_total_checks_length() {
         let p = WorkDist::PerRank(vec![Work::ZERO; 3]);
@@ -342,11 +387,15 @@ mod proptests {
         let mut has_compute = false;
         for p in &t.body {
             match p {
-                Phase::Compute { work, .. } => {
+                Phase::Compute { work, ws_bytes, .. } => {
                     has_compute = true;
                     if let WorkDist::PerRank(v) = work {
                         assert_eq!(v.len(), t.ranks as usize);
                     }
+                    assert!(
+                        *ws_bytes > 0,
+                        "app compute phases must declare a working set"
+                    );
                 }
                 Phase::Halo { pairs } => {
                     for &(a, b, bytes) in pairs {

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ecm;
 pub mod interconnect;
 pub mod memory;
 pub mod node;
@@ -34,6 +35,7 @@ pub mod systems;
 pub mod toolchain;
 pub mod vector;
 
+pub use ecm::{AccessPattern, EcmLevel, EcmModel};
 pub use interconnect::{InterconnectKind, LinkParams};
 pub use memory::{CacheLevel, MemoryDomain, MemoryKind, MemorySystem};
 pub use node::Node;

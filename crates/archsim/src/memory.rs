@@ -49,6 +49,49 @@ pub struct CacheLevel {
     pub shared_by_cores: u32,
 }
 
+impl CacheLevel {
+    /// Capacity of one cache instance in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_kib * 1024
+    }
+
+    /// Capacity available to one core in bytes: private caches give a core
+    /// the whole instance, shared caches an even slice.
+    pub fn capacity_bytes_per_core(&self) -> u64 {
+        self.capacity_bytes() / u64::from(self.shared_by_cores.max(1))
+    }
+
+    /// Sustained per-core transfer bandwidth of this level in bytes/cycle.
+    ///
+    /// Derived from the level and line size rather than stored per system:
+    /// the 256 B-line levels are the A64FX's (Snippet 1/3: L1 streams two
+    /// 512-bit SVE loads per cycle = 128 B/cy, L2 sustains ~42 B/cy per
+    /// core), while 64 B-line levels get conventional x86/Arm figures
+    /// (one-to-two cache lines per cycle at L1, roughly half that at L2,
+    /// and a ring/mesh-limited L3).
+    pub fn sustained_bytes_per_cycle_per_core(&self) -> f64 {
+        match (self.level, self.line_bytes) {
+            (1, 256) => 128.0,
+            (1, _) => 64.0,
+            (2, 256) => 42.0,
+            (2, _) => 32.0,
+            _ => 16.0,
+        }
+    }
+
+    /// Load-use latency of this level in core cycles (Snippet 1/3 for the
+    /// 256 B-line A64FX hierarchy; typical published figures elsewhere).
+    pub fn latency_cycles(&self) -> f64 {
+        match (self.level, self.line_bytes) {
+            (1, 256) => 5.0,
+            (1, _) => 4.0,
+            (2, 256) => 40.0,
+            (2, _) => 14.0,
+            _ => 40.0,
+        }
+    }
+}
+
 /// A memory locality domain: a NUMA node on x86/ThunderX2 or a CMG on the
 /// A64FX. Bandwidth is *per domain*; a node's total sustained bandwidth is
 /// the sum over its domains.
@@ -217,6 +260,21 @@ mod tests {
         assert!(one < full);
         assert!((full - 210.0).abs() < 1e-12);
         assert!((one - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_level_throughput_matches_a64fx_snippets() {
+        let m = a64fx_like();
+        let l1 = &m.caches[0];
+        let l2 = &m.caches[1];
+        // Snippet 3: L1 128 B/cy @ ~5 cy, L2 ~42 B/cy @ ~40 cy.
+        assert_eq!(l1.sustained_bytes_per_cycle_per_core(), 128.0);
+        assert_eq!(l1.latency_cycles(), 5.0);
+        assert_eq!(l2.sustained_bytes_per_cycle_per_core(), 42.0);
+        assert_eq!(l2.latency_cycles(), 40.0);
+        // Private L1: whole 64 KiB; shared L2: an even 1/12 slice per core.
+        assert_eq!(l1.capacity_bytes_per_core(), 64 * 1024);
+        assert_eq!(l2.capacity_bytes_per_core(), 8 * 1024 * 1024 / 12);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! `bench_json --des [path]` runs only this part — the fast mode CI's
 //! `des` job uses.
 //!
+//! It also prices one representative kernel of every app kernel class
+//! under both pricing backends (flat roofline vs cache-hierarchy ECM) on
+//! the A64FX, asserting the flat path bit-identical across independently
+//! built executors, and writes predicted times and roofline efficiencies
+//! to `BENCH_ecm.json` (or the path given as the fourth argument).
+//! `bench_json --ecm [path]` runs only this part — the fast mode CI's
+//! `ecm` job uses.
+//!
 //! Each timing is the best of a few repetitions of `std::time::Instant`
 //! around the kernel. The file records `available_parallelism` so readers
 //! can judge the numbers: on a single-core host the pooled kernels cannot
@@ -206,6 +214,110 @@ fn bench_des(path: &str) {
     println!("{json}");
 }
 
+/// Price one representative kernel of every class the paper's apps emit
+/// under both pricing backends on the A64FX, and write flat-vs-ECM
+/// predicted times plus achieved-vs-peak roofline efficiencies as JSON to
+/// `path`. The flat path is priced twice through independently built
+/// executors and asserted bit-identical — the byte-stability guarantee
+/// the goldens (and CI's double-run diffs) lean on. `bench_json --ecm
+/// [path]` runs only this part — the fast mode CI's ecm job uses.
+fn bench_ecm(path: &str) {
+    use a64fx_apps::trace::{Phase, Trace};
+    use a64fx_apps::{castep, cosa, hpcg, nekbone, opensbli, KernelClass};
+    use a64fx_core::costmodel::{Executor, JobLayout, PricingBackend};
+    use archsim::{paper_toolchain, system, SystemId};
+
+    eprintln!("pricing app kernels under flat and ECM backends (A64FX)...");
+    const RANKS: u32 = 4;
+    let traces: Vec<(&str, Trace)> = vec![
+        ("hpcg", hpcg::trace(hpcg::HpcgConfig::paper(), RANKS)),
+        (
+            "nekbone",
+            nekbone::trace(nekbone::NekboneConfig::paper(), RANKS),
+        ),
+        (
+            "castep",
+            castep::trace(castep::CastepConfig::paper(), RANKS),
+        ),
+        ("cosa", cosa::trace(cosa::CosaConfig::paper(), RANKS)),
+        (
+            "opensbli",
+            opensbli::trace(opensbli::OpensbliConfig::paper(), RANKS),
+        ),
+    ];
+    // First occurrence of each kernel class across the app traces, in
+    // trace order: (app, class, rank-0 work, working set).
+    let mut kernels: Vec<(&str, KernelClass, densela::Work, u64)> = Vec::new();
+    for (app, trace) in &traces {
+        for phase in trace.prologue.iter().chain(&trace.body) {
+            if let Phase::Compute {
+                class,
+                work,
+                ws_bytes,
+            } = phase
+            {
+                if kernels.iter().all(|(_, c, _, _)| c != class) {
+                    kernels.push((app, *class, work.of_rank(0), *ws_bytes));
+                }
+            }
+        }
+    }
+
+    let spec = system(SystemId::A64fx);
+    let tc = paper_toolchain(SystemId::A64fx, "hpcg").unwrap();
+    // One rank on a full CMG: the per-kernel shape the paper discusses.
+    let threads = spec.node.cores_per_domain();
+    let layout = JobLayout {
+        ranks: 1,
+        ranks_per_node: 1,
+        threads_per_rank: threads,
+    };
+    let flat = Executor::with_pricing(&spec, &tc, PricingBackend::Flat);
+    let ecm = Executor::with_pricing(&spec, &tc, PricingBackend::Ecm);
+    let peak_gflops = f64::from(threads) * spec.node.processor.peak_dp_gflops_per_core();
+
+    let mut entries = Vec::new();
+    for (app, class, work, ws) in kernels {
+        let flat_us = flat.kernel_time_us(layout, class, work, ws);
+        // Bit-identity pin: a freshly built flat executor must reproduce
+        // the price exactly — the flat path has no hidden state.
+        let again = Executor::with_pricing(&spec, &tc, PricingBackend::Flat)
+            .kernel_time_us(layout, class, work, ws);
+        assert_eq!(
+            flat_us.to_bits(),
+            again.to_bits(),
+            "flat pricing drifted for {app}/{class:?}"
+        );
+        let ecm_us = ecm.kernel_time_us(layout, class, work, ws);
+        let gflops = |us: f64| {
+            if us > 0.0 {
+                work.flops as f64 / (us * 1e3)
+            } else {
+                0.0
+            }
+        };
+        entries.push(format!(
+            "    {{\"app\": \"{app}\", \"class\": \"{class:?}\", \"pattern\": \"{pattern}\", \
+             \"flops\": {flops}, \"bytes\": {bytes}, \"ws_bytes\": {ws}, \
+             \"flat_us\": {flat_us:.6}, \"ecm_us\": {ecm_us:.6}, \"ecm_vs_flat\": {ratio:.4}, \
+             \"flat_roofline_eff\": {feff:.4}, \"ecm_roofline_eff\": {eeff:.4}}}",
+            pattern = class.access_pattern().name(),
+            flops = work.flops,
+            bytes = work.bytes(),
+            ratio = ecm_us / flat_us,
+            feff = gflops(flat_us) / peak_gflops,
+            eeff = gflops(ecm_us) / peak_gflops,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"system\": \"A64FX\",\n  \"threads_per_rank\": {threads},\n  \"peak_gflops\": {peak_gflops:.2},\n  \"kernels\": [\n{rows}\n  ]\n}}\n",
+        rows = entries.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("writing the ECM benchmark file failed");
+    eprintln!("wrote {path}");
+    println!("{json}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `--des [path]`: only the DES engine benchmark — the fast mode CI's
@@ -216,6 +328,16 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_des.json".to_string());
         bench_des(&des_path);
+        return;
+    }
+    // `--ecm [path]`: only the flat-vs-ECM kernel pricing comparison —
+    // the fast mode CI's ecm job uses.
+    if let Some(i) = args.iter().position(|a| a == "--ecm") {
+        let ecm_path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_ecm.json".to_string());
+        bench_ecm(&ecm_path);
         return;
     }
     let path = args
@@ -353,4 +475,10 @@ fn main() {
 
     bench_repro(&repro_path);
     bench_des(&des_path);
+    bench_ecm(
+        &args
+            .get(3)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_ecm.json".to_string()),
+    );
 }

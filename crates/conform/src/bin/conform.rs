@@ -1,10 +1,10 @@
 //! Conformance runner.
 //!
 //! ```text
-//! conform                 run all six suites, exit 1 on any failure
+//! conform                 run all seven suites, exit 1 on any failure
 //! conform --bless         rewrite the golden snapshots from the current run
 //! conform golden          run only the named suite(s): golden, differential,
-//!                         parity, resilience, obs, des
+//!                         parity, resilience, obs, des, ecm
 //! conform --report p.txt  also write the full report to a file (CI artifact)
 //! ```
 
@@ -25,11 +25,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "golden" | "differential" | "parity" | "resilience" | "obs" | "des" => suites.push(arg),
+            "golden" | "differential" | "parity" | "resilience" | "obs" | "des" | "ecm" => {
+                suites.push(arg)
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs|des]..."
+                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs|des|ecm]..."
                 );
                 return ExitCode::FAILURE;
             }
@@ -56,6 +58,9 @@ fn main() -> ExitCode {
     }
     if want("des") {
         results.push(conform::des_suite());
+    }
+    if want("ecm") {
+        results.push(conform::ecm_suite());
     }
 
     let mut out = String::new();

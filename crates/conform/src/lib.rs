@@ -22,18 +22,25 @@
 //!   as goldens, double runs must reproduce metrics and Chrome-trace JSON
 //!   exactly, and an installed recorder may not move a priced runtime by
 //!   a single ulp.
+//! * [`ecm`] — the cache-hierarchy ECM pricing backend must refine the
+//!   flat roofline, never contradict it: a flat-vs-ECM differential sweep
+//!   at forced 1/2/4 threads holds ECM under the flat envelope, within
+//!   tolerance of flat at memory-resident working sets and strictly
+//!   cheaper at L1-resident ones; E1 must be deterministic and invariant
+//!   under the installed pricing default (its values are golden-pinned).
 //! * [`sharded`] — the parallel sharded DES engine must be invisible:
 //!   serial and 2/4-shard runs of the backend-routed allreduce are held to
 //!   bit-identity on every differential sweep cell, and the event-driven
 //!   model is held within a small factor of the analytic model at
 //!   1024/4096 simulated nodes.
 //!
-//! The `conform` binary runs all six suites (exit 1 on any failure);
+//! The `conform` binary runs all seven suites (exit 1 on any failure);
 //! `cargo test -p conform` runs them as ordinary tests.
 
 #![warn(missing_docs)]
 
 pub mod differential;
+pub mod ecm;
 pub mod golden;
 pub mod json;
 pub mod obs;
@@ -166,6 +173,16 @@ pub fn des_suite() -> SuiteResult {
     let (table, failures) = sharded::run();
     SuiteResult {
         name: "des",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Run the ECM-pricing differential and invariance suite.
+pub fn ecm_suite() -> SuiteResult {
+    let (table, failures) = ecm::run();
+    SuiteResult {
+        name: "ecm",
         report: render(&table),
         failures,
     }

@@ -27,6 +27,13 @@
 //! Serial and sharded runs are byte-identical — the sharded engine only
 //! changes wall-clock time at scale.
 //!
+//! `--pricing flat|ecm` (anywhere on the command line) selects the
+//! kernel-pricing backend for compute phases; the `A64FX_PRICING`
+//! environment variable is the fallback (invalid values warn and are
+//! ignored), and the default is `flat` — byte-identical to every pre-ECM
+//! release. `ecm` routes the memory side of each kernel through the
+//! cache-hierarchy ECM model (`archsim::ecm`).
+//!
 //! `--no-cache` (anywhere on the command line) disables the process-wide
 //! trace cache (`a64fx_core::tracecache`); `A64FX_TRACE_CACHE=off` is the
 //! environment equivalent. Reports are byte-identical either way — the
@@ -48,7 +55,7 @@ use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads <n>] [--des-backend serial|sharded<n>] [--no-cache] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+        "usage: repro [--threads <n>] [--des-backend serial|sharded<n>] [--pricing flat|ecm] [--no-cache] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
     );
     std::process::exit(2);
 }
@@ -175,6 +182,33 @@ fn take_des_backend(args: &mut Vec<String>) -> netsim::DesBackend {
     runner::resolve_des_backend(explicit)
 }
 
+/// Strip `--pricing <value>` out of `args` (wherever it appears) and
+/// resolve the kernel-pricing backend: flag, then `A64FX_PRICING`, then
+/// the flat roofline. The resolved backend is installed process-wide so
+/// every executor built without an explicit backend picks it up; the
+/// flat default is byte-identical to every pre-ECM release.
+fn take_pricing(args: &mut Vec<String>) -> a64fx_core::costmodel::PricingBackend {
+    let mut explicit = None;
+    if let Some(i) = args.iter().position(|a| a == "--pricing") {
+        let v = match args.get(i + 1) {
+            Some(raw) => match a64fx_core::costmodel::PricingBackend::parse(raw) {
+                Ok(v) => v,
+                Err(why) => {
+                    eprintln!("--pricing: {why}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("--pricing needs 'flat' or 'ecm'");
+                std::process::exit(2);
+            }
+        };
+        explicit = Some(v);
+        args.drain(i..=i + 1);
+    }
+    runner::resolve_pricing(explicit)
+}
+
 /// Run one experiment under the hardened runner with the sink's recorder
 /// installed on the worker thread, then flush the sink's output files.
 fn run_observed(id: &str, sink: &ObsSink) -> runner::ExperimentOutcome {
@@ -197,6 +231,7 @@ fn main() {
     take_no_cache(&mut args);
     let threads = take_threads(&mut args);
     netsim::shard::set_default_backend(take_des_backend(&mut args));
+    a64fx_core::costmodel::set_default_pricing(take_pricing(&mut args));
     let sink = ObsSink::take(&mut args);
     if sink.is_some()
         && !matches!(

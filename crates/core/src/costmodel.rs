@@ -17,11 +17,74 @@
 
 use a64fx_apps::trace::{Phase, Trace, WorkDist};
 use a64fx_apps::KernelClass;
-use archsim::{SystemId, SystemSpec, Toolchain};
+use archsim::{EcmModel, SystemId, SystemSpec, Toolchain};
+use densela::Work;
 use simmpi::{Placement, PlacementPolicy, World};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::calibration::Calibration;
+
+/// Which backend prices the memory side of compute phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PricingBackend {
+    /// The flat per-kernel-class roofline (the default; reference
+    /// semantics — byte-identical to every pre-ECM release).
+    Flat,
+    /// The cache-hierarchy ECM model ([`archsim::ecm`]): per-level
+    /// transfer volumes from each phase's working-set size, per-pattern
+    /// hardware-prefetch effectiveness, calibrated memory boundary.
+    Ecm,
+}
+
+impl PricingBackend {
+    /// Parse a backend name: `"flat"` or `"ecm"`. Whitespace is trimmed;
+    /// matching is case-insensitive.
+    ///
+    /// # Errors
+    /// Returns a human-readable reason when the value is unrecognised.
+    pub fn parse(raw: &str) -> Result<PricingBackend, String> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "flat" => Ok(PricingBackend::Flat),
+            "ecm" => Ok(PricingBackend::Ecm),
+            _ => Err(format!(
+                "unrecognised pricing backend {raw:?}: expected \"flat\" or \"ecm\""
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for PricingBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PricingBackend::Flat => write!(f, "flat"),
+            PricingBackend::Ecm => write!(f, "ecm"),
+        }
+    }
+}
+
+/// Process-wide default pricing backend (0 = flat, 1 = ECM). Mirrors the
+/// DES-backend toggle: `core::runner` resolves `A64FX_PRICING` /
+/// `repro --pricing` once at startup and installs the result here;
+/// [`Executor::new`] reads it back.
+static DEFAULT_PRICING: AtomicUsize = AtomicUsize::new(0);
+
+/// Install the process-wide default [`PricingBackend`].
+pub fn set_default_pricing(backend: PricingBackend) {
+    let code = match backend {
+        PricingBackend::Flat => 0,
+        PricingBackend::Ecm => 1,
+    };
+    DEFAULT_PRICING.store(code, Ordering::Relaxed);
+}
+
+/// The process-wide default [`PricingBackend`] (flat unless installed).
+pub fn default_pricing() -> PricingBackend {
+    match DEFAULT_PRICING.load(Ordering::Relaxed) {
+        0 => PricingBackend::Flat,
+        _ => PricingBackend::Ecm,
+    }
+}
 
 /// How a job is laid out: ranks, ranks per node, threads per rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,16 +189,31 @@ pub struct Executor<'a> {
     spec: &'a SystemSpec,
     toolchain: &'a Toolchain,
     calib: Calibration,
+    pricing: PricingBackend,
+    ecm: EcmModel,
 }
 
 impl<'a> Executor<'a> {
     /// Create an executor for a system/toolchain pair with the default
-    /// calibration.
+    /// calibration and the process-wide default pricing backend.
     pub fn new(spec: &'a SystemSpec, toolchain: &'a Toolchain) -> Self {
+        Executor::with_pricing(spec, toolchain, default_pricing())
+    }
+
+    /// Create with an explicit pricing backend, independent of the
+    /// process-wide default — the constructor E1 and the differential
+    /// conform suite use so flat and ECM executors can coexist.
+    pub fn with_pricing(
+        spec: &'a SystemSpec,
+        toolchain: &'a Toolchain,
+        pricing: PricingBackend,
+    ) -> Self {
         Executor {
             spec,
             toolchain,
             calib: Calibration::default(),
+            pricing,
+            ecm: EcmModel::for_system(&spec.node.memory, spec.node.processor.clock_ghz),
         }
     }
 
@@ -149,12 +227,19 @@ impl<'a> Executor<'a> {
             spec,
             toolchain,
             calib,
+            pricing: default_pricing(),
+            ecm: EcmModel::for_system(&spec.node.memory, spec.node.processor.clock_ghz),
         }
     }
 
     /// The system this executor prices.
     pub fn system(&self) -> SystemId {
         self.spec.id
+    }
+
+    /// The pricing backend this executor was built with.
+    pub fn pricing(&self) -> PricingBackend {
+        self.pricing
     }
 
     /// Mutable access to the calibration (ablation sweeps).
@@ -248,11 +333,15 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|phase| {
                 let times = match phase {
-                    Phase::Compute { class, work } => {
+                    Phase::Compute {
+                        class,
+                        work,
+                        ws_bytes,
+                    } => {
                         let n = world.ranks();
                         let mut times = Vec::with_capacity(n as usize);
                         for r in 0..n {
-                            times.push(self.compute_time_us(world, r, *class, work));
+                            times.push(self.compute_time_us(world, r, *class, work, *ws_bytes));
                         }
                         Some(times)
                     }
@@ -336,6 +425,31 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Price one kernel under `layout` without building a full trace —
+    /// the seam the E1 sweep, the `ecm` conform suite, and
+    /// `bench_json --ecm` share.
+    ///
+    /// # Panics
+    /// Panics if the layout oversubscribes the node.
+    pub fn kernel_time_us(
+        &self,
+        layout: JobLayout,
+        class: KernelClass,
+        work: Work,
+        ws_bytes: u64,
+    ) -> f64 {
+        let placement = Placement::new(
+            layout.ranks,
+            layout.ranks_per_node,
+            layout.threads_per_rank,
+            &self.spec.node,
+            PlacementPolicy::RoundRobinDomain,
+        )
+        .expect("invalid layout");
+        let world = World::for_system(self.spec, placement);
+        self.compute_time_us(&world, 0, class, &WorkDist::Uniform(work), ws_bytes)
+    }
+
     /// Price one rank's share of a compute phase, microseconds.
     fn compute_time_us(
         &self,
@@ -343,6 +457,7 @@ impl<'a> Executor<'a> {
         rank: u32,
         class: a64fx_apps::KernelClass,
         work: &WorkDist,
+        ws_bytes: u64,
     ) -> f64 {
         let w = work.of_rank(rank as usize);
         if w.flops == 0 && w.bytes() == 0 {
@@ -369,7 +484,22 @@ impl<'a> Executor<'a> {
         let bw = bw_share * self.calib.mem_eff(sys, class);
 
         let t_flop_us = w.flops as f64 / (flop_gflops * 1e3);
-        let t_mem_us = w.bytes() as f64 / (bw * 1e3);
+        let t_mem_us = match self.pricing {
+            // Reference path: kept operation-for-operation identical so
+            // flat output stays byte-stable across releases.
+            PricingBackend::Flat => w.bytes() as f64 / (bw * 1e3),
+            // ECM path replaces only the memory term; the flop ceiling is
+            // hierarchy-independent. The memory boundary is priced at the
+            // same calibrated bandwidth the flat model uses, so ECM
+            // converges to flat from below as the working set spills.
+            PricingBackend::Ecm => self.ecm.mem_time_us(
+                w.bytes() as f64,
+                ws_bytes,
+                class.access_pattern(),
+                threads,
+                bw,
+            ),
+        };
         t_flop_us.max(t_mem_us)
     }
 }

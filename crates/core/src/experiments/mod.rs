@@ -19,10 +19,12 @@
 //! | T10 | Table X, OpenSBLI runtimes | [`opensbli::table10`] |
 //! | R1 | beyond the paper: resilience overhead vs MTBF | [`resilience::r1`] |
 //! | D1 | beyond the paper: allreduce at Fugaku scale (sharded DES) | [`des::d1`] |
+//! | E1 | beyond the paper: flat vs ECM kernel pricing across the cache hierarchy | [`ecm::e1`] |
 
 pub mod castep;
 pub mod cosa;
 pub mod des;
+pub mod ecm;
 pub mod hpcg;
 pub mod minikab;
 pub mod nekbone;
@@ -39,7 +41,7 @@ pub type ExperimentEntry = (&'static str, &'static str, fn() -> Table);
 /// `run_all`, `run_one` and `all_ids` all derive from this one table, so
 /// an experiment added here is runnable, listable and addressable
 /// everywhere at once.
-pub const REGISTRY: [ExperimentEntry; 17] = [
+pub const REGISTRY: [ExperimentEntry; 18] = [
     ("t1", "Table I, node specs", specs::table1),
     ("t2", "Table II, toolchains", specs::table2),
     ("t3", "Table III, single-node HPCG", hpcg::table3),
@@ -73,6 +75,11 @@ pub const REGISTRY: [ExperimentEntry; 17] = [
         "beyond the paper: allreduce at Fugaku scale (sharded DES)",
         des::d1,
     ),
+    (
+        "e1",
+        "beyond the paper: flat vs ECM kernel pricing across the cache hierarchy",
+        ecm::e1,
+    ),
 ];
 
 /// Run every experiment, in paper order.
@@ -89,8 +96,8 @@ pub fn run_one(id: &str) -> Option<Table> {
         .map(|(_, _, f)| f())
 }
 
-/// All experiment ids, in paper order (R1 and D1 are beyond the paper).
-pub fn all_ids() -> [&'static str; 17] {
+/// All experiment ids, in paper order (R1, D1 and E1 are beyond the paper).
+pub fn all_ids() -> [&'static str; 18] {
     REGISTRY.map(|(id, _, _)| id)
 }
 

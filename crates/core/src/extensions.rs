@@ -214,6 +214,8 @@ pub fn stream_scaling() -> Table {
                 body: vec![Phase::Compute {
                     class: KernelClass::VectorOp,
                     work: WorkDist::Uniform(triad_work),
+                    // 64 MB arrays stream from memory on every system.
+                    ws_bytes: 24 * n_elems,
                 }],
                 iterations: 10,
                 fom_flops: 0.0,

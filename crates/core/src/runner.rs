@@ -83,6 +83,39 @@ pub fn resolve_des_backend(explicit: Option<netsim::DesBackend>) -> netsim::DesB
     netsim::DesBackend::Serial
 }
 
+/// Resolve the kernel-pricing backend: an explicit request (e.g. a
+/// `--pricing` flag) wins, then the `A64FX_PRICING` environment variable
+/// (`flat` or `ecm`), then the flat roofline. As with
+/// [`resolve_des_backend`], a present-but-invalid environment variable is
+/// treated as unset with a one-line warning on stderr — a typo in a login
+/// script must never change results or refuse to run.
+pub fn resolve_pricing(
+    explicit: Option<crate::costmodel::PricingBackend>,
+) -> crate::costmodel::PricingBackend {
+    resolve_pricing_from(explicit, std::env::var("A64FX_PRICING").ok().as_deref())
+}
+
+/// [`resolve_pricing`] with the environment value passed in — the pure
+/// core, split out so tests can exercise the env path without mutating
+/// the environment of a multi-threaded test runner.
+pub fn resolve_pricing_from(
+    explicit: Option<crate::costmodel::PricingBackend>,
+    env: Option<&str>,
+) -> crate::costmodel::PricingBackend {
+    if let Some(b) = explicit {
+        return b;
+    }
+    if let Some(raw) = env {
+        match crate::costmodel::PricingBackend::parse(raw) {
+            Ok(b) => return b,
+            Err(why) => {
+                eprintln!("warning: ignoring A64FX_PRICING ({why}); using default");
+            }
+        }
+    }
+    crate::costmodel::PricingBackend::Flat
+}
+
 /// Record-volume summary of an observed experiment: how much the recorder
 /// captured, plus the DES queue high-water mark (0 when the experiment
 /// never touched the event queue).
@@ -332,6 +365,48 @@ mod tests {
         // The flag beats the environment and the serial default.
         let b = resolve_des_backend(Some(netsim::DesBackend::Sharded { shards: 4 }));
         assert_eq!(b, netsim::DesBackend::Sharded { shards: 4 });
+    }
+
+    #[test]
+    fn explicit_pricing_beats_environment() {
+        use crate::costmodel::PricingBackend;
+        // The flag beats the environment and the flat default.
+        assert_eq!(
+            resolve_pricing_from(Some(PricingBackend::Ecm), Some("flat")),
+            PricingBackend::Ecm
+        );
+        assert_eq!(
+            resolve_pricing_from(Some(PricingBackend::Flat), Some("ecm")),
+            PricingBackend::Flat
+        );
+    }
+
+    #[test]
+    fn environment_pricing_used_when_no_flag() {
+        use crate::costmodel::PricingBackend;
+        assert_eq!(
+            resolve_pricing_from(None, Some(" ECM ")),
+            PricingBackend::Ecm
+        );
+        assert_eq!(
+            resolve_pricing_from(None, Some("flat")),
+            PricingBackend::Flat
+        );
+        assert_eq!(resolve_pricing_from(None, None), PricingBackend::Flat);
+    }
+
+    #[test]
+    fn garbage_pricing_environment_falls_back_to_flat() {
+        use crate::costmodel::PricingBackend;
+        // A typo in a login script must never change results: every
+        // unrecognised value degrades to the flat reference model.
+        for bad in ["roofline", "", "ecm2", "Ecm Model", "1"] {
+            assert_eq!(
+                resolve_pricing_from(None, Some(bad)),
+                PricingBackend::Flat,
+                "{bad:?} must fall back to flat"
+            );
+        }
     }
 
     #[test]

@@ -128,6 +128,15 @@ impl Fft3Plan {
             2
         }
     }
+
+    /// Per-rank working set of one transform in bytes: the slab of
+    /// `elem_bytes`-sized points a rank owns (`n³/p`), which both the local
+    /// transform passes and the transpose pack/unpack sweep repeatedly.
+    /// This is what the ECM pricing backend uses to place CASTEP's FFT
+    /// traffic in the cache hierarchy.
+    pub fn slab_ws_bytes(&self, elem_bytes: u64) -> u64 {
+        (self.n * self.n * self.n / self.p) as u64 * elem_bytes
+    }
 }
 
 /// A 2-D pencil-decomposed distributed 3-D FFT plan: ranks form a
@@ -342,6 +351,14 @@ mod tests {
             assert!(total.flops >= fft3_work(n).flops);
             assert!(total.flops <= fft3_work(n).flops + p as u64 * fft_work(n).flops);
         }
+    }
+
+    #[test]
+    fn slab_working_set_shrinks_with_ranks() {
+        let full = Fft3Plan::new(64, 1).slab_ws_bytes(16);
+        assert_eq!(full, 64 * 64 * 64 * 16);
+        let shared = Fft3Plan::new(64, 8).slab_ws_bytes(16);
+        assert_eq!(shared, full / 8);
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn nekbone_trace_ax_equals_elements_times_kernel() {
         if let a64fx_repro::apps::trace::Phase::Compute {
             class: a64fx_repro::apps::trace::KernelClass::SmallGemm,
             work,
+            ..
         } = p
         {
             assert_eq!(
