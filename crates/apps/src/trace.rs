@@ -255,6 +255,30 @@ impl Trace {
             .sum()
     }
 
+    /// Approximate heap footprint of this trace in bytes — the cost the
+    /// bounded trace cache charges against its capacity. Counts the
+    /// variable-length payloads (per-rank work vectors, halo pair lists)
+    /// at their in-memory size plus a fixed per-phase overhead; exactness
+    /// doesn't matter, monotonicity with actual footprint does.
+    pub fn approx_bytes(&self) -> u64 {
+        const FIXED: u64 = 128; // Trace header + Vec headers + checkpoint
+        const PER_PHASE: u64 = 64; // enum discriminant + inline fields
+        let phase = |p: &Phase| -> u64 {
+            PER_PHASE
+                + match p {
+                    Phase::Compute {
+                        work: WorkDist::PerRank(v),
+                        ..
+                    } => 24 * v.len() as u64,
+                    Phase::Halo { pairs } => 24 * pairs.len() as u64,
+                    _ => 0,
+                }
+        };
+        FIXED
+            + self.prologue.iter().map(phase).sum::<u64>()
+            + self.body.iter().map(phase).sum::<u64>()
+    }
+
     /// Number of collective operations per iteration of the body.
     pub fn body_collectives(&self) -> usize {
         self.body
@@ -313,6 +337,42 @@ mod tests {
         assert_eq!(t.total_work().flops, 200 + 5 * 20);
         assert_eq!(t.body_halo_bytes(), 100);
         assert_eq!(t.body_collectives(), 1);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_payload_sizes() {
+        let small = Trace {
+            ranks: 2,
+            prologue: vec![],
+            body: vec![Phase::Barrier],
+            iterations: 1,
+            fom_flops: 0.0,
+            checkpoint: None,
+        };
+        let big = Trace {
+            ranks: 2,
+            prologue: vec![Phase::Halo {
+                pairs: vec![(0, 1, 8); 100],
+            }],
+            body: vec![
+                Phase::Compute {
+                    class: KernelClass::SpMV,
+                    work: WorkDist::PerRank(vec![Work::ZERO; 64]),
+                    ws_bytes: 0,
+                },
+                Phase::Barrier,
+            ],
+            iterations: 1,
+            fom_flops: 0.0,
+            checkpoint: None,
+        };
+        assert!(small.approx_bytes() > 0);
+        assert!(
+            big.approx_bytes() > small.approx_bytes() + 100 * 24,
+            "cost must grow with payload: {} vs {}",
+            big.approx_bytes(),
+            small.approx_bytes()
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! It then times one full repro run — every experiment through the
 //! isolated runner, trace cache on — and writes `BENCH_repro.json` (or the
 //! path given as the second argument): wall seconds, per-experiment
-//! seconds, trace-cache and collective-cache hit counters, and a DES
+//! seconds, trace-cache counters (hits, misses, inserts, LRU evictions
+//! and disk-tier loads/stores/corruptions), collective-cache counters,
+//! campaign counters (journal records, resumes, retries), and a DES
 //! drain microbench (events popped per second through a pre-sized
 //! [`netsim::des::EventQueue`]).
 //!
@@ -87,18 +89,20 @@ impl Row {
 /// Time one full repro run (all experiments through the isolated runner,
 /// trace cache on) and write the result as JSON to `path`.
 fn bench_repro(path: &str) {
-    use a64fx_core::{runner, tracecache};
+    use a64fx_core::{campaign, runner, tracecache};
     use simmpi::collcache;
 
     let threads = runner::resolve_threads(None);
     eprintln!("timing full repro suite ({threads} worker threads)...");
     let trace0 = tracecache::stats();
     let coll0 = collcache::stats();
+    let camp0 = campaign::stats();
     let t0 = Instant::now();
-    let outcomes = runner::run_all_isolated(threads, runner::DEFAULT_DEADLINE);
+    let outcomes = runner::run_all_isolated(threads, runner::resolve_deadline(None));
     let wall_s = t0.elapsed().as_secs_f64();
     let trace1 = tracecache::stats();
     let coll1 = collcache::stats();
+    let camp1 = campaign::stats();
     let failed = outcomes.iter().filter(|o| o.failed()).count();
     let per_exp: Vec<String> = outcomes
         .iter()
@@ -127,14 +131,22 @@ fn bench_repro(path: &str) {
     let des_popped = q.popped_total();
 
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"available_parallelism\": {ap},\n  \"wall_s\": {wall_s:.3},\n  \"experiments\": {nexp},\n  \"failed\": {failed},\n  \"trace_cache\": {{\"hits\": {th}, \"misses\": {tm}, \"inserts\": {ti}}},\n  \"collective_cache\": {{\"hits\": {ch}, \"misses\": {cm}}},\n  \"des_drain\": {{\"events_popped\": {des_popped}, \"wall_s\": {des_s:.6}}},\n  \"per_experiment\": [\n{per}\n  ]\n}}\n",
+        "{{\n  \"threads\": {threads},\n  \"available_parallelism\": {ap},\n  \"wall_s\": {wall_s:.3},\n  \"experiments\": {nexp},\n  \"failed\": {failed},\n  \"trace_cache\": {{\"hits\": {th}, \"misses\": {tm}, \"inserts\": {ti}, \"evictions\": {te}, \"disk_loads\": {tdl}, \"disk_stores\": {tds}, \"disk_corrupt\": {tdc}}},\n  \"collective_cache\": {{\"hits\": {ch}, \"misses\": {cm}, \"evictions\": {ce}}},\n  \"campaign\": {{\"resumed\": {cr}, \"retries\": {crt}, \"journal_records\": {cjr}}},\n  \"des_drain\": {{\"events_popped\": {des_popped}, \"wall_s\": {des_s:.6}}},\n  \"per_experiment\": [\n{per}\n  ]\n}}\n",
         ap = densela::pool::available_parallelism(),
         nexp = outcomes.len(),
         th = trace1.hits - trace0.hits,
         tm = trace1.misses - trace0.misses,
         ti = trace1.inserts - trace0.inserts,
+        te = trace1.evictions - trace0.evictions,
+        tdl = trace1.disk_loads - trace0.disk_loads,
+        tds = trace1.disk_stores - trace0.disk_stores,
+        tdc = trace1.disk_corrupt - trace0.disk_corrupt,
         ch = coll1.hits - coll0.hits,
         cm = coll1.misses - coll0.misses,
+        ce = coll1.evictions - coll0.evictions,
+        cr = camp1.resumed - camp0.resumed,
+        crt = camp1.retries - camp0.retries,
+        cjr = camp1.journal_records - camp0.journal_records,
         per = per_exp.join(",\n"),
     );
     std::fs::write(path, &json).expect("writing the repro benchmark file failed");

@@ -1,10 +1,10 @@
 //! Conformance runner.
 //!
 //! ```text
-//! conform                 run all seven suites, exit 1 on any failure
+//! conform                 run all eight suites, exit 1 on any failure
 //! conform --bless         rewrite the golden snapshots from the current run
 //! conform golden          run only the named suite(s): golden, differential,
-//!                         parity, resilience, obs, des, ecm
+//!                         parity, resilience, obs, des, ecm, campaign
 //! conform --report p.txt  also write the full report to a file (CI artifact)
 //! ```
 
@@ -25,13 +25,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "golden" | "differential" | "parity" | "resilience" | "obs" | "des" | "ecm" => {
-                suites.push(arg)
-            }
+            "golden" | "differential" | "parity" | "resilience" | "obs" | "des" | "ecm"
+            | "campaign" => suites.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs|des|ecm]..."
+                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs|des|ecm|campaign]..."
                 );
                 return ExitCode::FAILURE;
             }
@@ -61,6 +60,9 @@ fn main() -> ExitCode {
     }
     if want("ecm") {
         results.push(conform::ecm_suite());
+    }
+    if want("campaign") {
+        results.push(conform::campaign_suite());
     }
 
     let mut out = String::new();

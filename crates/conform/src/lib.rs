@@ -33,12 +33,19 @@
 //!   bit-identity on every differential sweep cell, and the event-driven
 //!   model is held within a small factor of the analytic model at
 //!   1024/4096 simulated nodes.
+//! * [`campaign`] — the crash-safe campaign layer's contracts: journal
+//!   records round-trip byte-exactly, torn/bit-rotted journals load as
+//!   the longest valid prefix, kill-and-resume reproduces an
+//!   uninterrupted run byte for byte, retry leaves no mark on output,
+//!   LRU trace-cache eviction is bit-transparent, and the fixed-seed
+//!   chaos self-test passes with byte-identical double runs.
 //!
-//! The `conform` binary runs all seven suites (exit 1 on any failure);
+//! The `conform` binary runs all eight suites (exit 1 on any failure);
 //! `cargo test -p conform` runs them as ordinary tests.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod differential;
 pub mod ecm;
 pub mod golden;
@@ -183,6 +190,16 @@ pub fn ecm_suite() -> SuiteResult {
     let (table, failures) = ecm::run();
     SuiteResult {
         name: "ecm",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Run the crash-safe campaign robustness suite.
+pub fn campaign_suite() -> SuiteResult {
+    let (table, failures) = campaign::run();
+    SuiteResult {
+        name: "campaign",
         report: render(&table),
         failures,
     }

@@ -53,3 +53,14 @@ fn observability_is_deterministic_and_pure() {
         r.report
     );
 }
+
+#[test]
+fn campaigns_are_crash_safe() {
+    let r = conform::campaign_suite();
+    assert!(
+        r.passed(),
+        "campaign robustness violations:\n{}\n\n{}",
+        r.failures.join("\n"),
+        r.report
+    );
+}

@@ -13,7 +13,25 @@
 //! repro --extensions     # power/roofline/profile extension studies
 //! repro --timeline hpcg a64fx   # one iteration, phase by phase
 //! repro --autotune 2            # layout search per system
+//! repro --chaos 42              # seeded campaign chaos self-test
 //! ```
+//!
+//! Campaign flags (for `--all`):
+//!
+//! * `--journal <path>` appends every completed experiment to a
+//!   checksummed write-ahead journal (one fsynced JSONL record each); a
+//!   `SIGKILL` at any byte leaves a valid prefix.
+//! * `--resume` replays the journal's durable records and runs only the
+//!   rest — output is byte-identical to an uninterrupted run.
+//! * `--retries <n>` re-runs failed experiments up to n extra times
+//!   (`--retry-backoff-ms <ms>` paces the attempts; results are
+//!   backoff-invariant).
+//! * `--exp-json-out <path>` writes every table's JSON as one merged
+//!   deterministic document (what CI byte-diffs across kill/resume).
+//! * `--kill-after <n>` stops the campaign after n durable journal
+//!   records and exits 9 — the crash-injection hook CI uses to prove
+//!   resume correctness (each record is fsynced before it counts, so
+//!   this is equivalent to a SIGKILL landing after the nth append).
 //!
 //! `--threads N` (anywhere on the command line) bounds the experiment
 //! runner's worker team; the `A64FX_REPRO_THREADS` environment variable is
@@ -45,17 +63,27 @@
 //! and a deterministic metrics snapshot respectively. They apply to the
 //! single-run modes `--exp`, `--exp-json` and `--timeline`; both files
 //! are byte-identical across repeated runs of the same command.
+//!
+//! `--deadline-secs <n>` (anywhere on the command line) sets the
+//! per-experiment wall-clock deadline; the `A64FX_DEADLINE_SECS`
+//! environment variable is the fallback (invalid values warn and are
+//! ignored), and the default is 600 seconds.
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use a64fx_apps::{castep, cosa, hpcg, minikab, nekbone, opensbli};
+use a64fx_core::campaign::{self, CampaignConfig, CampaignEnd, RetryPolicy};
 use a64fx_core::costmodel::JobLayout;
-use a64fx_core::{ablations, autotune, experiments, extensions, runner, timeline, tracecache};
+use a64fx_core::{
+    ablations, autotune, chaos, experiments, extensions, runner, timeline, tracecache,
+};
 use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads <n>] [--des-backend serial|sharded<n>] [--pricing flat|ecm] [--no-cache] [--trace-out <file>] [--metrics-out <file>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes>]"
+        "usage: repro [--threads <n>] [--des-backend serial|sharded<n>] [--pricing flat|ecm] [--no-cache] [--deadline-secs <n>] [--trace-out <file>] [--metrics-out <file>] [--journal <path>] [--resume] [--retries <n>] [--retry-backoff-ms <ms>] [--exp-json-out <path>] [--kill-after <n>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes> | --chaos <seed>]"
     );
     std::process::exit(2);
 }
@@ -209,19 +237,121 @@ fn take_pricing(args: &mut Vec<String>) -> a64fx_core::costmodel::PricingBackend
     runner::resolve_pricing(explicit)
 }
 
+/// Strip a bare `flag` out of `args` (wherever it appears); whether it
+/// was given.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Strip `<flag> <n>` out of `args` (wherever it appears), returning the
+/// parsed non-negative integer if the flag was given.
+fn take_u64(args: &mut Vec<String>, flag: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    let v = match args.get(i + 1).map(|raw| raw.parse::<u64>()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("{flag} needs a non-negative integer");
+            std::process::exit(2);
+        }
+    };
+    args.drain(i..=i + 1);
+    Some(v)
+}
+
+/// Strip `--deadline-secs <n>` out of `args` (wherever it appears) and
+/// resolve the per-experiment deadline: flag, then `A64FX_DEADLINE_SECS`
+/// (invalid values warn and are ignored), then the 600s default.
+fn take_deadline(args: &mut Vec<String>) -> Duration {
+    let mut explicit = None;
+    if let Some(i) = args.iter().position(|a| a == "--deadline-secs") {
+        let v = match args.get(i + 1) {
+            Some(raw) => match runner::parse_deadline_secs(raw) {
+                Ok(v) => v,
+                Err(why) => {
+                    eprintln!("--deadline-secs: {why}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("--deadline-secs needs a positive integer of seconds");
+                std::process::exit(2);
+            }
+        };
+        explicit = Some(Duration::from_secs(v));
+        args.drain(i..=i + 1);
+    }
+    runner::resolve_deadline(explicit)
+}
+
+/// Campaign flags for `--all`: journal path, resume, retry policy, the
+/// merged-JSON output path, and the crash-injection hook.
+struct CampaignFlags {
+    journal: Option<PathBuf>,
+    resume: bool,
+    retry: RetryPolicy,
+    exp_json_out: Option<PathBuf>,
+    kill_after: Option<u64>,
+}
+
+impl CampaignFlags {
+    fn take(args: &mut Vec<String>) -> Self {
+        let journal = take_out_path(args, "--journal").map(PathBuf::from);
+        let resume = take_flag(args, "--resume");
+        let retries = take_u64(args, "--retries").unwrap_or(0);
+        let backoff_ms = take_u64(args, "--retry-backoff-ms").unwrap_or(0);
+        let exp_json_out = take_out_path(args, "--exp-json-out").map(PathBuf::from);
+        let kill_after = take_u64(args, "--kill-after");
+        if resume && journal.is_none() {
+            eprintln!("--resume needs --journal <path>");
+            std::process::exit(2);
+        }
+        if kill_after == Some(0) {
+            eprintln!("--kill-after needs at least 1 record");
+            std::process::exit(2);
+        }
+        if kill_after.is_some() && journal.is_none() {
+            eprintln!("--kill-after needs --journal <path>");
+            std::process::exit(2);
+        }
+        CampaignFlags {
+            journal,
+            resume,
+            retry: RetryPolicy::with_retries(
+                u32::try_from(retries).unwrap_or(u32::MAX),
+                Duration::from_millis(backoff_ms),
+            ),
+            exp_json_out,
+            kill_after,
+        }
+    }
+
+    fn given(&self) -> bool {
+        self.journal.is_some()
+            || self.resume
+            || self.retry.max_attempts > 1
+            || self.exp_json_out.is_some()
+            || self.kill_after.is_some()
+    }
+}
+
 /// Run one experiment under the hardened runner with the sink's recorder
 /// installed on the worker thread, then flush the sink's output files.
-fn run_observed(id: &str, sink: &ObsSink) -> runner::ExperimentOutcome {
+fn run_observed(id: &str, deadline: Duration, sink: &ObsSink) -> runner::ExperimentOutcome {
     let id = id.to_ascii_lowercase();
     if !experiments::all_ids().contains(&id.as_str()) {
         eprintln!("unknown experiment '{id}'; try --list");
         std::process::exit(1);
     }
     let body_id = id.clone();
-    let outcome =
-        runner::run_isolated_observed(&id, runner::DEFAULT_DEADLINE, sink.recorder(), move || {
-            experiments::run_one(&body_id).expect("id validated above")
-        });
+    let outcome = runner::run_isolated_observed(&id, deadline, sink.recorder(), move || {
+        experiments::run_one(&body_id).expect("id validated above")
+    });
     sink.flush(&[("experiment", id)]);
     outcome
 }
@@ -230,9 +360,11 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_no_cache(&mut args);
     let threads = take_threads(&mut args);
+    let deadline = take_deadline(&mut args);
     netsim::shard::set_default_backend(take_des_backend(&mut args));
     a64fx_core::costmodel::set_default_pricing(take_pricing(&mut args));
     let sink = ObsSink::take(&mut args);
+    let cflags = CampaignFlags::take(&mut args);
     if sink.is_some()
         && !matches!(
             args.first().map(String::as_str),
@@ -242,15 +374,69 @@ fn main() {
         eprintln!("--trace-out/--metrics-out apply to --exp, --exp-json and --timeline");
         std::process::exit(2);
     }
+    if cflags.given() && !matches!(args.first().map(String::as_str), Some("--all") | None) {
+        eprintln!("--journal/--resume/--retries/--exp-json-out/--kill-after apply to --all");
+        std::process::exit(2);
+    }
     match args.first().map(String::as_str) {
         Some("--all") | None => {
-            let outcomes = runner::run_all_isolated(threads, runner::DEFAULT_DEADLINE);
-            let failed = outcomes.iter().filter(|o| o.failed()).count();
-            for o in &outcomes {
-                println!("{}", o.render());
+            let cfg = CampaignConfig {
+                workers: threads,
+                deadline,
+                retry: cflags.retry,
+                stop_after_records: cflags.kill_after,
+            };
+            let result =
+                match campaign::run_campaign(&cfg, cflags.journal.as_deref(), cflags.resume) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("campaign journal error: {e}");
+                        std::process::exit(1);
+                    }
+                };
+            for w in &result.warnings {
+                eprintln!("warning: {w}");
             }
+            if result.end == CampaignEnd::Killed {
+                // The crash-injection hook: every journal record is
+                // already fsynced, so exiting here is indistinguishable
+                // from a SIGKILL landing after the last append.
+                eprintln!(
+                    "killed after {} durable record(s) (--kill-after)",
+                    result.outcomes.len()
+                );
+                std::process::exit(9);
+            }
+            for o in &result.outcomes {
+                println!("{}", o.render);
+            }
+            if let Some(path) = &cflags.exp_json_out {
+                let merged = campaign::merged_json(&result.outcomes);
+                if let Err(e) = std::fs::write(path, merged) {
+                    eprintln!("--exp-json-out {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+            let failed = result.failed();
             if failed > 0 {
                 eprintln!("{failed} experiment(s) FAILED");
+                std::process::exit(1);
+            }
+        }
+        Some("--chaos") => {
+            let seed: u64 = match args.get(1).map(|s| s.parse()) {
+                Some(Ok(s)) => s,
+                _ => {
+                    eprintln!("--chaos needs a numeric seed");
+                    std::process::exit(2);
+                }
+            };
+            let (table, failures) = chaos::run_chaos(seed);
+            println!("{}", table.render());
+            if !failures.is_empty() {
+                for f in &failures {
+                    eprintln!("chaos FAILED: {f}");
+                }
                 std::process::exit(1);
             }
         }
@@ -263,7 +449,7 @@ fn main() {
             let id = args.get(1).unwrap_or_else(|| usage());
             match &sink {
                 Some(s) => {
-                    let o = run_observed(id, s);
+                    let o = run_observed(id, deadline, s);
                     println!("{}", o.render());
                     if o.failed() {
                         std::process::exit(1);
@@ -282,7 +468,7 @@ fn main() {
             let id = args.get(1).unwrap_or_else(|| usage());
             match &sink {
                 Some(s) => {
-                    let o = run_observed(id, s);
+                    let o = run_observed(id, deadline, s);
                     match &o.result {
                         Ok(t) => println!("{}", t.to_json(&[])),
                         Err(_) => {

@@ -26,6 +26,12 @@
 //! * [`runner`] — parallel regeneration of all experiments on a bounded
 //!   worker team (at most `available_parallelism` threads), each isolated
 //!   behind `catch_unwind` and a wall-clock deadline.
+//! * [`campaign`] — crash-safe batch supervision: a checksummed
+//!   write-ahead journal, `--resume` replay, and deterministic retry.
+//! * [`chaos`] — the seeded fault-injection self-test behind
+//!   `repro --chaos` (panics, hangs, torn journals, corrupt disk cache).
+//! * [`tracecache`] / [`tracedisk`] — the bounded in-memory LRU trace
+//!   cache and its optional checksummed on-disk tier.
 //! * [`timeline`] — per-iteration phase timelines (the profiler view).
 //! * [`report`] — plain-text table rendering and paper-comparison summaries.
 //! * [`paper`] — the paper's published numbers, transcribed for comparison.
@@ -37,6 +43,8 @@
 pub mod ablations;
 pub mod autotune;
 pub mod calibration;
+pub mod campaign;
+pub mod chaos;
 pub mod costmodel;
 pub mod experiments;
 pub mod extensions;
@@ -46,6 +54,7 @@ pub mod resilience;
 pub mod runner;
 pub mod timeline;
 pub mod tracecache;
+pub mod tracedisk;
 
 pub use calibration::Calibration;
 pub use costmodel::{ExecutionResult, Executor, JobLayout};

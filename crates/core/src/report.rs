@@ -104,8 +104,10 @@ impl Table {
     }
 }
 
-/// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON string literal. Shared with
+/// the campaign journal writer, whose records must round-trip rendered
+/// tables (including newlines) through single-line JSONL.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

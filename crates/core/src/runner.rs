@@ -16,7 +16,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::experiments;
@@ -24,8 +24,53 @@ use crate::report::Table;
 
 /// Default wall-clock budget for one experiment. Generous: the slowest
 /// artefact takes tens of seconds on one core; ten minutes only trips on a
-/// genuine hang.
+/// genuine hang. Override with `repro --deadline-secs` or
+/// `A64FX_DEADLINE_SECS` (see [`resolve_deadline`]).
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Parse a per-experiment deadline request in whole seconds. Pure (no
+/// environment access) so garbage handling is unit-testable: empty,
+/// unparseable, zero or negative input is an `Err` describing the
+/// problem.
+pub fn parse_deadline_secs(raw: &str) -> Result<u64, String> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Err("empty value".to_string());
+    }
+    match s.parse::<u64>() {
+        Ok(0) => Err("0 seconds is not a valid deadline".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("'{s}' is not a positive integer of seconds")),
+    }
+}
+
+/// Resolve the per-experiment deadline: an explicit request (e.g. a
+/// `--deadline-secs` flag) wins, then the `A64FX_DEADLINE_SECS`
+/// environment variable, then [`DEFAULT_DEADLINE`]. As with
+/// [`resolve_threads`], a present-but-invalid environment variable is
+/// treated as unset with a one-line warning on stderr — a typo in a login
+/// script must never refuse to run.
+pub fn resolve_deadline(explicit: Option<Duration>) -> Duration {
+    resolve_deadline_from(explicit, std::env::var("A64FX_DEADLINE_SECS").ok().as_deref())
+}
+
+/// [`resolve_deadline`] with the environment value passed in — the pure
+/// core, split out so tests can exercise the env path without mutating
+/// the environment of a multi-threaded test runner.
+pub fn resolve_deadline_from(explicit: Option<Duration>, env: Option<&str>) -> Duration {
+    if let Some(d) = explicit.filter(|d| !d.is_zero()) {
+        return d;
+    }
+    if let Some(raw) = env {
+        match parse_deadline_secs(raw) {
+            Ok(n) => return Duration::from_secs(n),
+            Err(why) => {
+                eprintln!("warning: ignoring A64FX_DEADLINE_SECS ({why}); using default");
+            }
+        }
+    }
+    DEFAULT_DEADLINE
+}
 
 /// Parse a thread-count request. Pure (no environment access) so garbage
 /// handling is unit-testable: empty, unparseable, zero or negative input is
@@ -150,6 +195,12 @@ pub struct ExperimentOutcome {
     /// Recording summary when the experiment ran observed
     /// ([`run_isolated_observed`]); `None` for unobserved runs.
     pub obs: Option<ObsSummary>,
+    /// Attempts consumed producing this outcome: 1 for a plain isolated
+    /// run, more when a campaign retry policy re-ran a failure
+    /// (`crate::campaign::RetryPolicy`). The render is attempt-invariant
+    /// so retried-then-successful runs stay byte-identical to clean ones;
+    /// the count is recorded here and in the campaign journal.
+    pub attempts: u32,
 }
 
 impl ExperimentOutcome {
@@ -252,6 +303,7 @@ where
         result,
         elapsed: started.elapsed(),
         obs: rec.map(|r| ObsSummary::of(&r)),
+        attempts: 1,
     }
 }
 
@@ -272,7 +324,11 @@ pub fn run_all_isolated(workers: usize, deadline: Duration) -> Vec<ExperimentOut
             let outcome = run_isolated(id, deadline, move || {
                 experiments::run_one(id).expect("known id")
             });
-            *slots[i].lock().unwrap() = Some(outcome);
+            // A worker that panicked between lock and store poisons the
+            // slot mutex; recovering the guard keeps one bad experiment
+            // from cascading into every later `.lock().unwrap()` and
+            // taking down the whole campaign summary.
+            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
         };
         let mut handles = Vec::with_capacity(workers - 1);
         for w in 1..workers {
@@ -288,7 +344,11 @@ pub fn run_all_isolated(workers: usize, deadline: Duration) -> Vec<ExperimentOut
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -407,6 +467,63 @@ mod tests {
                 "{bad:?} must fall back to flat"
             );
         }
+    }
+
+    #[test]
+    fn parse_deadline_accepts_positive_seconds() {
+        assert_eq!(parse_deadline_secs("1"), Ok(1));
+        assert_eq!(parse_deadline_secs(" 600 "), Ok(600));
+        assert_eq!(parse_deadline_secs("86400"), Ok(86_400));
+    }
+
+    #[test]
+    fn parse_deadline_rejects_garbage() {
+        for bad in ["abc", "0", "-5", "2.5", "", "  ", "10s", "99999999999999999999999"] {
+            assert!(parse_deadline_secs(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn explicit_deadline_beats_environment() {
+        assert_eq!(
+            resolve_deadline_from(Some(Duration::from_secs(5)), Some("99")),
+            Duration::from_secs(5)
+        );
+        // A zero explicit request falls through to the default chain.
+        assert_eq!(
+            resolve_deadline_from(Some(Duration::ZERO), None),
+            DEFAULT_DEADLINE
+        );
+    }
+
+    #[test]
+    fn environment_deadline_used_when_no_flag() {
+        assert_eq!(
+            resolve_deadline_from(None, Some("42")),
+            Duration::from_secs(42)
+        );
+        assert_eq!(resolve_deadline_from(None, None), DEFAULT_DEADLINE);
+    }
+
+    #[test]
+    fn garbage_deadline_environment_falls_back_to_default() {
+        // A typo in a login script must never change results: every
+        // unrecognised value degrades to the ten-minute default.
+        for bad in ["soon", "", "0", "-1", "5 minutes"] {
+            assert_eq!(
+                resolve_deadline_from(None, Some(bad)),
+                DEFAULT_DEADLINE,
+                "{bad:?} must fall back to the default"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_outcomes_record_one_attempt() {
+        let o = run_isolated("once", DEFAULT_DEADLINE, || {
+            experiments::run_one("t1").expect("known id")
+        });
+        assert_eq!(o.attempts, 1);
     }
 
     #[test]

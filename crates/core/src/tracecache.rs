@@ -24,9 +24,20 @@
 //! The cache is an escape-hatched optimisation, not a semantic layer:
 //! `A64FX_TRACE_CACHE=off` (or `0`/`false`/`no`) and `repro --no-cache`
 //! disable it, and cache-on vs cache-off runs are byte-identical.
-//! Hit/miss/insert totals are exposed through [`stats`] and — when a
-//! recorder is installed — the `trace_cache.{hits,misses,inserts}`
-//! `obs` counters.
+//!
+//! The memory tier is **capacity-bounded**: entries are charged their
+//! [`Trace::approx_bytes`] against `A64FX_TRACE_CACHE_CAP` (default
+//! [`DEFAULT_CAPACITY_BYTES`]) and evicted least-recently-used — purity
+//! makes eviction bit-transparent, so a million-distinct-workload
+//! campaign runs flat instead of growing without bound. With
+//! `A64FX_TRACE_CACHE_DIR` set, built traces are also **persisted** as
+//! checksummed files ([`crate::tracedisk`]) and reloaded across
+//! evictions and across processes, with graceful fallback-to-rebuild on
+//! any corruption or version mismatch.
+//!
+//! Totals are exposed through [`stats`] and — when a recorder is
+//! installed — the `trace_cache.{hits,misses,inserts,evictions}` and
+//! `trace_cache.disk_{loads,stores,corrupt}` `obs` counters.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -184,14 +195,82 @@ impl Fingerprint for OpensbliConfig {
 /// (app id, config fingerprint, ranks) — what a built trace depends on.
 type Key = (&'static str, u64, u32);
 
-fn table() -> &'static Mutex<HashMap<Key, Arc<Trace>>> {
-    static TABLE: OnceLock<Mutex<HashMap<Key, Arc<Trace>>>> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+/// One cached trace plus its LRU bookkeeping.
+struct Entry {
+    trace: Arc<Trace>,
+    /// Capacity charge ([`Trace::approx_bytes`] at insert time).
+    cost: u64,
+    /// Logical clock of the last fetch that touched this entry.
+    last_use: u64,
+}
+
+/// The memo table: entries, a logical use-clock, and the bytes charged.
+#[derive(Default)]
+struct Store {
+    map: HashMap<Key, Entry>,
+    tick: u64,
+    total_cost: u64,
+}
+
+impl Store {
+    /// Touch-and-get under LRU accounting.
+    fn get(&mut self, key: &Key) -> Option<Arc<Trace>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(key)?;
+        e.last_use = tick;
+        Some(Arc::clone(&e.trace))
+    }
+
+    /// Insert under the byte cap, evicting least-recently-used entries
+    /// first. A trace larger than the whole cap is returned to the
+    /// caller uncached (evicting everything for it would just thrash).
+    fn insert(&mut self, key: Key, trace: &Arc<Trace>, cap: u64) {
+        let cost = trace.approx_bytes();
+        if cost > cap {
+            return;
+        }
+        while self.total_cost + cost > cap {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            let evicted = self.map.remove(&victim).expect("victim exists");
+            self.total_cost -= evicted.cost;
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            if obs::enabled() {
+                obs::add("trace_cache.evictions", 1);
+            }
+        }
+        self.tick += 1;
+        self.total_cost += cost;
+        self.map.insert(
+            key,
+            Entry {
+                trace: Arc::clone(trace),
+                cost,
+                last_use: self.tick,
+            },
+        );
+    }
+}
+
+fn table() -> &'static Mutex<Store> {
+    static TABLE: OnceLock<Mutex<Store>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Store::default()))
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static INSERTS: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static DISK_LOADS: AtomicU64 = AtomicU64::new(0);
+static DISK_STORES: AtomicU64 = AtomicU64::new(0);
+static DISK_CORRUPT: AtomicU64 = AtomicU64::new(0);
 
 /// Runtime override state: follows `A64FX_TRACE_CACHE` until
 /// [`set_enabled`] pins it (the `repro --no-cache` path, and tests that
@@ -237,24 +316,150 @@ pub fn enabled() -> bool {
     }
 }
 
+/// Default in-memory capacity: 256 MiB. Far above anything the paper's
+/// sweeps build (traces are tens of kilobytes), so the bound is pure
+/// insurance — a million-distinct-request campaign stays flat instead of
+/// growing without limit.
+pub const DEFAULT_CAPACITY_BYTES: u64 = 256 << 20;
+
+/// Parse an `A64FX_TRACE_CACHE_CAP` value: a positive byte count. Pure,
+/// so garbage handling is unit-testable.
+pub fn parse_capacity(raw: &str) -> Result<u64, String> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Err("empty value".to_string());
+    }
+    match s.parse::<u64>() {
+        Ok(0) => Err("0 bytes is not a valid capacity".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("'{s}' is not a positive byte count")),
+    }
+}
+
+/// Pinned capacity override (bytes); 0 means "not pinned, follow the
+/// environment".
+static CAPACITY_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// Pin the in-memory capacity for this process (tests, chaos scenarios),
+/// taking precedence over `A64FX_TRACE_CACHE_CAP`. `None` drops the pin.
+pub fn set_capacity(cap: Option<u64>) {
+    CAPACITY_OVERRIDE.store(cap.unwrap_or(0).max(0), Ordering::Relaxed);
+}
+
+/// The capacity in force: the [`set_capacity`] pin, else
+/// `A64FX_TRACE_CACHE_CAP` (invalid values warn once on first use and
+/// fall back), else [`DEFAULT_CAPACITY_BYTES`].
+pub fn capacity() -> u64 {
+    let pinned = CAPACITY_OVERRIDE.load(Ordering::Relaxed);
+    if pinned > 0 {
+        return pinned;
+    }
+    static FROM_ENV: OnceLock<u64> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        match std::env::var("A64FX_TRACE_CACHE_CAP").ok().as_deref() {
+            None => DEFAULT_CAPACITY_BYTES,
+            Some(raw) => match parse_capacity(raw) {
+                Ok(n) => n,
+                Err(why) => {
+                    eprintln!(
+                        "warning: ignoring A64FX_TRACE_CACHE_CAP ({why}); using default"
+                    );
+                    DEFAULT_CAPACITY_BYTES
+                }
+            },
+        }
+    })
+}
+
+/// Pinned disk-directory override. Outer `None` = not pinned (follow
+/// `A64FX_TRACE_CACHE_DIR`); `Some(None)` = pinned off.
+#[allow(clippy::type_complexity)]
+fn disk_override() -> &'static Mutex<Option<Option<std::path::PathBuf>>> {
+    static DIR: OnceLock<Mutex<Option<Option<std::path::PathBuf>>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+/// Pin the disk persistence directory for this process (the
+/// `repro`-level plumbing and tests), taking precedence over
+/// `A64FX_TRACE_CACHE_DIR`. `Some(None)` pins persistence off;
+/// `None` drops the pin and falls back to the environment.
+pub fn set_disk_dir(dir: Option<Option<std::path::PathBuf>>) {
+    *disk_override().lock().unwrap_or_else(PoisonError::into_inner) = dir;
+}
+
+/// The disk persistence directory in force, if any: the [`set_disk_dir`]
+/// pin, else `A64FX_TRACE_CACHE_DIR` (empty value = off).
+pub fn disk_dir() -> Option<std::path::PathBuf> {
+    if let Some(pinned) = disk_override()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+    {
+        return pinned;
+    }
+    std::env::var("A64FX_TRACE_CACHE_DIR")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+/// Serialise users of the process-global override pins ([`set_enabled`],
+/// [`set_capacity`], [`set_disk_dir`]). Tests and chaos scenarios that
+/// pin-and-restore must hold this guard so concurrent pinners do not
+/// interleave; the cache itself never takes it.
+pub fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Empty the in-memory memo table (counters are untouched). Used by
+/// tests and chaos scenarios to force the disk tier or fresh rebuilds;
+/// bit-transparency makes this safe at any time.
+pub fn clear() {
+    let mut store = table().lock().unwrap_or_else(PoisonError::into_inner);
+    store.map.clear();
+    store.total_cost = 0;
+}
+
+/// Bytes currently charged against the capacity.
+pub fn resident_bytes() -> u64 {
+    table()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .total_cost
+}
+
 /// A snapshot of the process-wide trace-cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Fetches served from the memo table.
     pub hits: u64,
-    /// Fetches that had to build the trace.
+    /// Fetches that had to build (or disk-load) the trace.
     pub misses: u64,
     /// Traces inserted (misses that ran with the cache enabled).
     pub inserts: u64,
+    /// Entries evicted under the capacity bound.
+    pub evictions: u64,
+    /// Memory misses served from the disk tier.
+    pub disk_loads: u64,
+    /// Traces persisted to the disk tier.
+    pub disk_stores: u64,
+    /// Disk files refused (corruption, truncation, version skew) and
+    /// silently rebuilt.
+    pub disk_corrupt: u64,
 }
 
-/// Current process-wide hit/miss/insert totals (monotonic; disabled
-/// fetches count as misses without inserts).
+/// Current process-wide cache totals (monotonic; disabled fetches count
+/// as misses without inserts).
 pub fn stats() -> CacheStats {
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         inserts: INSERTS.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
+        disk_loads: DISK_LOADS.load(Ordering::Relaxed),
+        disk_stores: DISK_STORES.load(Ordering::Relaxed),
+        disk_corrupt: DISK_CORRUPT.load(Ordering::Relaxed),
     }
 }
 
@@ -262,6 +467,14 @@ pub fn stats() -> CacheStats {
 /// first request and sharing the same `Arc` on every subsequent one.
 /// With the cache disabled this degenerates to `Arc::new(build())` —
 /// the exact uncached behaviour, minus sharing.
+///
+/// The bounded memory tier evicts least-recently-used entries past
+/// [`capacity`] bytes (cost = [`Trace::approx_bytes`]); an evicted key
+/// simply rebuilds on its next fetch — builders are pure, so eviction is
+/// bit-transparent. With a disk directory configured ([`disk_dir`]), a
+/// memory miss first tries the checksummed on-disk copy and falls back
+/// to rebuilding on *any* refusal (missing, corrupt, version skew), then
+/// persists what it built.
 ///
 /// The build runs under the table lock: builders are microsecond-cheap
 /// and this guarantees each key is built exactly once even when the
@@ -276,22 +489,60 @@ pub fn fetch<C: Fingerprint>(cfg: &C, ranks: u32, build: impl FnOnce() -> Trace)
         return Arc::new(build());
     }
     let key: Key = (C::APP, cfg.fingerprint(), ranks);
-    let mut map = table().lock().unwrap_or_else(PoisonError::into_inner);
-    if let Some(t) = map.get(&key) {
+    let mut store = table().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(t) = store.get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
         if obs::enabled() {
             obs::add("trace_cache.hits", 1);
         }
-        return Arc::clone(t);
+        return t;
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
-    INSERTS.fetch_add(1, Ordering::Relaxed);
     if obs::enabled() {
         obs::add("trace_cache.misses", 1);
+    }
+    let dir = disk_dir();
+    // Disk tier first: a valid on-disk copy is bit-identical to a fresh
+    // build (decode is exact and the builder is pure), so serving it is
+    // transparent. Anything refused falls through to the builder.
+    let (t, from_disk) = match &dir {
+        Some(d) => match crate::tracedisk::load(d, key.0, key.1, key.2) {
+            Ok(t) => {
+                DISK_LOADS.fetch_add(1, Ordering::Relaxed);
+                if obs::enabled() {
+                    obs::add("trace_cache.disk_loads", 1);
+                }
+                (Arc::new(t), true)
+            }
+            Err(crate::tracedisk::LoadError::Missing) => (Arc::new(build()), false),
+            Err(_) => {
+                DISK_CORRUPT.fetch_add(1, Ordering::Relaxed);
+                if obs::enabled() {
+                    obs::add("trace_cache.disk_corrupt", 1);
+                }
+                (Arc::new(build()), false)
+            }
+        },
+        None => (Arc::new(build()), false),
+    };
+    INSERTS.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
         obs::add("trace_cache.inserts", 1);
     }
-    let t = Arc::new(build());
-    map.insert(key, Arc::clone(&t));
+    store.insert(key, &t, capacity());
+    if let (Some(d), false) = (&dir, from_disk) {
+        // Best-effort persist: a full disk or unwritable directory costs
+        // the amortisation, never the run.
+        match crate::tracedisk::store(d, key.0, key.1, key.2, &t) {
+            Ok(()) => {
+                DISK_STORES.fetch_add(1, Ordering::Relaxed);
+                if obs::enabled() {
+                    obs::add("trace_cache.disk_stores", 1);
+                }
+            }
+            Err(why) => eprintln!("warning: trace cache persist failed: {why}"),
+        }
+    }
     t
 }
 
@@ -332,8 +583,7 @@ mod tests {
     /// Tests that flip the cache override must not interleave: the
     /// override is process-global state.
     fn override_guard() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+        override_lock()
     }
 
     #[test]
@@ -460,6 +710,115 @@ mod tests {
             assert!(!env_disables(Some(on)), "{on:?} must not disable");
         }
         assert!(!env_disables(None), "unset leaves the cache on");
+    }
+
+    #[test]
+    fn parse_capacity_accepts_bytes_and_rejects_garbage() {
+        assert_eq!(parse_capacity("1"), Ok(1));
+        assert_eq!(parse_capacity(" 268435456 "), Ok(256 << 20));
+        for bad in ["", "  ", "0", "-1", "64M", "lots", "1.5"] {
+            assert!(parse_capacity(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn lru_eviction_is_bit_transparent() {
+        let _g = override_guard();
+        set_enabled(true);
+        // Two distinct workloads no other test uses.
+        let cfg_a = NekboneConfig {
+            elements_per_rank: 31,
+            poly: 5,
+            iterations: 2,
+        };
+        let cfg_b = NekboneConfig {
+            elements_per_rank: 37,
+            poly: 5,
+            iterations: 2,
+        };
+        let a1 = nekbone(cfg_a, 3);
+        // Cap to just this one trace: inserting the next must evict it.
+        set_capacity(Some(a1.approx_bytes() + 16));
+        let before = stats();
+        let _b = nekbone(cfg_b, 3);
+        let a2 = nekbone(cfg_a, 3);
+        let after = stats();
+        set_capacity(None);
+        clear_override();
+        assert!(
+            after.evictions > before.evictions,
+            "a tiny cap must evict: {after:?}"
+        );
+        assert!(
+            !Arc::ptr_eq(&a1, &a2),
+            "the evicted entry must have been rebuilt"
+        );
+        assert_eq!(*a1, *a2, "evict-then-refetch must be bit-transparent");
+        assert_eq!(cfg_a.fingerprint(), cfg_a.fingerprint());
+    }
+
+    #[test]
+    fn oversized_trace_is_served_but_not_cached() {
+        let _g = override_guard();
+        set_enabled(true);
+        set_capacity(Some(1)); // nothing fits
+        let cfg = NekboneConfig {
+            elements_per_rank: 41,
+            poly: 5,
+            iterations: 2,
+        };
+        let a = nekbone(cfg, 3);
+        let b = nekbone(cfg, 3);
+        set_capacity(None);
+        clear_override();
+        assert!(!Arc::ptr_eq(&a, &b), "nothing may be cached under cap 1");
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_survives_corruption() {
+        let _g = override_guard();
+        set_enabled(true);
+        let dir = std::env::temp_dir().join(format!(
+            "a64fx-tracecache-disk-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        set_disk_dir(Some(Some(dir.clone())));
+        let cfg = NekboneConfig {
+            elements_per_rank: 43,
+            poly: 5,
+            iterations: 2,
+        };
+        let before = stats();
+        let fresh = nekbone(cfg, 3);
+        let mid = stats();
+        assert!(mid.disk_stores > before.disk_stores, "first build persists");
+        // Drop the memory tier: the next fetch must come from disk and
+        // be bit-identical to the fresh build.
+        clear();
+        let loaded = nekbone(cfg, 3);
+        let after_load = stats();
+        assert!(after_load.disk_loads > mid.disk_loads, "{after_load:?}");
+        assert_eq!(*fresh, *loaded);
+        // Corrupt the file: the next cold fetch must refuse it, count
+        // it, and rebuild the identical trace.
+        let path = crate::tracedisk::file_path(&dir, "nekbone", cfg.fingerprint(), 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid_byte = bytes.len() / 3;
+        bytes[mid_byte] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        clear();
+        let rebuilt = nekbone(cfg, 3);
+        let after_corrupt = stats();
+        set_disk_dir(None);
+        clear_override();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            after_corrupt.disk_corrupt > after_load.disk_corrupt,
+            "{after_corrupt:?}"
+        );
+        assert_eq!(*fresh, *rebuilt, "corruption must fall back to rebuild");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide collective-cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +27,10 @@ pub struct CollCacheStats {
     /// Collective calls that ran the closed-form model (and populated
     /// the memo table).
     pub misses: u64,
+    /// Entries evicted under the per-`World` capacity bound
+    /// (`World::set_coll_cache_cap`). Bit-transparent: a re-computed
+    /// entry is the identical `f64`.
+    pub evictions: u64,
 }
 
 pub(crate) fn record_hit() {
@@ -36,21 +41,27 @@ pub(crate) fn record_miss() {
     MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
-/// Current process-wide hit/miss totals.
+pub(crate) fn record_eviction() {
+    EVICTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Current process-wide hit/miss/eviction totals.
 pub fn stats() -> CollCacheStats {
     CollCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
-/// Reset both counters to zero (benchmark harnesses measuring one
+/// Reset the counters to zero (benchmark harnesses measuring one
 /// region). Racy counts from concurrently-running worlds land in
 /// whichever window observes them; the counters are diagnostics, not
 /// part of any priced result.
 pub fn reset() {
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    EVICTIONS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
