@@ -191,6 +191,22 @@ impl Phase {
             Phase::Overhead { us } => format!("runtime overhead ({us}us)"),
         }
     }
+
+    /// The phase kind as a stable machine token — the `phase` attribute on
+    /// `app.phase` spans, which the `obs::analyze` attribution keys on
+    /// (compute/overhead vs. the communication kinds) without parsing the
+    /// human label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Phase::Compute { .. } => "compute",
+            Phase::Allreduce { .. } => "allreduce",
+            Phase::Halo { .. } => "halo",
+            Phase::Alltoall { .. } => "alltoall",
+            Phase::Allgather { .. } => "allgather",
+            Phase::Barrier => "barrier",
+            Phase::Overhead { .. } => "overhead",
+        }
+    }
 }
 
 /// What a coordinated checkpoint of this application must persist, and how

@@ -33,8 +33,10 @@
 //! `ecm` job uses.
 //!
 //! Each timing is the best of a few repetitions of `std::time::Instant`
-//! around the kernel. The file records `available_parallelism` so readers
-//! can judge the numbers: on a single-core host the pooled kernels cannot
+//! around the kernel. Every file opens with a `"config"` header (git
+//! revision, DES backend, pricing backend, worker threads) so `obsctl
+//! diff` can refuse comparisons across mismatched configurations, and
+//! records `available_parallelism` so readers can judge the numbers: on a single-core host the pooled kernels cannot
 //! beat serial — what the pool still demonstrates there is the amortised
 //! spawn overhead against the spawn-per-call team. The kernel file also
 //! records the team's `serial_cutover_ops` — kernels below it run inline
@@ -131,7 +133,8 @@ fn bench_repro(path: &str) {
     let des_popped = q.popped_total();
 
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"available_parallelism\": {ap},\n  \"wall_s\": {wall_s:.3},\n  \"experiments\": {nexp},\n  \"failed\": {failed},\n  \"trace_cache\": {{\"hits\": {th}, \"misses\": {tm}, \"inserts\": {ti}, \"evictions\": {te}, \"disk_loads\": {tdl}, \"disk_stores\": {tds}, \"disk_corrupt\": {tdc}}},\n  \"collective_cache\": {{\"hits\": {ch}, \"misses\": {cm}, \"evictions\": {ce}}},\n  \"campaign\": {{\"resumed\": {cr}, \"retries\": {crt}, \"journal_records\": {cjr}}},\n  \"des_drain\": {{\"events_popped\": {des_popped}, \"wall_s\": {des_s:.6}}},\n  \"per_experiment\": [\n{per}\n  ]\n}}\n",
+        "{{\n  \"config\": {cfg},\n  \"threads\": {threads},\n  \"available_parallelism\": {ap},\n  \"wall_s\": {wall_s:.3},\n  \"experiments\": {nexp},\n  \"failed\": {failed},\n  \"trace_cache\": {{\"hits\": {th}, \"misses\": {tm}, \"inserts\": {ti}, \"evictions\": {te}, \"disk_loads\": {tdl}, \"disk_stores\": {tds}, \"disk_corrupt\": {tdc}}},\n  \"collective_cache\": {{\"hits\": {ch}, \"misses\": {cm}, \"evictions\": {ce}}},\n  \"campaign\": {{\"resumed\": {cr}, \"retries\": {crt}, \"journal_records\": {cjr}}},\n  \"des_drain\": {{\"events_popped\": {des_popped}, \"wall_s\": {des_s:.6}}},\n  \"per_experiment\": [\n{per}\n  ]\n}}\n",
+        cfg = a64fx_bench::config::header_json(threads),
         ap = densela::pool::available_parallelism(),
         nexp = outcomes.len(),
         th = trace1.hits - trace0.hits,
@@ -217,7 +220,8 @@ fn bench_des(path: &str) {
         }
     }
     let json = format!(
-        "{{\n  \"bytes\": {DES_BYTES},\n  \"available_parallelism\": {ap},\n  \"runs\": [\n{rows}\n  ]\n}}\n",
+        "{{\n  \"config\": {cfg},\n  \"bytes\": {DES_BYTES},\n  \"available_parallelism\": {ap},\n  \"runs\": [\n{rows}\n  ]\n}}\n",
+        cfg = a64fx_bench::config::header_json(a64fx_core::runner::resolve_threads(None)),
         ap = densela::pool::available_parallelism(),
         rows = entries.join(",\n"),
     );
@@ -322,7 +326,8 @@ fn bench_ecm(path: &str) {
         ));
     }
     let json = format!(
-        "{{\n  \"system\": \"A64FX\",\n  \"threads_per_rank\": {threads},\n  \"peak_gflops\": {peak_gflops:.2},\n  \"kernels\": [\n{rows}\n  ]\n}}\n",
+        "{{\n  \"config\": {cfg},\n  \"system\": \"A64FX\",\n  \"threads_per_rank\": {threads},\n  \"peak_gflops\": {peak_gflops:.2},\n  \"kernels\": [\n{rows}\n  ]\n}}\n",
+        cfg = a64fx_bench::config::header_json(a64fx_core::runner::resolve_threads(None)),
         rows = entries.join(",\n"),
     );
     std::fs::write(path, &json).expect("writing the ECM benchmark file failed");
@@ -475,7 +480,8 @@ fn main() {
 
     let kernel_lines: Vec<String> = rows.iter().map(Row::json).collect();
     let json = format!(
-        "{{\n  \"grid\": [{nx}, {ny}, {nz}],\n  \"rows\": {n},\n  \"threads\": {THREADS},\n  \"available_parallelism\": {ap},\n  \"serial_cutover_ops\": {cutover},\n  \"cg_iterations\": {CG_ITERS},\n  \"cg\":\n{cg_line},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n",
+        "{{\n  \"config\": {cfg},\n  \"grid\": [{nx}, {ny}, {nz}],\n  \"rows\": {n},\n  \"threads\": {THREADS},\n  \"available_parallelism\": {ap},\n  \"serial_cutover_ops\": {cutover},\n  \"cg_iterations\": {CG_ITERS},\n  \"cg\":\n{cg_line},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n",
+        cfg = a64fx_bench::config::header_json(THREADS),
         ap = densela::pool::available_parallelism(),
         cutover = team.serial_cutover_ops(),
         cg_line = cg.json(),

@@ -1,10 +1,10 @@
 //! Conformance runner.
 //!
 //! ```text
-//! conform                 run all eight suites, exit 1 on any failure
+//! conform                 run all nine suites, exit 1 on any failure
 //! conform --bless         rewrite the golden snapshots from the current run
 //! conform golden          run only the named suite(s): golden, differential,
-//!                         parity, resilience, obs, des, ecm, campaign
+//!                         parity, resilience, obs, des, ecm, attrib, campaign
 //! conform --report p.txt  also write the full report to a file (CI artifact)
 //! ```
 
@@ -26,11 +26,11 @@ fn main() -> ExitCode {
                 }
             },
             "golden" | "differential" | "parity" | "resilience" | "obs" | "des" | "ecm"
-            | "campaign" => suites.push(arg),
+            | "attrib" | "campaign" => suites.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs|des|ecm|campaign]..."
+                    "usage: conform [--bless] [--report <path>] [golden|differential|parity|resilience|obs|des|ecm|attrib|campaign]..."
                 );
                 return ExitCode::FAILURE;
             }
@@ -60,6 +60,9 @@ fn main() -> ExitCode {
     }
     if want("ecm") {
         results.push(conform::ecm_suite());
+    }
+    if want("attrib") {
+        results.push(conform::attrib_suite());
     }
     if want("campaign") {
         results.push(conform::campaign_suite());

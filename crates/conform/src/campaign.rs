@@ -23,9 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use a64fx_apps::nekbone::NekboneConfig;
-use a64fx_core::campaign::{
-    self, CampaignConfig, CampaignEnd, Journal, RetryPolicy,
-};
+use a64fx_core::campaign::{self, CampaignConfig, CampaignEnd, Journal, RetryPolicy};
 use a64fx_core::report::Table;
 use a64fx_core::{chaos, tracecache};
 
@@ -54,7 +52,10 @@ impl Checker {
 }
 
 fn scratch(name: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("a64fx-conform-campaign-{name}-{}", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "a64fx-conform-campaign-{name}-{}",
+        std::process::id()
+    ))
 }
 
 fn demo_table(id: &str) -> Table {
@@ -93,10 +94,14 @@ pub fn run() -> (Table, Vec<String>) {
                 j.append(id, 1, true, &t.render(), Some(&t.to_json(&[])))
                     .map_err(|e| e.to_string())?;
             }
-            let loaded = campaign::load_journal(&path, &IDS)
-                .ok_or("written journal failed to load")?;
+            let loaded =
+                campaign::load_journal(&path, &IDS).ok_or("written journal failed to load")?;
             if loaded.records.len() != IDS.len() {
-                return Err(format!("loaded {} of {} records", loaded.records.len(), IDS.len()));
+                return Err(format!(
+                    "loaded {} of {} records",
+                    loaded.records.len(),
+                    IDS.len()
+                ));
             }
             for (i, r) in loaded.records.iter().enumerate() {
                 let t = demo_table(IDS[i]);
@@ -106,7 +111,11 @@ pub fn run() -> (Table, Vec<String>) {
             }
             Ok(format!("{} records byte-exact", IDS.len()))
         };
-        chk.record("journal round-trips byte-exactly", "synthetic 4-exp campaign", write());
+        chk.record(
+            "journal round-trips byte-exactly",
+            "synthetic 4-exp campaign",
+            write(),
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -124,8 +133,8 @@ pub fn run() -> (Table, Vec<String>) {
             let mut bytes = std::fs::read(&path).map_err(|e| e.to_string())?;
             mutate(&mut bytes);
             std::fs::write(&path, &bytes).map_err(|e| e.to_string())?;
-            let loaded = campaign::load_journal(&path, &IDS)
-                .ok_or("damaged journal lost its header")?;
+            let loaded =
+                campaign::load_journal(&path, &IDS).ok_or("damaged journal lost its header")?;
             if loaded.records.len() > expect_max {
                 return Err(format!(
                     "kept {} records, damage allowed at most {expect_max}",
@@ -137,7 +146,10 @@ pub fn run() -> (Table, Vec<String>) {
                     return Err(format!("record {i} replayed damaged bytes"));
                 }
             }
-            Ok(format!("prefix of {} clean record(s)", loaded.records.len()))
+            Ok(format!(
+                "prefix of {} clean record(s)",
+                loaded.records.len()
+            ))
         };
         chk.record(
             "torn tail drops only incomplete records",
@@ -211,7 +223,11 @@ pub fn run() -> (Table, Vec<String>) {
             }
             Ok("killed at 2/4, resume byte-identical".into())
         };
-        chk.record("kill-and-resume byte-identical", "synthetic 4-exp campaign", check());
+        chk.record(
+            "kill-and-resume byte-identical",
+            "synthetic 4-exp campaign",
+            check(),
+        );
         let _ = std::fs::remove_file(&clean_path);
         let _ = std::fs::remove_file(&killed_path);
     }
@@ -249,7 +265,11 @@ pub fn run() -> (Table, Vec<String>) {
             }
             Ok("1 panic absorbed; output byte-identical".into())
         };
-        chk.record("retry leaves no mark on output", "injected panic on p2", check());
+        chk.record(
+            "retry leaves no mark on output",
+            "injected panic on p2",
+            check(),
+        );
     }
 
     // 5. A thrashing LRU trace cache is bit-transparent.
@@ -299,7 +319,11 @@ pub fn run() -> (Table, Vec<String>) {
                 after.evictions - before.evictions
             ))
         };
-        chk.record("LRU eviction is bit-transparent", "nekbone x4 under 1-trace cap", check());
+        chk.record(
+            "LRU eviction is bit-transparent",
+            "nekbone x4 under 1-trace cap",
+            check(),
+        );
     }
 
     // 6. The chaos self-test passes and double runs are byte-identical.
@@ -316,7 +340,10 @@ pub fn run() -> (Table, Vec<String>) {
             if t1.render() != t2.render() {
                 return Err("chaos output drifted between same-seed runs".into());
             }
-            Ok(format!("{} scenarios, double run byte-identical", t1.rows.len()))
+            Ok(format!(
+                "{} scenarios, double run byte-identical",
+                t1.rows.len()
+            ))
         };
         chk.record(
             "chaos self-test passes deterministically",

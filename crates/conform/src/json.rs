@@ -244,14 +244,18 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar from the source slice.
-                let s = match std::str::from_utf8(&b[*pos..]) {
+                // Batch-consume the run of ordinary bytes up to the next
+                // quote or escape. Both stoppers are ASCII, so the run
+                // always ends on a UTF-8 boundary.
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let s = match std::str::from_utf8(&b[start..*pos]) {
                     Ok(s) => s,
-                    Err(_) => return err(*pos, "invalid UTF-8 in string"),
+                    Err(_) => return err(start, "invalid UTF-8 in string"),
                 };
-                let c = s.chars().next().expect("non-empty by construction");
-                out.push(c);
-                *pos += c.len_utf8();
+                out.push_str(s);
             }
         }
     }

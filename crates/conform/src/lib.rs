@@ -33,6 +33,11 @@
 //!   bit-identity on every differential sweep cell, and the event-driven
 //!   model is held within a small factor of the analytic model at
 //!   1024/4096 simulated nodes.
+//! * [`attrib`] — the attribution layer on top of `obs`: the O1
+//!   time-breakdown table is golden-pinned and byte-stable across double
+//!   runs, the critical-path invariants (category totals sum to
+//!   end-to-end bitwise, path bounded by extent) hold on every pinned
+//!   job, and DES-engine internals never leak into app attribution.
 //! * [`campaign`] — the crash-safe campaign layer's contracts: journal
 //!   records round-trip byte-exactly, torn/bit-rotted journals load as
 //!   the longest valid prefix, kill-and-resume reproduces an
@@ -40,11 +45,12 @@
 //!   LRU trace-cache eviction is bit-transparent, and the fixed-seed
 //!   chaos self-test passes with byte-identical double runs.
 //!
-//! The `conform` binary runs all eight suites (exit 1 on any failure);
+//! The `conform` binary runs all nine suites (exit 1 on any failure);
 //! `cargo test -p conform` runs them as ordinary tests.
 
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod campaign;
 pub mod differential;
 pub mod ecm;
@@ -190,6 +196,16 @@ pub fn ecm_suite() -> SuiteResult {
     let (table, failures) = ecm::run();
     SuiteResult {
         name: "ecm",
+        report: render(&table),
+        failures,
+    }
+}
+
+/// Run the attribution (critical-path analysis) suite.
+pub fn attrib_suite() -> SuiteResult {
+    let (table, failures) = attrib::run();
+    SuiteResult {
+        name: "attrib",
         report: render(&table),
         failures,
     }

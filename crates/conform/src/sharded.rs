@@ -127,6 +127,46 @@ pub fn run() -> (Table, Vec<String>) {
             }
         }
     }
+    // 3. Metric export equality: the serial engine counts every pop into
+    //    `des.events.popped`; the sharded engine exports its RunStats
+    //    event total as `des.shard.events`. For the same run they must
+    //    agree exactly — the obs counters are attribution evidence, not
+    //    approximations.
+    for (nodes, bytes) in [(64usize, 8u64), (256, 64 * 1024)] {
+        let placement: Vec<usize> = (0..nodes).collect();
+        let net = Network::new(InterconnectKind::TofuD, nodes);
+        let srec = std::sync::Arc::new(obs::MemRecorder::new());
+        obs::with_recorder(srec.clone(), || {
+            allreduce_des_stats(&net, &placement, bytes, DesBackend::Serial)
+        });
+        let serial_popped = srec.counter("des.events.popped").unwrap_or(0);
+        for shards in SHARD_COUNTS {
+            let prec = std::sync::Arc::new(obs::MemRecorder::new());
+            obs::with_recorder(prec.clone(), || {
+                allreduce_des_stats(&net, &placement, bytes, DesBackend::Sharded { shards })
+            });
+            let sharded_events = prec.counter("des.shard.events").unwrap_or(0);
+            let ok = serial_popped == sharded_events && serial_popped > 0;
+            table.push_row(vec![
+                "event counters".to_string(),
+                format!("{nodes} nodes, {bytes} B, {shards} shards"),
+                format!("{serial_popped} popped"),
+                format!("{sharded_events} events"),
+                if ok {
+                    "equal".to_string()
+                } else {
+                    "MISMATCH".to_string()
+                },
+            ]);
+            if !ok {
+                failures.push(format!(
+                    "{nodes} nodes / {bytes} B / {shards} shards: serial des.events.popped \
+                     {serial_popped} != sharded des.shard.events {sharded_events}"
+                ));
+            }
+        }
+    }
+
     table.note(
         "Bit-identity holds by construction: per-entity event order is \
          shard-count-invariant under conservative-lookahead windows.",
@@ -142,8 +182,20 @@ mod tests {
     fn sharded_suite_passes() {
         let (table, failures) = run();
         assert!(failures.is_empty(), "{failures:?}");
-        // One bit-identity summary row plus one row per at-scale cell.
-        assert_eq!(table.rows.len(), 1 + SCALE_NODES.len() * 2);
+        // One bit-identity summary row, one row per at-scale cell, and
+        // one counter-equality row per (config, shard count).
+        assert_eq!(
+            table.rows.len(),
+            1 + SCALE_NODES.len() * 2 + 2 * SHARD_COUNTS.len()
+        );
         assert!(table.rows[0][4] == "identical", "{:?}", table.rows[0]);
+        assert!(
+            table
+                .rows
+                .iter()
+                .filter(|r| r[0] == "event counters")
+                .all(|r| r[4] == "equal"),
+            "counter rows must agree"
+        );
     }
 }

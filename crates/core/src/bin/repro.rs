@@ -57,12 +57,14 @@
 //! environment equivalent. Reports are byte-identical either way — the
 //! cache only skips rebuilding identical app traces.
 //!
-//! `--trace-out <file>` and `--metrics-out <file>` (anywhere on the
-//! command line) record the run with an [`obs::MemRecorder`] and write a
-//! Chrome Trace Event JSON (load it in `chrome://tracing` or Perfetto)
-//! and a deterministic metrics snapshot respectively. They apply to the
-//! single-run modes `--exp`, `--exp-json` and `--timeline`; both files
-//! are byte-identical across repeated runs of the same command.
+//! `--trace-out <file>`, `--metrics-out <file>` and `--attrib-out <file>`
+//! (anywhere on the command line) record the run with an
+//! [`obs::MemRecorder`] and write a Chrome Trace Event JSON (load it in
+//! `chrome://tracing` or Perfetto), a deterministic metrics snapshot
+//! (with histogram percentiles), and a critical-path attribution document
+//! (see `obs::analyze`) respectively. They apply to the single-run modes
+//! `--exp`, `--exp-json` and `--timeline`; all files are byte-identical
+//! across repeated runs of the same command.
 //!
 //! `--deadline-secs <n>` (anywhere on the command line) sets the
 //! per-experiment wall-clock deadline; the `A64FX_DEADLINE_SECS`
@@ -83,7 +85,7 @@ use archsim::{paper_toolchain, system, SystemId};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads <n>] [--des-backend serial|sharded<n>] [--pricing flat|ecm] [--no-cache] [--deadline-secs <n>] [--trace-out <file>] [--metrics-out <file>] [--journal <path>] [--resume] [--retries <n>] [--retry-backoff-ms <ms>] [--exp-json-out <path>] [--kill-after <n>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes> | --chaos <seed>]"
+        "usage: repro [--threads <n>] [--des-backend serial|sharded<n>] [--pricing flat|ecm] [--no-cache] [--deadline-secs <n>] [--trace-out <file>] [--metrics-out <file>] [--attrib-out <file>] [--journal <path>] [--resume] [--retries <n>] [--retry-backoff-ms <ms>] [--exp-json-out <path>] [--kill-after <n>] [--all | --exp <id> | --exp-json <id> | --markdown | --list | --ablations | --extensions | --timeline <app> <system> | --autotune <nodes> | --chaos <seed>]"
     );
     std::process::exit(2);
 }
@@ -100,26 +102,30 @@ fn take_out_path(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(path)
 }
 
-/// Recording sink behind `--trace-out` / `--metrics-out`: one in-memory
-/// recorder for the run, flushed to the requested files at the end.
+/// Recording sink behind `--trace-out` / `--metrics-out` /
+/// `--attrib-out`: one in-memory recorder for the run, flushed to the
+/// requested files at the end.
 struct ObsSink {
     rec: Arc<obs::MemRecorder>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    attrib_out: Option<String>,
 }
 
 impl ObsSink {
-    /// Strip both output flags from `args`; `Some` if either was given.
+    /// Strip the output flags from `args`; `Some` if any was given.
     fn take(args: &mut Vec<String>) -> Option<Self> {
         let trace_out = take_out_path(args, "--trace-out");
         let metrics_out = take_out_path(args, "--metrics-out");
-        if trace_out.is_none() && metrics_out.is_none() {
+        let attrib_out = take_out_path(args, "--attrib-out");
+        if trace_out.is_none() && metrics_out.is_none() && attrib_out.is_none() {
             return None;
         }
         Some(Self {
             rec: Arc::new(obs::MemRecorder::new()),
             trace_out,
             metrics_out,
+            attrib_out,
         })
     }
 
@@ -140,8 +146,14 @@ impl ObsSink {
             eprintln!("{}", self.rec.rollup());
         }
         if let Some(path) = &self.metrics_out {
-            if let Err(why) = std::fs::write(path, self.rec.metrics_json(meta)) {
+            if let Err(why) = std::fs::write(path, self.rec.metrics_json_ext(meta)) {
                 eprintln!("--metrics-out {path}: {why}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(path) = &self.attrib_out {
+            if let Err(why) = std::fs::write(path, self.rec.analyze().to_json(meta)) {
+                eprintln!("--attrib-out {path}: {why}");
                 std::process::exit(1);
             }
         }
@@ -371,7 +383,9 @@ fn main() {
             Some("--exp" | "--exp-json" | "--timeline")
         )
     {
-        eprintln!("--trace-out/--metrics-out apply to --exp, --exp-json and --timeline");
+        eprintln!(
+            "--trace-out/--metrics-out/--attrib-out apply to --exp, --exp-json and --timeline"
+        );
         std::process::exit(2);
     }
     if cflags.given() && !matches!(args.first().map(String::as_str), Some("--all") | None) {

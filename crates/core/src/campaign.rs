@@ -170,7 +170,11 @@ fn unseal(line: &str) -> Option<&str> {
     // Exactly what the writer emits: 16 lowercase hex digits. (Without
     // the case check, flipping bit 0x20 of a digest letter would still
     // parse to the same value and "verify".)
-    if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+    if digest.len() != 16
+        || !digest
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
         return None;
     }
     let want = u64::from_str_radix(digest, 16).ok()?;
@@ -580,7 +584,11 @@ pub fn run_campaign_with(
     let mut journal = match journal_path {
         None => None,
         Some(path) => {
-            let loaded = if resume { load_journal(path, ids) } else { None };
+            let loaded = if resume {
+                load_journal(path, ids)
+            } else {
+                None
+            };
             match loaded {
                 Some(loaded) => {
                     warnings.extend(loaded.warnings.iter().cloned());
@@ -657,13 +665,8 @@ pub fn run_campaign_with(
                     break;
                 }
                 if let Some(j) = journal.as_mut() {
-                    let json = outcome
-                        .result
-                        .as_ref()
-                        .ok()
-                        .map(|t: &Table| t.to_json(&[]));
-                    let attempts =
-                        outcome.attempts + prior_attempts.get(id).copied().unwrap_or(0);
+                    let json = outcome.result.as_ref().ok().map(|t: &Table| t.to_json(&[]));
+                    let attempts = outcome.attempts + prior_attempts.get(id).copied().unwrap_or(0);
                     let render = match &outcome.result {
                         Ok(t) => t.render(),
                         Err(_) => outcome.render(),
@@ -681,8 +684,7 @@ pub fn run_campaign_with(
                     if cfg.stop_after_records.is_some_and(|n| *appended >= n) {
                         *killed = true;
                         drop(guard);
-                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
-                            Some(outcome);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
                         break;
                     }
                 }
@@ -897,8 +899,7 @@ mod tests {
         let ids = ["a", "b", "c", "d"];
         // Uninterrupted reference.
         let clean_path = tmp("clean");
-        let clean =
-            run_campaign_with(&ids, demo_body(), &cfg, Some(&clean_path), false).unwrap();
+        let clean = run_campaign_with(&ids, demo_body(), &cfg, Some(&clean_path), false).unwrap();
         let clean_merged = merged_json(&clean.outcomes);
         // Killed after 2 durable records, then resumed.
         let killed_path = tmp("killed");
@@ -910,8 +911,7 @@ mod tests {
             run_campaign_with(&ids, demo_body(), &kill_cfg, Some(&killed_path), false).unwrap();
         assert_eq!(killed.end, CampaignEnd::Killed);
         assert!(killed.outcomes.len() < ids.len());
-        let resumed =
-            run_campaign_with(&ids, demo_body(), &cfg, Some(&killed_path), true).unwrap();
+        let resumed = run_campaign_with(&ids, demo_body(), &cfg, Some(&killed_path), true).unwrap();
         assert_eq!(resumed.end, CampaignEnd::Completed);
         assert!(resumed.outcomes.iter().any(|o| o.from_journal));
         assert_eq!(
@@ -966,9 +966,14 @@ mod tests {
             retry: RetryPolicy::with_retries(1, Duration::ZERO),
             ..CampaignConfig::new(1, Duration::from_secs(30))
         };
-        let result =
-            run_campaign_with(&["doomed", "ok"], Arc::clone(&body), &cfg, Some(&path), false)
-                .unwrap();
+        let result = run_campaign_with(
+            &["doomed", "ok"],
+            Arc::clone(&body),
+            &cfg,
+            Some(&path),
+            false,
+        )
+        .unwrap();
         assert_eq!(result.failed(), 1);
         assert_eq!(result.outcomes[0].attempts, 2);
         assert!(result.outcomes[0].render.contains("FAILED"));
@@ -998,8 +1003,7 @@ mod tests {
         assert!(load_journal(&path, &["a", "b"]).is_none());
         // ...and resuming against it rewrites a fresh campaign.
         let cfg = CampaignConfig::new(1, Duration::from_secs(30));
-        let result =
-            run_campaign_with(&["a", "b"], demo_body(), &cfg, Some(&path), true).unwrap();
+        let result = run_campaign_with(&["a", "b"], demo_body(), &cfg, Some(&path), true).unwrap();
         assert!(result.warnings.iter().any(|w| w.contains("starting fresh")));
         assert_eq!(result.outcomes.len(), 2);
         assert!(result.outcomes.iter().all(|o| !o.from_journal));

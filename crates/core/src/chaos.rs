@@ -34,9 +34,7 @@ use std::time::Duration;
 
 use faultsim::rng::SplitMix64;
 
-use crate::campaign::{
-    self, CampaignConfig, CampaignEnd, RetryPolicy,
-};
+use crate::campaign::{self, CampaignConfig, CampaignEnd, RetryPolicy};
 use crate::report::Table;
 use crate::tracecache;
 
@@ -69,10 +67,7 @@ fn demo_body() -> Arc<dyn Fn(&str) -> Table + Send + Sync> {
 }
 
 fn scratch(seed: u64, name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!(
-        "a64fx-chaos-{name}-{seed}-{}",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("a64fx-chaos-{name}-{seed}-{}", std::process::id()))
 }
 
 /// One scenario's verdict: pass/fail plus a deterministic detail string.
@@ -134,7 +129,10 @@ fn retry_panic(seed: u64) -> Verdict {
     }
     pass(
         "retry-panic",
-        format!("{panics} injected panic(s) absorbed in {} attempts", c2.attempts),
+        format!(
+            "{panics} injected panic(s) absorbed in {} attempts",
+            c2.attempts
+        ),
     )
 }
 
@@ -169,7 +167,10 @@ fn retry_hang(seed: u64) -> Verdict {
             format!("hung experiment: ok={} attempts={}", v.ok, v.attempts),
         );
     }
-    pass("retry-hang", "injected hang hit the deadline; retry recovered")
+    pass(
+        "retry-hang",
+        "injected hang hit the deadline; retry recovered",
+    )
 }
 
 /// Tear the journal at a seeded byte inside its tail, then resume.
@@ -216,7 +217,10 @@ fn journal_tear(seed: u64) -> Verdict {
     }
     pass(
         "journal-tear",
-        format!("tear kept {kept}/{} records; resume byte-identical", IDS.len()),
+        format!(
+            "tear kept {kept}/{} records; resume byte-identical",
+            IDS.len()
+        ),
     )
 }
 
@@ -254,7 +258,10 @@ fn journal_rot(seed: u64) -> Verdict {
     };
     let _ = std::fs::remove_file(&path);
     // Count complete records before the rotted byte.
-    let intact = bytes[header_len..pos].iter().filter(|&&b| b == b'\n').count();
+    let intact = bytes[header_len..pos]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count();
     if loaded.records.len() != intact {
         return fail(
             "journal-rot",
@@ -266,7 +273,10 @@ fn journal_rot(seed: u64) -> Verdict {
     }
     for (i, r) in loaded.records.iter().enumerate() {
         if r.render != demo_table(IDS[i]).render() {
-            return fail("journal-rot", format!("record {i} replayed corrupted bytes"));
+            return fail(
+                "journal-rot",
+                format!("record {i} replayed corrupted bytes"),
+            );
         }
     }
     pass(
@@ -301,13 +311,10 @@ fn disk_rot(seed: u64) -> Verdict {
         let _ = std::fs::remove_dir_all(&dir);
     };
     // Find the persisted file and rot one seeded byte past the header.
-    let Some(file) = std::fs::read_dir(&dir)
-        .ok()
-        .and_then(|rd| {
-            rd.filter_map(|e| e.ok().map(|e| e.path()))
-                .find(|p| p.extension().is_some_and(|e| e == "trace"))
-        })
-    else {
+    let Some(file) = std::fs::read_dir(&dir).ok().and_then(|rd| {
+        rd.filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "trace"))
+    }) else {
         restore();
         return fail("disk-rot", "no trace file persisted");
     };
@@ -341,7 +348,10 @@ fn disk_rot(seed: u64) -> Verdict {
     if *rebuilt != *original {
         return fail("disk-rot", "rebuilt trace differs from original");
     }
-    pass("disk-rot", "corrupt trace file refused; rebuilt bit-identically")
+    pass(
+        "disk-rot",
+        "corrupt trace file refused; rebuilt bit-identically",
+    )
 }
 
 /// Kill the campaign after a seeded number of durable records, resume,
@@ -350,11 +360,11 @@ fn kill_resume(seed: u64) -> Verdict {
     let mut rng = SplitMix64::stream(seed, S_KILL_RESUME);
     let cfg = CampaignConfig::new(1, Duration::from_secs(60));
     let clean_path = scratch(seed, "kill-clean");
-    let clean =
-        match campaign::run_campaign_with(&IDS, demo_body(), &cfg, Some(&clean_path), false) {
-            Ok(r) => r,
-            Err(e) => return fail("kill-resume", format!("campaign io error: {e}")),
-        };
+    let clean = match campaign::run_campaign_with(&IDS, demo_body(), &cfg, Some(&clean_path), false)
+    {
+        Ok(r) => r,
+        Err(e) => return fail("kill-resume", format!("campaign io error: {e}")),
+    };
     let _ = std::fs::remove_file(&clean_path);
     let clean_merged = campaign::merged_json(&clean.outcomes);
     let stop_after = 1 + rng.below(IDS.len() - 1) as u64;
@@ -363,11 +373,11 @@ fn kill_resume(seed: u64) -> Verdict {
         stop_after_records: Some(stop_after),
         ..cfg
     };
-    let killed =
-        match campaign::run_campaign_with(&IDS, demo_body(), &kill_cfg, Some(&path), false) {
-            Ok(r) => r,
-            Err(e) => return fail("kill-resume", format!("killed run io error: {e}")),
-        };
+    let killed = match campaign::run_campaign_with(&IDS, demo_body(), &kill_cfg, Some(&path), false)
+    {
+        Ok(r) => r,
+        Err(e) => return fail("kill-resume", format!("killed run io error: {e}")),
+    };
     if killed.end != CampaignEnd::Killed {
         let _ = std::fs::remove_file(&path);
         return fail("kill-resume", "kill hook did not fire");

@@ -419,7 +419,7 @@ impl<'a> Executor<'a> {
                     &pp.phase.label(),
                     before,
                     world.now_us(0) - before,
-                    &[],
+                    &[("phase", obs::AttrValue::Str(pp.phase.kind()))],
                 );
             }
         }

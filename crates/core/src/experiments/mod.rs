@@ -20,7 +20,9 @@
 //! | R1 | beyond the paper: resilience overhead vs MTBF | [`resilience::r1`] |
 //! | D1 | beyond the paper: allreduce at Fugaku scale (sharded DES) | [`des::d1`] |
 //! | E1 | beyond the paper: flat vs ECM kernel pricing across the cache hierarchy | [`ecm::e1`] |
+//! | O1 | beyond the paper: critical-path time attribution (paper-style breakdown) | [`attrib::o1`] |
 
+pub mod attrib;
 pub mod castep;
 pub mod cosa;
 pub mod des;
@@ -41,7 +43,7 @@ pub type ExperimentEntry = (&'static str, &'static str, fn() -> Table);
 /// `run_all`, `run_one` and `all_ids` all derive from this one table, so
 /// an experiment added here is runnable, listable and addressable
 /// everywhere at once.
-pub const REGISTRY: [ExperimentEntry; 18] = [
+pub const REGISTRY: [ExperimentEntry; 19] = [
     ("t1", "Table I, node specs", specs::table1),
     ("t2", "Table II, toolchains", specs::table2),
     ("t3", "Table III, single-node HPCG", hpcg::table3),
@@ -80,6 +82,11 @@ pub const REGISTRY: [ExperimentEntry; 18] = [
         "beyond the paper: flat vs ECM kernel pricing across the cache hierarchy",
         ecm::e1,
     ),
+    (
+        "o1",
+        "beyond the paper: critical-path time attribution (paper-style breakdown)",
+        attrib::o1,
+    ),
 ];
 
 /// Run every experiment, in paper order.
@@ -96,8 +103,9 @@ pub fn run_one(id: &str) -> Option<Table> {
         .map(|(_, _, f)| f())
 }
 
-/// All experiment ids, in paper order (R1, D1 and E1 are beyond the paper).
-pub fn all_ids() -> [&'static str; 18] {
+/// All experiment ids, in paper order (R1, D1, E1 and O1 are beyond the
+/// paper).
+pub fn all_ids() -> [&'static str; 19] {
     REGISTRY.map(|(id, _, _)| id)
 }
 

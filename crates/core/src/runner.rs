@@ -51,7 +51,10 @@ pub fn parse_deadline_secs(raw: &str) -> Result<u64, String> {
 /// treated as unset with a one-line warning on stderr — a typo in a login
 /// script must never refuse to run.
 pub fn resolve_deadline(explicit: Option<Duration>) -> Duration {
-    resolve_deadline_from(explicit, std::env::var("A64FX_DEADLINE_SECS").ok().as_deref())
+    resolve_deadline_from(
+        explicit,
+        std::env::var("A64FX_DEADLINE_SECS").ok().as_deref(),
+    )
 }
 
 /// [`resolve_deadline`] with the environment value passed in — the pure
@@ -478,8 +481,20 @@ mod tests {
 
     #[test]
     fn parse_deadline_rejects_garbage() {
-        for bad in ["abc", "0", "-5", "2.5", "", "  ", "10s", "99999999999999999999999"] {
-            assert!(parse_deadline_secs(bad).is_err(), "{bad:?} must be rejected");
+        for bad in [
+            "abc",
+            "0",
+            "-5",
+            "2.5",
+            "",
+            "  ",
+            "10s",
+            "99999999999999999999999",
+        ] {
+            assert!(
+                parse_deadline_secs(bad).is_err(),
+                "{bad:?} must be rejected"
+            );
         }
     }
 

@@ -343,7 +343,7 @@ static CAPACITY_OVERRIDE: AtomicU64 = AtomicU64::new(0);
 /// Pin the in-memory capacity for this process (tests, chaos scenarios),
 /// taking precedence over `A64FX_TRACE_CACHE_CAP`. `None` drops the pin.
 pub fn set_capacity(cap: Option<u64>) {
-    CAPACITY_OVERRIDE.store(cap.unwrap_or(0).max(0), Ordering::Relaxed);
+    CAPACITY_OVERRIDE.store(cap.unwrap_or(0), Ordering::Relaxed);
 }
 
 /// The capacity in force: the [`set_capacity`] pin, else
@@ -355,20 +355,18 @@ pub fn capacity() -> u64 {
         return pinned;
     }
     static FROM_ENV: OnceLock<u64> = OnceLock::new();
-    *FROM_ENV.get_or_init(|| {
-        match std::env::var("A64FX_TRACE_CACHE_CAP").ok().as_deref() {
+    *FROM_ENV.get_or_init(
+        || match std::env::var("A64FX_TRACE_CACHE_CAP").ok().as_deref() {
             None => DEFAULT_CAPACITY_BYTES,
             Some(raw) => match parse_capacity(raw) {
                 Ok(n) => n,
                 Err(why) => {
-                    eprintln!(
-                        "warning: ignoring A64FX_TRACE_CACHE_CAP ({why}); using default"
-                    );
+                    eprintln!("warning: ignoring A64FX_TRACE_CACHE_CAP ({why}); using default");
                     DEFAULT_CAPACITY_BYTES
                 }
             },
-        }
-    })
+        },
+    )
 }
 
 /// Pinned disk-directory override. Outer `None` = not pinned (follow
@@ -384,7 +382,9 @@ fn disk_override() -> &'static Mutex<Option<Option<std::path::PathBuf>>> {
 /// `A64FX_TRACE_CACHE_DIR`. `Some(None)` pins persistence off;
 /// `None` drops the pin and falls back to the environment.
 pub fn set_disk_dir(dir: Option<Option<std::path::PathBuf>>) {
-    *disk_override().lock().unwrap_or_else(PoisonError::into_inner) = dir;
+    *disk_override()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = dir;
 }
 
 /// The disk persistence directory in force, if any: the [`set_disk_dir`]
@@ -779,10 +779,8 @@ mod tests {
     fn disk_tier_round_trips_and_survives_corruption() {
         let _g = override_guard();
         set_enabled(true);
-        let dir = std::env::temp_dir().join(format!(
-            "a64fx-tracecache-disk-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("a64fx-tracecache-disk-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         set_disk_dir(Some(Some(dir.clone())));
         let cfg = NekboneConfig {

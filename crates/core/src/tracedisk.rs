@@ -360,7 +360,8 @@ pub fn store(dir: &Path, app: &str, fingerprint: u64, ranks: u32, t: &Trace) -> 
     let path = file_path(dir, app, fingerprint, ranks);
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     let bytes = encode(t);
-    let mut f = std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    let mut f =
+        std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
     f.write_all(&bytes)
         .and_then(|()| f.sync_all())
         .map_err(|e| format!("write {}: {e}", tmp.display()))?;
@@ -389,10 +390,7 @@ mod tests {
     use a64fx_apps::{hpcg, nekbone};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "a64fx-tracedisk-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("a64fx-tracedisk-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -420,10 +418,7 @@ mod tests {
         for pos in (0..clean.len()).step_by(7) {
             let mut bad = clean.clone();
             bad[pos] ^= 0x40;
-            assert!(
-                decode(&bad).is_err(),
-                "flip at byte {pos} must be rejected"
-            );
+            assert!(decode(&bad).is_err(), "flip at byte {pos} must be rejected");
         }
     }
 

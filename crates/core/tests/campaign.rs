@@ -14,7 +14,10 @@ use a64fx_core::tracecache;
 use proptest::prelude::*;
 
 fn tmp(name: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("a64fx-itest-campaign-{name}-{}", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "a64fx-itest-campaign-{name}-{}",
+        std::process::id()
+    ))
 }
 
 fn demo_table(id: &str) -> Table {
@@ -162,7 +165,10 @@ fn kill_after_each_record_count_resumes_byte_identical() {
             "merged JSON drifted after kill at {stop_after}"
         );
         let renders: Vec<&String> = resumed.outcomes.iter().map(|o| &o.render).collect();
-        assert_eq!(renders, clean_renders, "renders drifted after kill at {stop_after}");
+        assert_eq!(
+            renders, clean_renders,
+            "renders drifted after kill at {stop_after}"
+        );
     }
 }
 
@@ -172,8 +178,7 @@ fn kill_after_each_record_count_resumes_byte_identical() {
 fn multi_worker_campaign_journals_every_outcome() {
     let path = tmp("workers");
     let cfg = CampaignConfig::new(4, Duration::from_secs(30));
-    let result =
-        campaign::run_campaign_with(&IDS, demo_body(), &cfg, Some(&path), false).unwrap();
+    let result = campaign::run_campaign_with(&IDS, demo_body(), &cfg, Some(&path), false).unwrap();
     assert_eq!(result.outcomes.len(), IDS.len());
     assert_eq!(result.failed(), 0);
     let loaded = campaign::load_journal(&path, &IDS).unwrap();

@@ -577,6 +577,10 @@ impl<T: Send> ShardedEventQueue<T> {
             obs::add("des.shard.windows", stats.windows);
             obs::add("des.shard.stalls", stats.stalls);
             obs::add("des.shard.cross_msgs", stats.cross_msgs);
+            // Per-backend event totals: by construction equal to the
+            // serial engine's `des.events.popped` for the same run (the
+            // `sharded` conform suite asserts that equality).
+            obs::add("des.shard.events", stats.events);
             let end_us = self
                 .shards
                 .iter()

@@ -45,13 +45,15 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod chrome;
 mod mem;
 mod metrics;
 
+pub use analyze::{Analysis, Category, ChainNode};
 pub use chrome::rollup_text;
 pub use mem::{Instant, MemRecorder, Span, Totals};
-pub use metrics::{bucket_index, Histogram, Registry};
+pub use metrics::{bucket_index, sanitize_metric_name, Histogram, Registry};
 
 use std::cell::RefCell;
 use std::sync::Arc;

@@ -134,6 +134,24 @@ impl MemRecorder {
         self.inner.lock().unwrap().registry.snapshot_json(meta)
     }
 
+    /// The extended metrics snapshot with histogram percentiles (see
+    /// [`Registry::snapshot_json_ext`]).
+    pub fn metrics_json_ext(&self, meta: &[(&str, String)]) -> String {
+        self.inner.lock().unwrap().registry.snapshot_json_ext(meta)
+    }
+
+    /// Attribute the recorded spans (see [`crate::analyze::Analysis`]).
+    pub fn analyze(&self) -> crate::analyze::Analysis {
+        let inner = self.inner.lock().unwrap();
+        crate::analyze::Analysis::from_spans(&inner.spans)
+    }
+
+    /// Prometheus text exposition of the metrics registry (see
+    /// [`Registry::render_prometheus`]).
+    pub fn prometheus(&self) -> String {
+        self.inner.lock().unwrap().registry.render_prometheus()
+    }
+
     /// The Chrome Trace Event JSON document for this recording.
     pub fn chrome_trace_json(&self) -> String {
         let inner = self.inner.lock().unwrap();

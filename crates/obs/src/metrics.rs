@@ -75,6 +75,53 @@ impl Histogram {
             .find(|(_, &c)| c > 0)
             .map(|(i, _)| i)
     }
+
+    /// Upper bound of bucket `i`: the smallest value that lands in bucket
+    /// `i + 1`. Bucket 0 (values below 1) reports 1; the absorbing top
+    /// bucket reports `2^63` (its contents are unbounded above).
+    pub fn bucket_upper_bound(i: usize) -> f64 {
+        if i >= BUCKETS - 1 {
+            (1u128 << 63) as f64
+        } else {
+            (1u128 << i) as f64
+        }
+    }
+
+    /// Deterministic quantile estimate from the log2 buckets: the upper
+    /// bound of the bucket holding the `ceil(q * count)`-th observation
+    /// (rank clamped to `[1, count]`). Pure integer bucket arithmetic —
+    /// no interpolation — so the estimate is bit-identical on every
+    /// platform; it overstates the true quantile by at most one bucket
+    /// width (a factor of 2). Empty histograms report 0.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Median estimate (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
 }
 
 /// A registry of named counters, gauges, and histograms. `BTreeMap`
@@ -165,11 +212,29 @@ impl Registry {
         }
     }
 
+    /// Insert (or replace) a whole histogram under `name` — the seam
+    /// `obsctl prom` uses to rebuild a registry from a parsed snapshot.
+    pub fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_string(), h);
+    }
+
     /// Serialise the registry to a stable, pretty-printed JSON snapshot.
     /// Keys appear in `BTreeMap` order; histogram buckets are emitted
     /// sparsely as `{"bucket_index": count}` so snapshots stay readable.
     /// `meta` key/value pairs (already-ordered) head the document.
     pub fn snapshot_json(&self, meta: &[(&str, String)]) -> String {
+        self.snapshot_json_impl(meta, false)
+    }
+
+    /// [`Registry::snapshot_json`] with deterministic p50/p95/p99 bucket
+    /// quantile estimates added to every histogram. A separate document
+    /// on purpose: the plain snapshot format is pinned byte-for-byte by
+    /// the conform `obs` goldens, so it must not grow fields.
+    pub fn snapshot_json_ext(&self, meta: &[(&str, String)]) -> String {
+        self.snapshot_json_impl(meta, true)
+    }
+
+    fn snapshot_json_impl(&self, meta: &[(&str, String)], percentiles: bool) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         for (k, v) in meta {
@@ -207,11 +272,20 @@ impl Registry {
             }
             first = false;
             out.push_str(&format!(
-                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, ",
                 json_escape(k),
                 h.count,
                 json_f64(h.sum)
             ));
+            if percentiles {
+                out.push_str(&format!(
+                    "\"p50\": {}, \"p95\": {}, \"p99\": {}, ",
+                    json_f64(h.p50()),
+                    json_f64(h.p95()),
+                    json_f64(h.p99())
+                ));
+            }
+            out.push_str("\"buckets\": {");
             let mut bfirst = true;
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c == 0 {
@@ -229,6 +303,58 @@ impl Registry {
         out.push_str("}\n");
         out
     }
+
+    /// Render the registry in the Prometheus text exposition format,
+    /// deterministically: metric families in `BTreeMap` name order, names
+    /// sanitised to `[a-zA-Z0-9_:]` (dots become underscores), histograms
+    /// as cumulative `_bucket{le="..."}` series (log2 upper bounds, then
+    /// `+Inf`) plus `_sum` and `_count`. The future campaign server's
+    /// scrape endpoint serves exactly this string.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = sanitize_metric_name(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = sanitize_metric_name(k);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", json_f64(*v)));
+        }
+        for (k, h) in &self.histograms {
+            let name = sanitize_metric_name(k);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            let top = h.max_bucket().unwrap_or(0);
+            for (i, &c) in h.buckets.iter().enumerate().take(top + 1) {
+                cum += c;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    json_f64(Histogram::bucket_upper_bound(i))
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", json_f64(h.sum)));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Map a metric name onto the Prometheus charset: `[a-zA-Z0-9_:]`, with a
+/// leading underscore prepended if the name would start with a digit.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -292,6 +418,101 @@ mod tests {
         assert!(s.contains("\"gauges\": {}"));
         assert!(s.contains("\"histograms\": {}"));
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        for v in [1.0, 3.0, 3.5, 9.0] {
+            h.observe(v);
+        }
+        // Ranks: p50 -> 2nd of 4 (bucket 2, values 2..4) -> upper bound 4;
+        // p95/p99 -> 4th (bucket 4, values 8..16) -> upper bound 16.
+        assert_eq!(h.p50(), 4.0);
+        assert_eq!(h.p95(), 16.0);
+        assert_eq!(h.p99(), 16.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p95(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_handle_edge_buckets() {
+        // Everything below 1 lands in bucket 0; its upper bound is 1.
+        let mut low = Histogram::default();
+        low.observe(0.0);
+        low.observe(0.3);
+        assert_eq!(low.p50(), 1.0);
+        assert_eq!(low.p99(), 1.0);
+        // The absorbing top bucket reports 2^63.
+        let mut high = Histogram::default();
+        high.observe(1e300);
+        assert_eq!(high.p50(), (1u128 << 63) as f64);
+        // Out-of-range q clamps: q <= 0 is the first observation,
+        // q >= 1 the last.
+        let mut h = Histogram::default();
+        h.observe(1.0);
+        h.observe(1024.0);
+        assert_eq!(h.percentile(-1.0), 2.0);
+        assert_eq!(h.percentile(2.0), 2048.0);
+    }
+
+    #[test]
+    fn ext_snapshot_adds_percentiles_plain_stays_fixed() {
+        let mut r = Registry::new();
+        r.observe("h", 5.0);
+        let plain = r.snapshot_json(&[]);
+        let ext = r.snapshot_json_ext(&[]);
+        assert!(!plain.contains("p50"), "plain snapshot format is pinned");
+        assert!(ext.contains("\"p50\": 8, \"p95\": 8, \"p99\": 8"), "{ext}");
+        // Identical apart from the percentile fields.
+        assert_eq!(
+            ext.replace("\"p50\": 8, \"p95\": 8, \"p99\": 8, ", ""),
+            plain
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_sane() {
+        let mut r = Registry::new();
+        r.add("mpi.allreduce.calls", 3);
+        r.gauge_max("des.queue.peak_depth", 7.0);
+        r.observe("mpi.sync_wait_us", 1.5);
+        r.observe("mpi.sync_wait_us", 6.0);
+        let p1 = r.render_prometheus();
+        let p2 = r.render_prometheus();
+        assert_eq!(p1, p2);
+        assert!(p1.contains("# TYPE mpi_allreduce_calls counter\nmpi_allreduce_calls 3\n"));
+        assert!(p1.contains("# TYPE des_queue_peak_depth gauge\ndes_queue_peak_depth 7\n"));
+        // Cumulative buckets: 1.5 -> bucket 1 (le 2), 6.0 -> bucket 3 (le 8).
+        assert!(p1.contains("mpi_sync_wait_us_bucket{le=\"2\"} 1\n"), "{p1}");
+        assert!(p1.contains("mpi_sync_wait_us_bucket{le=\"8\"} 2\n"), "{p1}");
+        assert!(p1.contains("mpi_sync_wait_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(p1.contains("mpi_sync_wait_us_sum 7.5\n"));
+        assert!(p1.contains("mpi_sync_wait_us_count 2\n"));
+    }
+
+    #[test]
+    fn metric_names_sanitise_to_prometheus_charset() {
+        assert_eq!(sanitize_metric_name("mpi.sync_wait_us"), "mpi_sync_wait_us");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn insert_histogram_round_trips() {
+        let mut h = Histogram::default();
+        h.observe(3.0);
+        let mut r = Registry::new();
+        r.insert_histogram("h", h.clone());
+        assert_eq!(r.histogram("h").unwrap().count, 1);
+        assert_eq!(r.histogram("h").unwrap().buckets, h.buckets);
     }
 
     #[test]

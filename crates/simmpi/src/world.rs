@@ -374,15 +374,32 @@ impl World {
 
     /// Record one collective into the ambient recorder: an `mpi.<op>` span
     /// over the synchronised interval plus call/byte counters, split per
-    /// selected algorithm when the op is size-switched.
-    fn record_collective(&self, op: &str, bytes: Option<u64>, start_us: f64, dur_us: f64) {
+    /// selected algorithm when the op is size-switched. `pre0_us` is rank
+    /// 0's clock before the rendezvous; the span carries the implied wait
+    /// (`wait0_us`) so attribution can split phase time into network wait
+    /// vs. the operation proper.
+    fn record_collective(
+        &self,
+        op: &str,
+        bytes: Option<u64>,
+        pre0_us: f64,
+        start_us: f64,
+        dur_us: f64,
+    ) {
         if !obs::enabled() {
             return;
         }
         let name = format!("mpi.{op}");
         obs::add(&format!("{name}.calls"), 1);
-        let mut attrs: Vec<(&str, obs::AttrValue)> =
-            vec![("ranks", obs::AttrValue::U64(u64::from(self.alive_ranks())))];
+        let wait0 = if self.alive.first().copied().unwrap_or(false) {
+            start_us - pre0_us
+        } else {
+            0.0
+        };
+        let mut attrs: Vec<(&str, obs::AttrValue)> = vec![
+            ("ranks", obs::AttrValue::U64(u64::from(self.alive_ranks()))),
+            ("wait0_us", obs::AttrValue::F64(wait0)),
+        ];
         if let Some(b) = bytes {
             obs::add(&format!("{name}.bytes"), b);
             attrs.push(("bytes", obs::AttrValue::U64(b)));
@@ -448,43 +465,48 @@ impl World {
 
     /// `MPI_Allreduce` of `bytes` per rank across all ranks.
     pub fn allreduce(&mut self, bytes: u64) {
+        let pre0 = self.clock_us[0];
         let start = self.synchronise();
         let t = self.collective_time(OP_ALLREDUCE, bytes, collectives::allreduce_time_us);
-        self.record_collective("allreduce", Some(bytes), start, t);
+        self.record_collective("allreduce", Some(bytes), pre0, start, t);
         self.set_all(start + t);
     }
 
     /// `MPI_Bcast` of `bytes` from rank 0.
     pub fn bcast(&mut self, bytes: u64) {
+        let pre0 = self.clock_us[0];
         let start = self.synchronise();
         let t = self.collective_time(OP_BCAST, bytes, collectives::bcast_time_us);
-        self.record_collective("bcast", Some(bytes), start, t);
+        self.record_collective("bcast", Some(bytes), pre0, start, t);
         self.set_all(start + t);
     }
 
     /// `MPI_Barrier`.
     pub fn barrier(&mut self) {
+        let pre0 = self.clock_us[0];
         let start = self.synchronise();
         let t = self.collective_time(OP_BARRIER, 0, |net, map, _| {
             collectives::barrier_time_us(net, map)
         });
-        self.record_collective("barrier", None, start, t);
+        self.record_collective("barrier", None, pre0, start, t);
         self.set_all(start + t);
     }
 
     /// `MPI_Allgather`, `bytes` contributed per rank.
     pub fn allgather(&mut self, bytes: u64) {
+        let pre0 = self.clock_us[0];
         let start = self.synchronise();
         let t = self.collective_time(OP_ALLGATHER, bytes, collectives::allgather_time_us);
-        self.record_collective("allgather", Some(bytes), start, t);
+        self.record_collective("allgather", Some(bytes), pre0, start, t);
         self.set_all(start + t);
     }
 
     /// `MPI_Alltoall`, `bytes` per (src, dst) pair.
     pub fn alltoall(&mut self, bytes_per_pair: u64) {
+        let pre0 = self.clock_us[0];
         let start = self.synchronise();
         let t = self.collective_time(OP_ALLTOALL, bytes_per_pair, collectives::alltoall_time_us);
-        self.record_collective("alltoall", Some(bytes_per_pair), start, t);
+        self.record_collective("alltoall", Some(bytes_per_pair), pre0, start, t);
         self.set_all(start + t);
     }
 
