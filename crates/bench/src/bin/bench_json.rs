@@ -4,9 +4,18 @@
 //! Times the shared-memory kernel runtime three ways — serial, the old
 //! spawn-a-thread-scope-per-call team, and the persistent kernel pool — on
 //! the paper-shaped kernels (CSR SpMV, SELL-C-σ SpMV, multicolour SymGS,
-//! dot, AXPY, and a full CG solve on the 48³ 27-point stencil), and writes
-//! the results as JSON to `BENCH_kernels.json` (or the path given as the
-//! first argument).
+//! dot, AXPY, and a full CG solve on the 48³ 27-point stencil), plus every
+//! data-level-optimised kernel against its naive reference (register-tiled
+//! GEMM, the packed Nekbone batch, tiled tensor contractions, the
+//! cache-blocked MC-SymGS sweep, and the tile-gathered 3-D FFT — outputs
+//! asserted byte-identical before either variant is timed), and writes the
+//! results as JSON to `BENCH_kernels.json` (or the path given as the first
+//! argument). Every row carries roofline fields: modelled flops and bytes
+//! from the kernel's `Work` counters, the achieved GFLOP/s and GB/s at the
+//! row's best time, and those rates as fractions of one A64FX core's DP
+//! peak and one CMG's sustained bandwidth (`flop_eff`, `bw_eff`). The
+//! config header stamps the compiled-in tiling id so `obsctl diff` refuses
+//! baselines taken under different block/chunk parameters.
 //!
 //! It then times one full repro run — every experiment through the
 //! isolated runner, trace cache on — and writes `BENCH_repro.json` (or the
@@ -53,7 +62,7 @@ use std::time::Instant;
 const GRID: (usize, usize, usize) = (48, 48, 48);
 const THREADS: usize = 4;
 const CG_ITERS: usize = 30;
-const VEC_REPS: u32 = 5;
+const VEC_REPS: u32 = 11;
 const CG_REPS: u32 = 3;
 
 /// Best-of-`reps` wall time of `f`, in seconds.
@@ -67,24 +76,105 @@ fn time<O>(reps: u32, mut f: impl FnMut() -> O) -> f64 {
     best
 }
 
+/// Best-of-`reps` wall times of two variants of the same kernel, reps
+/// interleaved A/B/A/B so a noisy-neighbour burst on a shared host hits
+/// both variants instead of biasing whichever happened to be timed second.
+fn time_pair<O, P>(reps: u32, mut fa: impl FnMut() -> O, mut fb: impl FnMut() -> P) -> (f64, f64) {
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(fa());
+        best_a = best_a.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        black_box(fb());
+        best_b = best_b.min(t0.elapsed().as_secs_f64());
+    }
+    (best_a, best_b)
+}
+
+/// Roofline fields for one kernel row: the kernel's modelled work (flops
+/// and bytes from the [`densela::Work`] counters) and the rates it achieved
+/// at the row's best time, as fractions of one A64FX core's DP peak and
+/// one CMG's sustained memory bandwidth (the most a single-threaded kernel
+/// could achieve — the honest denominator on this host, where the pooled
+/// columns are oversubscribed lanes, not extra cores). `*_per_s` and
+/// `*_eff` keys are higher-is-better under `obsctl diff`.
+fn roofline_json(work: densela::Work, best_s: f64) -> String {
+    use archsim::{system, SystemId};
+    let spec = system(SystemId::A64fx);
+    let peak_gflops = spec.node.processor.peak_dp_gflops_per_core();
+    let cmg_bw_gbs = spec.node.sustained_bw_gbs() / spec.node.memory.num_domains() as f64;
+    let gflops = work.flops as f64 / best_s / 1e9;
+    let gbs = work.bytes() as f64 / best_s / 1e9;
+    format!(
+        "\"flops\": {}, \"bytes\": {}, \"gflops_per_s\": {:.4}, \"gbytes_per_s\": {:.4}, \"flop_eff\": {:.6}, \"bw_eff\": {:.6}",
+        work.flops,
+        work.bytes(),
+        gflops,
+        gbs,
+        gflops / peak_gflops,
+        gbs / cmg_bw_gbs,
+    )
+}
+
 struct Row {
     name: &'static str,
     serial_s: f64,
     spawn_s: f64,
     pooled_s: f64,
+    work: densela::Work,
 }
 
 impl Row {
     fn json(&self) -> String {
+        let best = self.serial_s.min(self.spawn_s).min(self.pooled_s);
         format!(
-            "    {{\"name\": \"{}\", \"serial_s\": {:.6e}, \"spawn_s\": {:.6e}, \"pooled_s\": {:.6e}, \"pooled_vs_serial\": {:.3}, \"pooled_vs_spawn\": {:.3}}}",
+            "    {{\"name\": \"{}\", \"serial_s\": {:.6e}, \"spawn_s\": {:.6e}, \"pooled_s\": {:.6e}, \"pooled_vs_serial\": {:.3}, \"pooled_vs_spawn\": {:.3}, {}}}",
             self.name,
             self.serial_s,
             self.spawn_s,
             self.pooled_s,
             self.serial_s / self.pooled_s,
             self.spawn_s / self.pooled_s,
+            roofline_json(self.work, best),
         )
+    }
+}
+
+/// A blocked-vs-naive comparison row: the same kernel with and without the
+/// data-level optimisation (register tiling, chunked inner loops, cache
+/// tiling), outputs asserted byte-identical before either variant is
+/// timed. `blocked_vs_naive` is higher-is-better under `obsctl diff`.
+struct BlockedRow {
+    name: &'static str,
+    naive_s: f64,
+    blocked_s: f64,
+    work: densela::Work,
+}
+
+impl BlockedRow {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"naive_s\": {:.6e}, \"blocked_s\": {:.6e}, \"blocked_vs_naive\": {:.3}, {}}}",
+            self.name,
+            self.naive_s,
+            self.blocked_s,
+            self.naive_s / self.blocked_s,
+            roofline_json(self.work, self.naive_s.min(self.blocked_s)),
+        )
+    }
+}
+
+/// Assert two f64 buffers byte-identical — the in-bench parity gate every
+/// blocked row passes before its timings mean anything.
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: blocked kernel diverged from naive at element {i}"
+        );
     }
 }
 
@@ -372,7 +462,10 @@ fn main() {
     let (nx, ny, nz) = GRID;
     eprintln!("building {nx}x{ny}x{nz} stencil27 operator...");
     let a = stencil27(nx, ny, nz);
-    let sell = SellMatrix::from_csr(&a, 8, 32);
+    // Auto-σ: the sorting window follows the row-length variance of the
+    // operator (boundary rows of a 27-point stencil are shorter than
+    // interior ones) instead of a hand-picked constant.
+    let sell = SellMatrix::from_csr_auto(&a, 8);
     let coloring = Coloring::stencil8(nx, ny, nz);
     let n = a.rows();
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
@@ -397,17 +490,29 @@ fn main() {
         serial_s: time(VEC_REPS, || a.spmv(&x, &mut y)),
         spawn_s: time(VEC_REPS, || spawn.spmv(&a, &x, &mut y)),
         pooled_s: time(VEC_REPS, || team.spmv(&a, &x, &mut y)),
+        work: a.spmv_work(),
     });
+    {
+        // In-bench parity: the pooled SELL path (the chunked kernel) must
+        // reproduce the naive SELL SpMV bit for bit before it is timed.
+        let mut y_naive = vec![0.0; n];
+        let mut y_chunked = vec![0.0; n];
+        sell.spmv(&x, &mut y_naive);
+        team.sell_spmv(&sell, &x, &mut y_chunked);
+        assert_bits_eq(&y_naive, &y_chunked, "spmv_sell8");
+    }
     rows.push(Row {
         name: "spmv_sell8",
         serial_s: time(VEC_REPS, || sell.spmv(&x, &mut y)),
         // SpawnTeam has no SELL path; the honest baseline is serial SELL.
         spawn_s: time(VEC_REPS, || sell.spmv(&x, &mut y)),
         pooled_s: time(VEC_REPS, || team.sell_spmv(&sell, &x, &mut y)),
+        work: sell.spmv_work(),
     });
     {
         let mut xs = vec![0.0; n];
         let mut xp = vec![0.0; n];
+        let symgs_work = sparsela::coloring::mc_symgs_sweep(&a, &coloring, &b, &mut xs);
         rows.push(Row {
             name: "mc_symgs_sweep",
             serial_s: time(VEC_REPS, || {
@@ -417,6 +522,7 @@ fn main() {
                 sparsela::coloring::mc_symgs_sweep(&a, &coloring, &b, &mut xs)
             }),
             pooled_s: time(VEC_REPS, || team.mc_symgs_sweep(&a, &coloring, &b, &mut xp)),
+            work: symgs_work,
         });
     }
     rows.push(Row {
@@ -424,18 +530,25 @@ fn main() {
         serial_s: time(VEC_REPS, || densela::vecops::dot(&x, &b)),
         spawn_s: time(VEC_REPS, || spawn.dot(&x, &b)),
         pooled_s: time(VEC_REPS, || team.dot(&x, &b)),
+        work: densela::vecops::dot(&x, &b).1,
     });
     {
         let mut acc = b.clone();
+        let axpy_work = densela::vecops::axpy(1.0001, &x, &mut acc);
         rows.push(Row {
             name: "axpy",
             serial_s: time(VEC_REPS, || densela::vecops::axpy(1.0001, &x, &mut acc)),
             spawn_s: time(VEC_REPS, || spawn.axpy(1.0001, &x, &mut acc)),
             pooled_s: time(VEC_REPS, || team.axpy(1.0001, &x, &mut acc)),
+            work: axpy_work,
         });
     }
 
     eprintln!("timing CG ({CG_ITERS} fixed iterations)...");
+    let cg_work = {
+        let mut x0 = vec![0.0; n];
+        serial_team.cg_solve(&a, &b, &mut x0, CG_ITERS, 0.0).2
+    };
     let cg = Row {
         name: "cg_stencil27_48cubed",
         serial_s: time(CG_REPS, || {
@@ -450,6 +563,7 @@ fn main() {
             let mut x0 = vec![0.0; n];
             team.cg_solve(&a, &b, &mut x0, CG_ITERS, 0.0)
         }),
+        work: cg_work,
     };
 
     // A strong-scaling-limit CG: per-rank grids shrink as jobs scale out,
@@ -462,6 +576,12 @@ fn main() {
         let mut x0 = vec![0.0; ns];
         a_small.spmv(&bs, &mut x0);
     }
+    let cg_small_work = {
+        let mut x0 = vec![0.0; ns];
+        serial_team
+            .cg_solve(&a_small, &bs, &mut x0, CG_ITERS, 0.0)
+            .2
+    };
     rows.push(Row {
         name: "cg_stencil27_16cubed",
         serial_s: time(VEC_REPS, || {
@@ -476,16 +596,213 @@ fn main() {
             let mut x0 = vec![0.0; ns];
             team.cg_solve(&a_small, &bs, &mut x0, CG_ITERS, 0.0)
         }),
+        work: cg_small_work,
     });
 
+    // --- Blocked-vs-naive rows: every data-level-optimised kernel against
+    // its naive reference, outputs byte-matched before timing. ---
+    eprintln!("timing blocked-vs-naive kernels...");
+    let mut blocked_rows = Vec::new();
+
+    {
+        // Register-tiled GEMM at a dense L2-straddling shape.
+        const M: usize = 256;
+        let am: Vec<f64> = (0..M * M).map(|i| (i as f64 * 0.013).sin()).collect();
+        let bm: Vec<f64> = (0..M * M).map(|i| (i as f64 * 0.029).cos()).collect();
+        let mut c_naive = vec![0.0; M * M];
+        let mut c_blocked = vec![0.0; M * M];
+        densela::gemm::gemm(M, M, M, 1.0, &am, &bm, 0.0, &mut c_naive);
+        let w = densela::gemm::gemm_blocked(M, M, M, 1.0, &am, &bm, 0.0, &mut c_blocked);
+        assert_bits_eq(&c_naive, &c_blocked, "gemm_256");
+        // With beta = 0 the C buffer is write-only; the closures return one
+        // element (black_boxed by the timer) so the stores stay live.
+        let (naive_s, blocked_s) = time_pair(
+            VEC_REPS,
+            || {
+                densela::gemm::gemm(M, M, M, 1.0, &am, &bm, 0.0, &mut c_naive);
+                c_naive[M]
+            },
+            || {
+                densela::gemm::gemm_blocked(M, M, M, 1.0, &am, &bm, 0.0, &mut c_blocked);
+                c_blocked[M]
+            },
+        );
+        blocked_rows.push(BlockedRow {
+            name: "gemm_256",
+            naive_s,
+            blocked_s,
+            work: w,
+        });
+    }
+    {
+        // The Nekbone shape: one small A applied to a batch of elements,
+        // packed once for the whole batch. The batch is sized so one timed
+        // rep spans a few milliseconds — long enough that a noisy-neighbour
+        // burst on a shared host cannot cover every interleaved rep.
+        const P: usize = 16;
+        const NEL: usize = 2048;
+        let am: Vec<f64> = (0..P * P).map(|i| (i as f64 * 0.017).sin()).collect();
+        let bb: Vec<f64> = (0..NEL * P * P).map(|i| (i as f64 * 0.003).cos()).collect();
+        let mut c_naive = vec![0.0; NEL * P * P];
+        let mut c_blocked = vec![0.0; NEL * P * P];
+        densela::gemm::small_gemm_batch_ref(P, P, P, 1.0, &am, &bb, 0.0, &mut c_naive);
+        let w = densela::gemm::small_gemm_batch(P, P, P, 1.0, &am, &bb, 0.0, &mut c_blocked);
+        assert_bits_eq(&c_naive, &c_blocked, "small_gemm_batch16");
+        let (naive_s, blocked_s) = time_pair(
+            VEC_REPS,
+            || {
+                densela::gemm::small_gemm_batch_ref(P, P, P, 1.0, &am, &bb, 0.0, &mut c_naive);
+                c_naive[P]
+            },
+            || {
+                densela::gemm::small_gemm_batch(P, P, P, 1.0, &am, &bb, 0.0, &mut c_blocked);
+                c_blocked[P]
+            },
+        );
+        blocked_rows.push(BlockedRow {
+            name: "small_gemm_batch16",
+            naive_s,
+            blocked_s,
+            work: w,
+        });
+    }
+    {
+        // Spectral-element tensor contractions: all three axes over a batch
+        // of elements, naive vs i-chunked/row-chunked tiled passes.
+        use densela::tensor;
+        const P: usize = 16;
+        const NEL: usize = 128;
+        let d = densela::DMatrix::from_fn(P, P, |r, c| ((r * P + c) as f64 * 0.011).sin());
+        let u: Vec<f64> = (0..NEL * P * P * P)
+            .map(|i| (i as f64 * 0.0007).cos())
+            .collect();
+        let p3 = P * P * P;
+        let mut out_naive = vec![0.0; p3];
+        let mut out_blocked = vec![0.0; p3];
+        let mut w = densela::Work::ZERO;
+        type Apply = fn(&densela::DMatrix, usize, &[f64], &mut [f64]) -> densela::Work;
+        for (apply, tiled) in [
+            (
+                tensor::apply_dim0 as Apply,
+                tensor::apply_dim0_tiled as Apply,
+            ),
+            (
+                tensor::apply_dim1 as Apply,
+                tensor::apply_dim1_tiled as Apply,
+            ),
+            (
+                tensor::apply_dim2 as Apply,
+                tensor::apply_dim2_tiled as Apply,
+            ),
+        ] {
+            apply(&d, P, &u[..p3], &mut out_naive);
+            w += tiled(&d, P, &u[..p3], &mut out_blocked);
+            assert_bits_eq(&out_naive, &out_blocked, "tensor_apply16");
+        }
+        let w = w * NEL as u64;
+        // Each axis writes its own buffer (the Nekbone ur/us/ut shape) and
+        // the timed closure folds one element of each into its return value
+        // (black_boxed by `time`): with a single shared output the first two
+        // naive applies are dead stores the optimiser deletes wholesale,
+        // which made the naive column look 3x faster than it is.
+        let (mut ur_n, mut us_n, mut ut_n) = (vec![0.0; p3], vec![0.0; p3], vec![0.0; p3]);
+        let (mut ur_b, mut us_b, mut ut_b) = (vec![0.0; p3], vec![0.0; p3], vec![0.0; p3]);
+        let (naive_s, blocked_s) = time_pair(
+            VEC_REPS,
+            || {
+                let mut acc = 0.0;
+                for e in 0..NEL {
+                    let ue = &u[e * p3..(e + 1) * p3];
+                    tensor::apply_dim0(&d, P, ue, &mut ur_n);
+                    tensor::apply_dim1(&d, P, ue, &mut us_n);
+                    tensor::apply_dim2(&d, P, ue, &mut ut_n);
+                    acc += ur_n[e % p3] + us_n[e % p3] + ut_n[e % p3];
+                }
+                acc
+            },
+            || {
+                let mut acc = 0.0;
+                for e in 0..NEL {
+                    let ue = &u[e * p3..(e + 1) * p3];
+                    tensor::apply_dim0_tiled(&d, P, ue, &mut ur_b);
+                    tensor::apply_dim1_tiled(&d, P, ue, &mut us_b);
+                    tensor::apply_dim2_tiled(&d, P, ue, &mut ut_b);
+                    acc += ur_b[e % p3] + us_b[e % p3] + ut_b[e % p3];
+                }
+                acc
+            },
+        );
+        blocked_rows.push(BlockedRow {
+            name: "tensor_apply16",
+            naive_s,
+            blocked_s,
+            work: w,
+        });
+    }
+    {
+        // Cache-blocked MC-SymGS (tiled colour rows + single-pass diagonal)
+        // against the naive per-row sweep on the same 48³ operator.
+        let mut x_naive = vec![0.0; n];
+        let mut x_blocked = vec![0.0; n];
+        sparsela::coloring::mc_symgs_sweep(&a, &coloring, &b, &mut x_naive);
+        let w = sparsela::coloring::mc_symgs_sweep_blocked(&a, &coloring, &b, &mut x_blocked);
+        assert_bits_eq(&x_naive, &x_blocked, "mc_symgs_blocked");
+        let (naive_s, blocked_s) = time_pair(
+            VEC_REPS,
+            || sparsela::coloring::mc_symgs_sweep(&a, &coloring, &b, &mut x_naive),
+            || sparsela::coloring::mc_symgs_sweep_blocked(&a, &coloring, &b, &mut x_blocked),
+        );
+        blocked_rows.push(BlockedRow {
+            name: "mc_symgs_blocked",
+            naive_s,
+            blocked_s,
+            work: w,
+        });
+    }
+    {
+        // 3-D FFT with tile-gathered strided passes vs pencil-at-a-time.
+        const NF: usize = 64;
+        let mk = || -> Vec<fftsim::Complex64> {
+            (0..NF * NF * NF)
+                .map(|i| fftsim::Complex64::new((i as f64 * 0.001).sin(), (i as f64 * 0.002).cos()))
+                .collect()
+        };
+        let mut d_naive = mk();
+        let mut d_blocked = mk();
+        fftsim::fft3_inplace(NF, &mut d_naive);
+        let w = fftsim::fft3d::fft3_inplace_blocked(NF, &mut d_blocked);
+        for (i, (p, q)) in d_naive.iter().zip(&d_blocked).enumerate() {
+            assert!(
+                p.re.to_bits() == q.re.to_bits() && p.im.to_bits() == q.im.to_bits(),
+                "fft3_64: blocked kernel diverged from naive at element {i}"
+            );
+        }
+        let (naive_s, blocked_s) = time_pair(
+            VEC_REPS,
+            || fftsim::fft3_inplace(NF, &mut d_naive),
+            || fftsim::fft3d::fft3_inplace_blocked(NF, &mut d_blocked),
+        );
+        blocked_rows.push(BlockedRow {
+            name: "fft3_64",
+            naive_s,
+            blocked_s,
+            work: w,
+        });
+    }
+
     let kernel_lines: Vec<String> = rows.iter().map(Row::json).collect();
+    let blocked_lines: Vec<String> = blocked_rows.iter().map(BlockedRow::json).collect();
     let json = format!(
-        "{{\n  \"config\": {cfg},\n  \"grid\": [{nx}, {ny}, {nz}],\n  \"rows\": {n},\n  \"threads\": {THREADS},\n  \"available_parallelism\": {ap},\n  \"serial_cutover_ops\": {cutover},\n  \"cg_iterations\": {CG_ITERS},\n  \"cg\":\n{cg_line},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n",
+        "{{\n  \"config\": {cfg},\n  \"grid\": [{nx}, {ny}, {nz}],\n  \"rows\": {n},\n  \"threads\": {THREADS},\n  \"available_parallelism\": {ap},\n  \"serial_cutover_ops\": {cutover},\n  \"sell\": {{\"c\": {sc}, \"sigma\": {ssig}, \"fill_ratio\": {sfill:.4}}},\n  \"cg_iterations\": {CG_ITERS},\n  \"cg\":\n{cg_line},\n  \"kernels\": [\n{kernels}\n  ],\n  \"blocked\": [\n{blocked}\n  ]\n}}\n",
         cfg = a64fx_bench::config::header_json(THREADS),
         ap = densela::pool::available_parallelism(),
         cutover = team.serial_cutover_ops(),
+        sc = sell.c(),
+        ssig = sell.sigma(),
+        sfill = sell.fill_ratio(),
         cg_line = cg.json(),
         kernels = kernel_lines.join(",\n"),
+        blocked = blocked_lines.join(",\n"),
     );
     std::fs::write(&path, &json).expect("writing the benchmark file failed");
     eprintln!("wrote {path}");

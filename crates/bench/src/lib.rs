@@ -52,15 +52,20 @@ pub mod config {
     }
 
     /// The `"config"` object (one JSON fragment, no trailing newline)
-    /// recorded in every benchmark file: git revision plus the three
+    /// recorded in every benchmark file: git revision plus the four
     /// resolved knobs that make two runs comparable. `threads` is the
-    /// worker count the caller actually used for the timed region.
+    /// worker count the caller actually used for the timed region;
+    /// `tiling` is the compiled-in block/chunk parameter set
+    /// ([`densela::block::tiling_id`]) — numbers taken under different
+    /// tiling measure different inner loops, so `obsctl diff` refuses
+    /// differently-tiled baselines like any other config mismatch.
     pub fn header_json(threads: usize) -> String {
         format!(
-            "{{\"git_sha\": \"{}\", \"des_backend\": \"{}\", \"pricing\": \"{}\", \"threads\": {threads}}}",
+            "{{\"git_sha\": \"{}\", \"des_backend\": \"{}\", \"pricing\": \"{}\", \"tiling\": \"{}\", \"threads\": {threads}}}",
             git_sha(),
             a64fx_core::runner::resolve_des_backend(None),
             a64fx_core::runner::resolve_pricing(None),
+            densela::block::tiling_id(),
         )
     }
 
@@ -69,12 +74,17 @@ pub mod config {
         use super::*;
 
         #[test]
-        fn header_is_valid_json_with_the_four_keys() {
+        fn header_is_valid_json_with_the_five_keys() {
             let doc = conform::json::parse(&header_json(3)).unwrap();
-            for key in ["git_sha", "des_backend", "pricing"] {
+            for key in ["git_sha", "des_backend", "pricing", "tiling"] {
                 assert!(doc.get(key).and_then(|v| v.as_str()).is_some(), "{key}");
             }
             assert_eq!(doc.get("threads").and_then(|v| v.as_f64()), Some(3.0));
+            assert_eq!(
+                doc.get("tiling").and_then(|v| v.as_str()),
+                Some(densela::block::tiling_id().as_str()),
+                "the header must stamp the compiled-in tiling"
+            );
         }
     }
 }
@@ -99,8 +109,8 @@ pub mod obsdiff {
     //! * **value regression** (exit 1): a numeric metric moved past the
     //!   relative threshold in its bad direction. Keys ending in `_s`/`_us`
     //!   are times (lower is better); keys ending in `per_s`/`_eff` and
-    //!   speedup ratios (`pooled_vs_*`, `vs_serial`) are rates (higher is
-    //!   better); everything else is neutral — reported when it moves, but
+    //!   speedup ratios (`pooled_vs_*`, `blocked_vs_*`, `vs_serial`) are
+    //!   rates (higher is better); everything else is neutral — reported when it moves, but
     //!   never a failure. `--warn-values` downgrades value regressions to
     //!   warnings for hosts whose timings are not trustworthy (CI's
     //!   single-core runners).
@@ -133,6 +143,7 @@ pub mod obsdiff {
         if last.ends_with("per_s")
             || last.ends_with("_eff")
             || last.starts_with("pooled_vs")
+            || last.starts_with("blocked_vs")
             || last == "vs_serial"
         {
             Direction::HigherIsBetter
@@ -297,7 +308,7 @@ pub mod obsdiff {
         // that predates config headers is flagged as drift, not mismatch.
         let a_cfg: Vec<_> = a.iter().filter(|(k, _)| k.starts_with("config.")).collect();
         let b_has_cfg = b.keys().any(|k| k.starts_with("config."));
-        if a_cfg.is_empty() != !b_has_cfg {
+        if a_cfg.is_empty() == b_has_cfg {
             report
                 .shape_drift
                 .push("one side has a \"config\" header, the other does not".to_string());
@@ -396,6 +407,14 @@ pub mod obsdiff {
             );
             assert_eq!(direction("ecm_roofline_eff"), Direction::HigherIsBetter);
             assert_eq!(
+                direction("blocked.small_gemm_batch16.blocked_vs_naive"),
+                Direction::HigherIsBetter
+            );
+            assert_eq!(
+                direction("kernels.spmv_csr.gflops_per_s"),
+                Direction::HigherIsBetter
+            );
+            assert_eq!(
                 direction("runs.1024.serial.vs_serial"),
                 Direction::HigherIsBetter
             );
@@ -469,6 +488,34 @@ pub mod obsdiff {
             assert!(r
                 .render(false)
                 .contains("regenerate under the same configuration"));
+        }
+
+        #[test]
+        fn mismatched_tiling_is_refused() {
+            // Same knobs everywhere except the config's tiling id: the
+            // candidate was built with different block/chunk parameters, so
+            // its inner loops are not the baseline's inner loops.
+            let with_tiling = |id: &str| {
+                parse(&format!(
+                    r#"{{"config": {{"git_sha": "x", "des_backend": "serial",
+                        "pricing": "flat", "tiling": "{id}", "threads": 1}},
+                       "wall_s": 10.0}}"#
+                ))
+                .unwrap()
+            };
+            let r = diff_docs(
+                &with_tiling("w8.mr8.nr4.gs512.fft8"),
+                &with_tiling("w4.mr4.nr2.gs256.fft4"),
+                25.0,
+            );
+            assert_eq!(r.exit_code(false), 3);
+            assert_eq!(r.exit_code(true), 3, "--warn-values never hides a mismatch");
+            let same = diff_docs(
+                &with_tiling("w8.mr8.nr4.gs512.fft8"),
+                &with_tiling("w8.mr8.nr4.gs512.fft8"),
+                25.0,
+            );
+            assert_eq!(same.exit_code(false), 0);
         }
 
         #[test]

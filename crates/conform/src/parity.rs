@@ -19,6 +19,11 @@ use sparsela::{cg_solve, CsrMatrix, SpawnTeam, Team};
 /// Thread counts exercised — configured counts, not host parallelism.
 pub const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
 
+/// Thread counts for the blocked-kernel parity section: the data-level
+/// optimisations must be invisible at the serial fallback (1) and on the
+/// pooled paths (2, 4) alike.
+pub const BLOCKED_THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
 const GRID: (usize, usize, usize) = (12, 12, 12);
 const CG_MAX_ITER: usize = 500;
 const CG_RTOL: f64 = 1e-8;
@@ -237,13 +242,221 @@ pub fn run() -> (Table, Vec<String>) {
         );
     }
 
+    blocked_section(&mut chk, &a, &x, &b, &coloring, &sell, &y_sell_serial);
+
     chk.table.note(format!(
         "{}x{}x{} 27-point stencil ({n} rows); serial CG: {} iterations to rel {:.2e}",
         GRID.0, GRID.1, GRID.2, serial_cg.iterations, serial_cg.rel_residual
     ));
     chk.table
         .note("thread counts are configured on the team, not taken from the host's core count");
+    chk.table.note(
+        "blocked section: every data-level-optimised kernel vs its naive reference \
+         (bitwise, or the documented ulp bound for chunked reductions) at 1/2/4 threads",
+    );
     (chk.table, chk.failures)
+}
+
+/// The blocked-kernel parity section: every data-level-optimised kernel
+/// (register-tiled GEMM, the packed Nekbone batch, tiled tensor
+/// contractions, chunked SELL SpMV, the cache-blocked MC-SymGS sweep, the
+/// tile-gathered 3-D FFT, and the chunk-aligned elementwise Team kernels)
+/// against its naive reference. Elementwise and reordering-free kernels
+/// must be bit-identical; the chunked reductions must sit inside their
+/// documented ulp bound. Thread-dependent paths run at every
+/// [`BLOCKED_THREAD_COUNTS`] entry, including the serial fallback.
+#[allow(clippy::too_many_arguments)]
+fn blocked_section(
+    chk: &mut Checker,
+    a: &CsrMatrix,
+    x: &[f64],
+    b: &[f64],
+    coloring: &Coloring,
+    sell: &SellMatrix,
+    y_sell_serial: &[f64],
+) {
+    let n = a.rows();
+
+    // Serial-only blocked kernels: thread-independent, checked once across
+    // several tile shapes (recorded under "1 thread").
+    {
+        use densela::gemm;
+        let (m, nn, k) = (17, 9, 13);
+        let am: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.31).sin()).collect();
+        let bm: Vec<f64> = (0..k * nn).map(|i| (i as f64 * 0.07).cos()).collect();
+        let mut ok = Ok("bit-identical across tiles {1,3,8,16}".to_string());
+        for (mr, nr) in [(1, 1), (3, 3), (8, 4), (16, 16)] {
+            let mut c_ref: Vec<f64> = (0..m * nn).map(|i| i as f64 * 0.5 - 3.0).collect();
+            let mut c_blk = c_ref.clone();
+            gemm::gemm(m, nn, k, 1.3, &am, &bm, -0.7, &mut c_ref);
+            gemm::gemm_blocked_with(m, nn, k, 1.3, &am, &bm, -0.7, &mut c_blk, mr, nr);
+            if let Err(e) = bitwise_eq(&c_ref, &c_blk) {
+                ok = Err(format!("tile {mr}x{nr}: {e}"));
+            }
+        }
+        chk.record("blocked GEMM == naive (bitwise)", 1, ok);
+
+        const P: usize = 9;
+        const NEL: usize = 7;
+        let ab: Vec<f64> = (0..P * P).map(|i| (i as f64 * 0.11).sin()).collect();
+        let bb: Vec<f64> = (0..NEL * P * P).map(|i| (i as f64 * 0.05).cos()).collect();
+        let mut c_ref = vec![0.25; NEL * P * P];
+        let mut c_blk = c_ref.clone();
+        gemm::small_gemm_batch_ref(P, P, P, 2.0, &ab, &bb, 0.5, &mut c_ref);
+        gemm::small_gemm_batch(P, P, P, 2.0, &ab, &bb, 0.5, &mut c_blk);
+        chk.record(
+            "packed GEMM batch == per-element naive (bitwise)",
+            1,
+            bitwise_eq(&c_ref, &c_blk).map(|()| "bit-identical".into()),
+        );
+    }
+    {
+        use densela::tensor;
+        const P: usize = 9;
+        let d = densela::DMatrix::from_fn(P, P, |r, c| ((r * P + c) as f64 * 0.023).sin());
+        let u: Vec<f64> = (0..P * P * P).map(|i| (i as f64 * 0.017).cos()).collect();
+        let mut o_ref = vec![0.0; P * P * P];
+        let mut o_blk = vec![0.0; P * P * P];
+        let mut ok = Ok("3 axes x tiles {1,3,8,16}".to_string());
+        type Naive = fn(&densela::DMatrix, usize, &[f64], &mut [f64]) -> densela::Work;
+        type Tiled = fn(&densela::DMatrix, usize, &[f64], &mut [f64], usize) -> densela::Work;
+        for (axis, naive, tiled) in [
+            (
+                0,
+                tensor::apply_dim0 as Naive,
+                tensor::apply_dim0_with as Tiled,
+            ),
+            (
+                1,
+                tensor::apply_dim1 as Naive,
+                tensor::apply_dim1_with as Tiled,
+            ),
+            (
+                2,
+                tensor::apply_dim2 as Naive,
+                tensor::apply_dim2_with as Tiled,
+            ),
+        ] {
+            naive(&d, P, &u, &mut o_ref);
+            for tile in [1usize, 3, 8, 16] {
+                tiled(&d, P, &u, &mut o_blk, tile);
+                if let Err(e) = bitwise_eq(&o_ref, &o_blk) {
+                    ok = Err(format!("axis {axis} tile {tile}: {e}"));
+                }
+            }
+        }
+        chk.record("tiled tensor contractions == naive (bitwise)", 1, ok);
+    }
+    {
+        const NF: usize = 8;
+        let mk = || -> Vec<fftsim::Complex64> {
+            (0..NF * NF * NF)
+                .map(|i| fftsim::Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.29).cos()))
+                .collect()
+        };
+        let mut d_ref = mk();
+        let mut d_blk = mk();
+        fftsim::fft3_inplace(NF, &mut d_ref);
+        fftsim::fft3d::fft3_inplace_blocked(NF, &mut d_blk);
+        let cmp = |p: &[fftsim::Complex64], q: &[fftsim::Complex64]| -> Result<(), String> {
+            for (i, (u, v)) in p.iter().zip(q).enumerate() {
+                if u.re.to_bits() != v.re.to_bits() || u.im.to_bits() != v.im.to_bits() {
+                    return Err(format!("first divergence at [{i}]"));
+                }
+            }
+            Ok(())
+        };
+        let fwd = cmp(&d_ref, &d_blk);
+        fftsim::fft3d::ifft3_inplace(NF, &mut d_ref);
+        fftsim::fft3d::ifft3_inplace_blocked(NF, &mut d_blk);
+        chk.record(
+            "blocked 3-D FFT == naive (bitwise, fwd+inv)",
+            1,
+            fwd.and_then(|()| cmp(&d_ref, &d_blk))
+                .map(|()| "bit-identical".into()),
+        );
+    }
+    {
+        // Chunked reductions: inside the documented ulp bound, and exactly
+        // repeatable.
+        let (d_ref, _) = densela::vecops::dot(x, b);
+        let (d_chk, _) = densela::vecops::dot_chunked(x, b);
+        let mag: f64 = x.iter().zip(b).map(|(p, q)| (p * q).abs()).sum();
+        chk.record(
+            "chunked dot within documented ulp bound",
+            1,
+            if (d_ref - d_chk).abs() <= 1e-12 * (1.0 + mag) {
+                Ok(format!("|delta| = {:.2e}", (d_ref - d_chk).abs()))
+            } else {
+                Err(format!("{d_ref:e} vs {d_chk:e}"))
+            },
+        );
+    }
+
+    // Thread-dependent blocked paths: serial fallback and pooled lanes
+    // must all reproduce the naive serial kernels.
+    let mut gs_ref = vec![0.0; n];
+    mc_symgs_sweep(a, coloring, b, &mut gs_ref);
+    for t in BLOCKED_THREAD_COUNTS {
+        let team = Team::with_serial_cutover(t, 0);
+
+        let mut ys = vec![0.0; n];
+        team.sell_spmv(sell, x, &mut ys);
+        chk.record(
+            "chunked SELL SpMV == naive SELL (bitwise)",
+            t,
+            bitwise_eq(y_sell_serial, &ys).map(|()| "bit-identical".into()),
+        );
+
+        let mut gs = vec![0.0; n];
+        team.mc_symgs_sweep(a, coloring, b, &mut gs);
+        chk.record(
+            "blocked MC-SymGS == naive sweep (bitwise)",
+            t,
+            bitwise_eq(&gs_ref, &gs).map(|()| "bit-identical".into()),
+        );
+
+        let mut ax_ref = b.to_vec();
+        for (o, v) in ax_ref.iter_mut().zip(x) {
+            *o += -1.75 * v;
+        }
+        let mut ax = b.to_vec();
+        team.axpy(-1.75, x, &mut ax);
+        chk.record(
+            "chunk-aligned AXPY == scalar (bitwise)",
+            t,
+            bitwise_eq(&ax_ref, &ax).map(|()| "bit-identical".into()),
+        );
+
+        let mut p_ref = b.to_vec();
+        for (pv, rv) in p_ref.iter_mut().zip(x) {
+            *pv = rv + 0.6 * *pv;
+        }
+        let mut p = b.to_vec();
+        team.xpby(x, 0.6, &mut p);
+        chk.record(
+            "chunk-aligned XPBY == scalar (bitwise)",
+            t,
+            bitwise_eq(&p_ref, &p).map(|()| "bit-identical".into()),
+        );
+    }
+
+    // The serial-vs-blocked sweep itself (no team): tiles of several sizes.
+    {
+        let mut ok = Ok("tiles {1,3,8,16,512}".to_string());
+        for tile in [1usize, 3, 8, 16, 512] {
+            let mut gs = vec![0.0; n];
+            sparsela::coloring::mc_symgs_sweep_blocked_with(a, coloring, b, &mut gs, tile);
+            if let Err(e) = bitwise_eq(&gs_ref, &gs) {
+                ok = Err(format!("tile {tile}: {e}"));
+            }
+        }
+        chk.record(
+            "cache-blocked MC-SymGS == naive across tiles (bitwise)",
+            1,
+            ok,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,109 @@
+//! Blocking and chunking parameters shared by every data-level-optimised
+//! kernel (densela GEMM/tensor/vecops, sparsela SELL/MC-SymGS, fftsim
+//! transposes).
+//!
+//! The A64FX has 512-bit SVE vectors (8 f64 lanes) and 256 B cache lines
+//! (SNIPPETS.md Snippet 1), so the natural chunk width for f64 inner loops
+//! is 8 and the natural register tile follows Snippet 2's micro-blocking
+//! recipe (an MR×NR accumulator block held in registers, streaming panels
+//! of A and B through it for a ~3:1 compute-to-load ratio).
+//!
+//! All parameters live here — and are stamped into the BENCH_kernels.json
+//! config header via [`tiling_id`] — so `obsctl diff` refuses to compare
+//! baselines taken with different tiling.
+
+/// f64 lanes per 512-bit SVE vector: the fixed chunk width of every
+/// explicit-width inner loop.
+pub const CHUNK: usize = 8;
+
+/// GEMM micro-kernel rows (the register-tiled `MR` dimension; a multiple
+/// of [`CHUNK`] so full tiles vectorise cleanly).
+pub const GEMM_MR: usize = 8;
+
+/// GEMM micro-kernel columns (`NR`): 8×4 accumulators ≈ Snippet 2's 6×4
+/// tile scaled to f64 SVE width.
+pub const GEMM_NR: usize = 4;
+
+/// Rows per cache tile of an MC-SymGS colour sweep (tiles a colour's rows
+/// so the matrix slice and the touched x entries stay L2-resident).
+pub const SYMGS_TILE: usize = 512;
+
+/// Lines per tile in the blocked 3-D FFT strided passes: gathering
+/// `FFT_TILE` adjacent pencils at once turns one-element-per-cache-line
+/// strided reads into full-line reads.
+pub const FFT_TILE: usize = 8;
+
+/// Compact identifier of the active tiling, recorded in the
+/// BENCH_kernels.json config header. Two bench runs with different tiling
+/// ids are not comparable and `obsctl diff` exits 3 on the mismatch.
+pub fn tiling_id() -> String {
+    format!("w{CHUNK}.mr{GEMM_MR}.nr{GEMM_NR}.gs{SYMGS_TILE}.fft{FFT_TILE}")
+}
+
+/// Split `0..n` into up-to-`lanes` contiguous ranges whose boundaries are
+/// aligned to `align` (except the final boundary at `n`). Chunk-aligned
+/// work-splitting keeps every lane's fixed-width inner loop free of
+/// remainder handling except at the global tail.
+///
+/// Returns an empty vec when `n == 0`. Never returns empty ranges.
+pub fn aligned_ranges(n: usize, lanes: usize, align: usize) -> Vec<(usize, usize)> {
+    assert!(align > 0, "alignment must be positive");
+    if n == 0 || lanes == 0 {
+        return Vec::new();
+    }
+    let lanes = lanes.min(n.div_ceil(align));
+    let blocks = n.div_ceil(align);
+    let mut out = Vec::with_capacity(lanes);
+    let mut start_block = 0usize;
+    for lane in 0..lanes {
+        let remaining = blocks - start_block;
+        let take = remaining.div_ceil(lanes - lane);
+        let lo = start_block * align;
+        let hi = ((start_block + take) * align).min(n);
+        if hi > lo {
+            out.push((lo, hi));
+        }
+        start_block += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiling_id_mentions_every_parameter() {
+        let id = tiling_id();
+        assert!(id.contains(&format!("w{CHUNK}")));
+        assert!(id.contains(&format!("mr{GEMM_MR}")));
+        assert!(id.contains(&format!("nr{GEMM_NR}")));
+        assert!(id.contains(&format!("gs{SYMGS_TILE}")));
+        assert!(id.contains(&format!("fft{FFT_TILE}")));
+    }
+
+    #[test]
+    fn aligned_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            for lanes in [1usize, 2, 3, 4, 8] {
+                for align in [1usize, 3, 8, 16] {
+                    let ranges = aligned_ranges(n, lanes, align);
+                    let mut cursor = 0usize;
+                    for &(lo, hi) in &ranges {
+                        assert_eq!(
+                            lo, cursor,
+                            "gap at {lo} (n={n} lanes={lanes} align={align})"
+                        );
+                        assert!(hi > lo, "empty range");
+                        if hi != n {
+                            assert_eq!(hi % align, 0, "unaligned interior boundary");
+                        }
+                        cursor = hi;
+                    }
+                    assert_eq!(cursor, n, "ranges must cover 0..n");
+                    assert!(ranges.len() <= lanes.max(1));
+                }
+            }
+        }
+    }
+}

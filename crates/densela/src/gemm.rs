@@ -7,6 +7,7 @@
 //! optimised for". `small_gemm` is exactly that shape: C (m×n) = A (m×k) ·
 //! B (k×n) with m, n, k ≈ 16.
 
+use crate::block::{GEMM_MR, GEMM_NR};
 use crate::matrix::DMatrix;
 use crate::work::Work;
 
@@ -14,9 +15,14 @@ const F64B: u64 = 8;
 
 /// `C = alpha * A * B + beta * C` on column-major slices.
 ///
+/// Reference kernel for [`gemm_blocked`] — pinned to library codegen
+/// (`inline(never)`) so blocked-vs-naive comparisons measure the kernel
+/// the library ships, not a call-site-specialised recompilation.
+///
 /// # Panics
 /// Panics if slice lengths disagree with the shape.
 #[allow(clippy::too_many_arguments)]
+#[inline(never)]
 pub fn gemm(
     m: usize,
     n: usize,
@@ -55,11 +61,314 @@ pub fn gemm(
     )
 }
 
-/// Matrix–matrix product returning a new `DMatrix`.
+/// A matrix packed into contiguous MR-row panels for the register-tiled
+/// GEMM (Snippet 2's micro-blocking: the packed panel streams through the
+/// L1 while an MR×NR accumulator block stays in registers).
+///
+/// Panel `p` holds rows `p*mr .. min((p+1)*mr, m)`; within a panel the
+/// layout is l-major (`data[l * mr_eff + ii]`), so the micro-kernel's inner
+/// loop reads `mr_eff` consecutive values per `l` step.
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    mr: usize,
+    data: Vec<f64>,
+}
+
+impl PackedA {
+    /// Row count of the packed matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+    /// Column count of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+    /// Panel height (the micro-kernel MR).
+    pub fn mr(&self) -> usize {
+        self.mr
+    }
+}
+
+/// Pack column-major `A` (m×k) into MR-row panels. Pure data movement:
+/// every value is copied bit-exactly, so GEMM on the packed form is
+/// bit-identical to GEMM on the original.
+pub fn pack_a(m: usize, k: usize, a: &[f64], mr: usize) -> PackedA {
+    assert!(mr > 0, "panel height must be positive");
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    let mut data = Vec::with_capacity(m * k);
+    let mut i0 = 0;
+    while i0 < m {
+        let mr_eff = mr.min(m - i0);
+        for l in 0..k {
+            data.extend_from_slice(&a[l * m + i0..l * m + i0 + mr_eff]);
+        }
+        i0 += mr;
+    }
+    PackedA { m, k, mr, data }
+}
+
+/// One MR×NR register tile: load beta-scaled C, stream the packed A panel
+/// and B columns through fixed-width accumulators, store back.
+///
+/// Per output element the accumulation order is exactly the naive kernel's
+/// `((beta*c + t_0) + t_1) + ...` with `t_l = (alpha*b[l,j]) * a[i,l]` in
+/// ascending `l`, so the tile is bit-identical to the reference loop.
+#[allow(clippy::too_many_arguments)]
+fn micro_tile(
+    mr_eff: usize,
+    nr_eff: usize,
+    k: usize,
+    alpha: f64,
+    ap: &[f64],
+    b: &[f64],
+    j0: usize,
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    i0: usize,
+    acc: &mut [f64],
+) {
+    if mr_eff == GEMM_MR && nr_eff == GEMM_NR {
+        // Fixed-width fast path: the full 8×4 accumulator block lives in
+        // registers across the whole l loop, loaded beta-scaled straight
+        // from C and stored straight back — no staging through the shared
+        // scratch (at Nekbone k the copies would cost ~20% of the flops).
+        // B columns are hoisted to length-k slices so the per-l loads
+        // index with an elidable bound.
+        let mut t = [[0.0f64; GEMM_MR]; GEMM_NR];
+        for (jj, tj) in t.iter_mut().enumerate() {
+            let ccol = &c[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + GEMM_MR];
+            if beta == 0.0 {
+                // t already zeroed.
+            } else if beta == 1.0 {
+                tj.copy_from_slice(ccol);
+            } else {
+                for (tv, cv) in tj.iter_mut().zip(ccol) {
+                    *tv = beta * cv;
+                }
+            }
+        }
+        let bc: [&[f64]; GEMM_NR] = std::array::from_fn(|jj| &b[(j0 + jj) * k..(j0 + jj) * k + k]);
+        for (l, av) in ap.chunks_exact(GEMM_MR).enumerate() {
+            let av: &[f64; GEMM_MR] = av.try_into().unwrap();
+            for (jj, tj) in t.iter_mut().enumerate() {
+                let blj = alpha * bc[jj][l];
+                for ii in 0..GEMM_MR {
+                    tj[ii] += blj * av[ii];
+                }
+            }
+        }
+        for (jj, tj) in t.iter().enumerate() {
+            c[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + GEMM_MR].copy_from_slice(tj);
+        }
+        return;
+    }
+    // Remainder tile: same arithmetic, variable widths, staged through the
+    // caller's scratch accumulator.
+    let acc = &mut acc[..mr_eff * nr_eff];
+    for jj in 0..nr_eff {
+        let ccol = &c[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + mr_eff];
+        let arow = &mut acc[jj * mr_eff..(jj + 1) * mr_eff];
+        if beta == 0.0 {
+            arow.fill(0.0);
+        } else if beta == 1.0 {
+            arow.copy_from_slice(ccol);
+        } else {
+            for (av, cv) in arow.iter_mut().zip(ccol) {
+                *av = beta * cv;
+            }
+        }
+    }
+    for l in 0..k {
+        let av = &ap[l * mr_eff..(l + 1) * mr_eff];
+        for jj in 0..nr_eff {
+            let blj = alpha * b[(j0 + jj) * k + l];
+            let arow = &mut acc[jj * mr_eff..(jj + 1) * mr_eff];
+            for ii in 0..mr_eff {
+                arow[ii] += blj * av[ii];
+            }
+        }
+    }
+    for jj in 0..nr_eff {
+        c[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + mr_eff]
+            .copy_from_slice(&acc[jj * mr_eff..(jj + 1) * mr_eff]);
+    }
+}
+
+/// `C = alpha * packed(A) * B + beta * C` over an already-packed A.
+///
+/// Packing once and multiplying many right-hand sides is the Nekbone
+/// batched-small-GEMM shape: the derivative matrix is shared by every
+/// element. `nr` is the register-tile width (default [`GEMM_NR`] via
+/// [`gemm_blocked`]).
+pub fn gemm_packed(
+    pa: &PackedA,
+    n: usize,
+    nr: usize,
+    alpha: f64,
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) -> Work {
+    assert!(nr > 0, "tile width must be positive");
+    let (m, k, mr) = (pa.m, pa.k, pa.mr);
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    let mut stack = [0.0f64; 64];
+    let mut heap = Vec::new();
+    let acc: &mut [f64] = if mr * nr <= stack.len() {
+        &mut stack
+    } else {
+        heap.resize(mr * nr, 0.0);
+        &mut heap
+    };
+    let mut panel_off = 0usize;
+    let mut i0 = 0usize;
+    while i0 < m {
+        let mr_eff = mr.min(m - i0);
+        let ap = &pa.data[panel_off..panel_off + mr_eff * k];
+        let mut j0 = 0usize;
+        while j0 < n {
+            let nr_eff = nr.min(n - j0);
+            micro_tile(mr_eff, nr_eff, k, alpha, ap, b, j0, beta, c, m, i0, acc);
+            j0 += nr;
+        }
+        panel_off += mr_eff * k;
+        i0 += mr;
+    }
+    gemm_work(m, n, k)
+}
+
+/// Register-tiled `C = alpha * A * B + beta * C` with caller-chosen tile
+/// shape. Bit-identical to [`gemm`] for every (mr, nr) — the parity
+/// proptests sweep {1, 3, 8, 16} and odd remainders.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    mr: usize,
+    nr: usize,
+) -> Work {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    let pa = pack_a(m, k, a, mr);
+    gemm_packed(&pa, n, nr, alpha, b, beta, c)
+}
+
+/// Register-tiled GEMM at the default [`GEMM_MR`]×[`GEMM_NR`] tile.
+/// Bit-identical to the naive reference [`gemm`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) -> Work {
+    gemm_blocked_with(m, n, k, alpha, a, b, beta, c, GEMM_MR, GEMM_NR)
+}
+
+/// Batched Nekbone-shape product: one shared A applied to `nel` stacked
+/// right-hand sides (`b_batch` is nel consecutive k×n blocks, `c_batch`
+/// nel m×n blocks). A is packed once and reused; bit-identical to calling
+/// [`gemm`] per element (see [`small_gemm_batch_ref`]).
+#[allow(clippy::too_many_arguments)]
+pub fn small_gemm_batch(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b_batch: &[f64],
+    beta: f64,
+    c_batch: &mut [f64],
+) -> Work {
+    assert!(k * n > 0 && m * n > 0, "degenerate batch shape");
+    assert_eq!(b_batch.len() % (k * n), 0, "B batch shape mismatch");
+    let nel = b_batch.len() / (k * n);
+    assert_eq!(c_batch.len(), nel * m * n, "C batch shape mismatch");
+    let pa = pack_a(m, k, a, GEMM_MR);
+    // The micro-tile grid runs here directly rather than through
+    // [`gemm_packed`]: the scratch accumulator and shape checks are hoisted
+    // out of the per-element loop, which matters at Nekbone sizes where one
+    // element is only a few microseconds of work.
+    let mut acc = [0.0f64; GEMM_MR * GEMM_NR];
+    let mut w = Work::default();
+    for (bp, cp) in b_batch
+        .chunks_exact(k * n)
+        .zip(c_batch.chunks_exact_mut(m * n))
+    {
+        let mut panel_off = 0usize;
+        let mut i0 = 0usize;
+        while i0 < m {
+            let mr_eff = GEMM_MR.min(m - i0);
+            let ap = &pa.data[panel_off..panel_off + mr_eff * k];
+            let mut j0 = 0usize;
+            while j0 < n {
+                let nr_eff = GEMM_NR.min(n - j0);
+                micro_tile(
+                    mr_eff, nr_eff, k, alpha, ap, bp, j0, beta, cp, m, i0, &mut acc,
+                );
+                j0 += GEMM_NR;
+            }
+            panel_off += mr_eff * k;
+            i0 += GEMM_MR;
+        }
+        w += gemm_work(m, n, k);
+    }
+    w
+}
+
+/// Naive reference for [`small_gemm_batch`]: one [`gemm`] call per element.
+/// Pinned to library codegen like [`gemm`].
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+pub fn small_gemm_batch_ref(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b_batch: &[f64],
+    beta: f64,
+    c_batch: &mut [f64],
+) -> Work {
+    assert!(k * n > 0 && m * n > 0, "degenerate batch shape");
+    assert_eq!(b_batch.len() % (k * n), 0, "B batch shape mismatch");
+    let nel = b_batch.len() / (k * n);
+    assert_eq!(c_batch.len(), nel * m * n, "C batch shape mismatch");
+    let mut w = Work::default();
+    for e in 0..nel {
+        w += gemm(
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            &b_batch[e * k * n..(e + 1) * k * n],
+            beta,
+            &mut c_batch[e * m * n..(e + 1) * m * n],
+        );
+    }
+    w
+}
+
+/// Matrix–matrix product returning a new `DMatrix` (register-tiled path;
+/// bit-identical to the naive kernel).
 pub fn matmul(a: &DMatrix, b: &DMatrix) -> (DMatrix, Work) {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
     let mut c = DMatrix::zeros(a.rows(), b.cols());
-    let w = gemm(
+    let w = gemm_blocked(
         a.rows(),
         b.cols(),
         a.cols(),
@@ -130,6 +439,76 @@ mod tests {
         assert_eq!(w.flops, 2 * 16 * 16 * 16);
     }
 
+    fn pseudo(salt: u64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (((i as u64 + salt) * 2654435761) % 1013) as f64 / 331.0 - 1.5)
+            .collect()
+    }
+
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (5, 3, 7),
+            (8, 4, 8),
+            (16, 16, 16),
+            (17, 9, 13),
+            (33, 5, 2),
+        ] {
+            for &(alpha, beta) in &[(1.0, 0.0), (0.75, 1.0), (-1.25, 0.5)] {
+                let a = pseudo(1, m * k);
+                let b = pseudo(2, k * n);
+                let c0 = pseudo(3, m * n);
+                let mut c_ref = c0.clone();
+                let w_ref = gemm(m, n, k, alpha, &a, &b, beta, &mut c_ref);
+                let mut c_blk = c0.clone();
+                let w_blk = gemm_blocked(m, n, k, alpha, &a, &b, beta, &mut c_blk);
+                assert_eq!(w_ref, w_blk);
+                for (x, y) in c_ref.iter().zip(&c_blk) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "shape ({m},{n},{k}) α={alpha} β={beta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_small_gemm_is_bit_identical_to_per_element_gemm() {
+        let (m, n, k, nel) = (16, 16, 16, 7);
+        let a = pseudo(11, m * k);
+        let bb = pseudo(12, k * n * nel);
+        let c0 = pseudo(13, m * n * nel);
+        let mut c_ref = c0.clone();
+        let w_ref = small_gemm_batch_ref(m, n, k, 1.0, &a, &bb, 0.0, &mut c_ref);
+        let mut c_blk = c0.clone();
+        let w_blk = small_gemm_batch(m, n, k, 1.0, &a, &bb, 0.0, &mut c_blk);
+        assert_eq!(w_ref, w_blk);
+        for (x, y) in c_ref.iter().zip(&c_blk) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn packing_round_trips_values() {
+        let (m, k) = (13, 5);
+        let a = pseudo(21, m * k);
+        let pa = pack_a(m, k, &a, 8);
+        assert_eq!((pa.m(), pa.k(), pa.mr()), (m, k, 8));
+        // Multiplying by the identity recovers A bit-exactly.
+        let mut eye = vec![0.0; k * k];
+        for i in 0..k {
+            eye[i * k + i] = 1.0;
+        }
+        let mut c = vec![0.0; m * k];
+        gemm_packed(&pa, k, GEMM_NR, 1.0, &eye, 0.0, &mut c);
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
     #[test]
     fn gemm_intensity_grows_with_size() {
         // AI of an n^3 gemm grows like n/16 when all operands stream: small
@@ -165,6 +544,31 @@ mod proptests {
             gemm(m, n, k, 1.0, &a, &b, 0.0, &mut c2);
             for (x, y) in c1.iter().zip(&c2) {
                 prop_assert!((x - alpha * y).abs() < 1e-9 * (1.0 + y.abs()));
+            }
+        }
+
+        #[test]
+        fn blocked_gemm_bit_identical_across_tile_shapes(
+            m in 1usize..34, n in 1usize..18, k in 1usize..18,
+            mr_ix in 0usize..4, nr_ix in 0usize..4,
+            seed in 0u64..1000,
+        ) {
+            // Block sizes {1, 3, 8, 16} exercise degenerate tiles, odd
+            // remainders, and non-multiple-of-chunk trailing edges.
+            let sizes = [1usize, 3, 8, 16];
+            let (mr, nr) = (sizes[mr_ix], sizes[nr_ix]);
+            let gen = |salt: u64, len: usize| -> Vec<f64> {
+                (0..len).map(|i| (((i as u64 + salt + seed) * 2654435761) % 257) as f64 / 63.0 - 2.0).collect()
+            };
+            let a = gen(1, m * k);
+            let b = gen(2, k * n);
+            let c0 = gen(3, m * n);
+            let mut c_ref = c0.clone();
+            gemm(m, n, k, 1.25, &a, &b, 0.5, &mut c_ref);
+            let mut c_blk = c0.clone();
+            gemm_blocked_with(m, n, k, 1.25, &a, &b, 0.5, &mut c_blk, mr, nr);
+            for (x, y) in c_ref.iter().zip(&c_blk) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
 

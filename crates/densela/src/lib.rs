@@ -29,6 +29,7 @@
 // obscure the stride arithmetic the Work models are written against.
 #![allow(clippy::needless_range_loop)]
 
+pub mod block;
 pub mod factor;
 pub mod gemm;
 pub mod matrix;

@@ -15,6 +15,7 @@
 //! (Newton iteration on Legendre polynomials), the spectral derivative
 //! matrix, the contraction kernels, and their work models.
 
+use crate::block::CHUNK;
 use crate::matrix::DMatrix;
 use crate::work::Work;
 
@@ -96,6 +97,13 @@ pub fn gll_derivative_matrix(n: usize) -> DMatrix {
 
 /// Apply `d` (n×n) along axis 0 of the n³ field `u`:
 /// `out[i,j,k] = Σ_l d[i,l] · u[l,j,k]`. Returns the work performed.
+///
+/// `inline(never)`: this is the reference kernel the blocked-vs-naive
+/// benchmarks and parity suites compare against. Small enough for rustc's
+/// cross-crate MIR inlining, it would otherwise be recompiled per call
+/// site — and the comparison would measure whatever loop transforms LLVM
+/// happened to apply there instead of the kernel the library ships.
+#[inline(never)]
 pub fn apply_dim0(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
     debug_assert_eq!(u.len(), n * n * n);
     debug_assert_eq!(out.len(), n * n * n);
@@ -113,6 +121,8 @@ pub fn apply_dim0(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
 }
 
 /// Apply `d` along axis 1: `out[i,j,k] = Σ_l d[j,l] · u[i,l,k]`.
+/// Reference kernel — pinned to library codegen (see [`apply_dim0`]).
+#[inline(never)]
 pub fn apply_dim1(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
     debug_assert_eq!(u.len(), n * n * n);
     for k in 0..n {
@@ -130,6 +140,8 @@ pub fn apply_dim1(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
 }
 
 /// Apply `d` along axis 2: `out[i,j,k] = Σ_l d[k,l] · u[i,j,l]`.
+/// Reference kernel — pinned to library codegen (see [`apply_dim0`]).
+#[inline(never)]
 pub fn apply_dim2(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
     debug_assert_eq!(u.len(), n * n * n);
     for k in 0..n {
@@ -144,6 +156,241 @@ pub fn apply_dim2(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
         }
     }
     tensor_apply_work(n)
+}
+
+// ---------------------------------------------------------------------------
+// Tiled axis applications.
+//
+// The naive kernels above walk one output at a time with an l-inner loop,
+// which on axes 1 and 2 reads u at stride n or n² — one useful element per
+// cache line. The tiled kernels hoist l outward and compute a fixed-width
+// chunk of contiguous outputs per iteration: the inner loop then streams
+// contiguous runs of u (axes 1/2) or of the d column (axis 0) through
+// CHUNK-wide accumulators. Every output element still accumulates its
+// products in ascending l starting from 0.0 — the identical expression tree
+// — so the tiled kernels are bit-identical to the naive references (pinned
+// by the parity proptests and the conform suite).
+// ---------------------------------------------------------------------------
+
+/// Row-major copy of the column-major n×n operator, built only when the
+/// double-width fast path of the axis-1/2 kernels will run (`tile ==
+/// CHUNK`, wide-enough n): `dt[r * n + l] = d[(r, l)]`. Returns an empty
+/// vec otherwise so narrow/remainder-only calls pay nothing.
+fn transpose_for_wide(ds: &[f64], n: usize, tile: usize) -> Vec<f64> {
+    if tile != CHUNK || n < 2 * CHUNK {
+        return Vec::new();
+    }
+    let mut dt = vec![0.0f64; n * n];
+    for (l, col) in ds.chunks_exact(n).enumerate() {
+        for (r, &v) in col.iter().enumerate() {
+            dt[r * n + l] = v;
+        }
+    }
+    dt
+}
+
+/// Tiled axis-0 application with caller-chosen chunk width (parity tests
+/// sweep {1, 3, 8, 16}); [`apply_dim0_tiled`] uses the default [`CHUNK`].
+pub fn apply_dim0_with(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64], tile: usize) -> Work {
+    assert!(tile > 0, "tile width must be positive");
+    debug_assert_eq!(u.len(), n * n * n);
+    debug_assert_eq!(out.len(), n * n * n);
+    let ds = d.as_slice(); // column-major: d[(i,l)] = ds[l*n + i]
+    let mut accbuf = vec![0.0f64; tile];
+    for jk in 0..n * n {
+        let base = jk * n;
+        let uline = &u[base..base + n];
+        let oline = &mut out[base..base + n];
+        let mut i0 = 0;
+        while i0 < n {
+            let te = tile.min(n - i0);
+            if tile == CHUNK && n - i0 >= 2 * CHUNK {
+                // Double-width step: two chunks of independent accumulators
+                // per l-pass halves the per-iteration slice overhead and
+                // doubles the exposed ILP. The l walk streams d's columns
+                // via chunks_exact so every load indexes with an elidable
+                // bound. Each output still sums ascending l from 0.0, so
+                // results are bit-identical to any width.
+                let mut acc = [0.0f64; 2 * CHUNK];
+                for (dcol, &ul) in ds.chunks_exact(n).zip(uline.iter()) {
+                    let dl: &[f64; 2 * CHUNK] = dcol[i0..i0 + 2 * CHUNK].try_into().unwrap();
+                    for c in 0..2 * CHUNK {
+                        acc[c] += dl[c] * ul;
+                    }
+                }
+                oline[i0..i0 + 2 * CHUNK].copy_from_slice(&acc);
+                i0 += 2 * CHUNK;
+                continue;
+            }
+            if te == CHUNK {
+                let mut acc = [0.0f64; CHUNK];
+                for (l, &ul) in uline.iter().enumerate() {
+                    let dl: &[f64; CHUNK] = ds[l * n + i0..l * n + i0 + CHUNK].try_into().unwrap();
+                    for c in 0..CHUNK {
+                        acc[c] += dl[c] * ul;
+                    }
+                }
+                oline[i0..i0 + CHUNK].copy_from_slice(&acc);
+            } else {
+                let acc = &mut accbuf[..te];
+                acc.fill(0.0);
+                for (l, &ul) in uline.iter().enumerate() {
+                    let dl = &ds[l * n + i0..l * n + i0 + te];
+                    for c in 0..te {
+                        acc[c] += dl[c] * ul;
+                    }
+                }
+                oline[i0..i0 + te].copy_from_slice(acc);
+            }
+            i0 += te;
+        }
+    }
+    tensor_apply_work(n)
+}
+
+/// Tiled axis-0 application at the default chunk width; bit-identical to
+/// [`apply_dim0`].
+pub fn apply_dim0_tiled(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
+    apply_dim0_with(d, n, u, out, CHUNK)
+}
+
+/// Tiled axis-1 application with caller-chosen chunk width.
+pub fn apply_dim1_with(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64], tile: usize) -> Work {
+    assert!(tile > 0, "tile width must be positive");
+    debug_assert_eq!(u.len(), n * n * n);
+    let ds = d.as_slice();
+    let mut accbuf = vec![0.0f64; tile];
+    // Row-major copy of d for the wide path: the broadcast scalar walk
+    // d[(j, 0..n)] becomes a contiguous length-n row the l loop can zip
+    // against u's plane rows with no per-iteration bound checks. O(n²)
+    // against the O(n⁴) contraction.
+    let dt = transpose_for_wide(ds, n, tile);
+    for k in 0..n {
+        for j in 0..n {
+            let obase = k * n * n + j * n;
+            let mut i0 = 0;
+            while i0 < n {
+                let te = tile.min(n - i0);
+                if tile == CHUNK && n - i0 >= 2 * CHUNK {
+                    // Double-width step (see apply_dim0_with): bit-identical,
+                    // half the slice overhead, twice the ILP.
+                    let mut acc = [0.0f64; 2 * CHUNK];
+                    let dtj = &dt[j * n..(j + 1) * n];
+                    let plane = &u[k * n * n..(k + 1) * n * n];
+                    for (&s, row) in dtj.iter().zip(plane.chunks_exact(n)) {
+                        let urow: &[f64; 2 * CHUNK] = row[i0..i0 + 2 * CHUNK].try_into().unwrap();
+                        for c in 0..2 * CHUNK {
+                            acc[c] += s * urow[c];
+                        }
+                    }
+                    out[obase + i0..obase + i0 + 2 * CHUNK].copy_from_slice(&acc);
+                    i0 += 2 * CHUNK;
+                    continue;
+                }
+                if te == CHUNK {
+                    let mut acc = [0.0f64; CHUNK];
+                    for l in 0..n {
+                        let s = ds[l * n + j];
+                        let urow: &[f64; CHUNK] = u
+                            [k * n * n + l * n + i0..k * n * n + l * n + i0 + CHUNK]
+                            .try_into()
+                            .unwrap();
+                        for c in 0..CHUNK {
+                            acc[c] += s * urow[c];
+                        }
+                    }
+                    out[obase + i0..obase + i0 + CHUNK].copy_from_slice(&acc);
+                } else {
+                    let acc = &mut accbuf[..te];
+                    acc.fill(0.0);
+                    for l in 0..n {
+                        let s = ds[l * n + j];
+                        let urow = &u[k * n * n + l * n + i0..k * n * n + l * n + i0 + te];
+                        for c in 0..te {
+                            acc[c] += s * urow[c];
+                        }
+                    }
+                    out[obase + i0..obase + i0 + te].copy_from_slice(acc);
+                }
+                i0 += te;
+            }
+        }
+    }
+    tensor_apply_work(n)
+}
+
+/// Tiled axis-1 application at the default chunk width; bit-identical to
+/// [`apply_dim1`].
+pub fn apply_dim1_tiled(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
+    apply_dim1_with(d, n, u, out, CHUNK)
+}
+
+/// Tiled axis-2 application with caller-chosen chunk width.
+pub fn apply_dim2_with(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64], tile: usize) -> Work {
+    assert!(tile > 0, "tile width must be positive");
+    debug_assert_eq!(u.len(), n * n * n);
+    let ds = d.as_slice();
+    let mut accbuf = vec![0.0f64; tile];
+    let dt = transpose_for_wide(ds, n, tile);
+    for k in 0..n {
+        for j in 0..n {
+            let obase = k * n * n + j * n;
+            let mut i0 = 0;
+            while i0 < n {
+                let te = tile.min(n - i0);
+                if tile == CHUNK && n - i0 >= 2 * CHUNK {
+                    // Double-width step (see apply_dim0_with): bit-identical,
+                    // half the slice overhead, twice the ILP.
+                    let mut acc = [0.0f64; 2 * CHUNK];
+                    let dtk = &dt[k * n..(k + 1) * n];
+                    for (&s, plane) in dtk.iter().zip(u.chunks_exact(n * n)) {
+                        let urow: &[f64; 2 * CHUNK] = plane[j * n + i0..j * n + i0 + 2 * CHUNK]
+                            .try_into()
+                            .unwrap();
+                        for c in 0..2 * CHUNK {
+                            acc[c] += s * urow[c];
+                        }
+                    }
+                    out[obase + i0..obase + i0 + 2 * CHUNK].copy_from_slice(&acc);
+                    i0 += 2 * CHUNK;
+                    continue;
+                }
+                if te == CHUNK {
+                    let mut acc = [0.0f64; CHUNK];
+                    for l in 0..n {
+                        let s = ds[l * n + k];
+                        let urow: &[f64; CHUNK] = u
+                            [l * n * n + j * n + i0..l * n * n + j * n + i0 + CHUNK]
+                            .try_into()
+                            .unwrap();
+                        for c in 0..CHUNK {
+                            acc[c] += s * urow[c];
+                        }
+                    }
+                    out[obase + i0..obase + i0 + CHUNK].copy_from_slice(&acc);
+                } else {
+                    let acc = &mut accbuf[..te];
+                    acc.fill(0.0);
+                    for l in 0..n {
+                        let s = ds[l * n + k];
+                        let urow = &u[l * n * n + j * n + i0..l * n * n + j * n + i0 + te];
+                        for c in 0..te {
+                            acc[c] += s * urow[c];
+                        }
+                    }
+                    out[obase + i0..obase + i0 + te].copy_from_slice(acc);
+                }
+                i0 += te;
+            }
+        }
+    }
+    tensor_apply_work(n)
+}
+
+/// Tiled axis-2 application at the default chunk width; bit-identical to
+/// [`apply_dim2`].
+pub fn apply_dim2_tiled(d: &DMatrix, n: usize, u: &[f64], out: &mut [f64]) -> Work {
+    apply_dim2_with(d, n, u, out, CHUNK)
 }
 
 /// Work of one axis application: n³ outputs × n MACs, streaming u and out.
@@ -193,10 +440,10 @@ pub fn local_ax(
 ) -> Work {
     debug_assert_eq!(g.len(), n * n * n);
     let mut work = Work::ZERO;
-    // Gradient.
-    work += apply_dim0(d, n, u, &mut s.ur);
-    work += apply_dim1(d, n, u, &mut s.us);
-    work += apply_dim2(d, n, u, &mut s.ut);
+    // Gradient (tiled kernels; bit-identical to the naive references).
+    work += apply_dim0_tiled(d, n, u, &mut s.ur);
+    work += apply_dim1_tiled(d, n, u, &mut s.us);
+    work += apply_dim2_tiled(d, n, u, &mut s.ut);
     // Apply (diagonal) geometric factors.
     for i in 0..n * n * n {
         s.ur[i] *= g[i];
@@ -209,12 +456,12 @@ pub fn local_ax(
         3 * (n * n * n) as u64 * F64B,
     );
     // Divergence (transpose applications), accumulated into w.
-    work += apply_dim0(dt, n, &s.ur, w);
-    work += apply_dim1(dt, n, &s.us, &mut s.tmp);
+    work += apply_dim0_tiled(dt, n, &s.ur, w);
+    work += apply_dim1_tiled(dt, n, &s.us, &mut s.tmp);
     for i in 0..n * n * n {
         w[i] += s.tmp[i];
     }
-    work += apply_dim2(dt, n, &s.ut, &mut s.tmp);
+    work += apply_dim2_tiled(dt, n, &s.ut, &mut s.tmp);
     for i in 0..n * n * n {
         w[i] += s.tmp[i];
     }
@@ -308,6 +555,34 @@ mod tests {
     }
 
     #[test]
+    fn tiled_applies_are_bit_identical_to_naive() {
+        for n in [2usize, 3, 5, 8, 9, 16, 17] {
+            let d = gll_derivative_matrix(n.max(2));
+            let n3 = n * n * n;
+            let u: Vec<f64> = (0..n3)
+                .map(|i| ((i * 31) % 97) as f64 / 13.0 - 3.0)
+                .collect();
+            let mut o_ref = vec![0.0; n3];
+            let mut o_til = vec![0.0; n3];
+            for (naive, tiled) in [
+                (
+                    apply_dim0 as fn(&DMatrix, usize, &[f64], &mut [f64]) -> Work,
+                    apply_dim0_tiled as fn(&DMatrix, usize, &[f64], &mut [f64]) -> Work,
+                ),
+                (apply_dim1, apply_dim1_tiled),
+                (apply_dim2, apply_dim2_tiled),
+            ] {
+                let w1 = naive(&d, n, &u, &mut o_ref);
+                let w2 = tiled(&d, n, &u, &mut o_til);
+                assert_eq!(w1, w2);
+                for (a, b) in o_ref.iter().zip(&o_til) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn local_ax_is_symmetric_positive_semidefinite() {
         let n = 5;
         let d = gll_derivative_matrix(n);
@@ -365,6 +640,38 @@ mod proptests {
     use proptest::prelude::*;
 
     proptest! {
+        #[test]
+        fn tiled_applies_bit_identical_across_tile_widths(
+            n in 2usize..10,
+            tile_ix in 0usize..4,
+            seed in 0u64..500,
+        ) {
+            let sizes = [1usize, 3, 8, 16];
+            let tile = sizes[tile_ix];
+            let d = gll_derivative_matrix(n);
+            let n3 = n * n * n;
+            let u: Vec<f64> = (0..n3)
+                .map(|i| (((i as u64 + seed) * 2654435761) % 101) as f64 / 17.0 - 2.5)
+                .collect();
+            let mut o_ref = vec![0.0; n3];
+            let mut o_til = vec![0.0; n3];
+            apply_dim0(&d, n, &u, &mut o_ref);
+            apply_dim0_with(&d, n, &u, &mut o_til, tile);
+            for (a, b) in o_ref.iter().zip(&o_til) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            apply_dim1(&d, n, &u, &mut o_ref);
+            apply_dim1_with(&d, n, &u, &mut o_til, tile);
+            for (a, b) in o_ref.iter().zip(&o_til) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            apply_dim2(&d, n, &u, &mut o_ref);
+            apply_dim2_with(&d, n, &u, &mut o_til, tile);
+            for (a, b) in o_ref.iter().zip(&o_til) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
         #[test]
         fn axis_applications_are_linear(n in 2usize..6, alpha in -3.0f64..3.0) {
             let d = gll_derivative_matrix(n);

@@ -4,6 +4,7 @@
 //! streaming operations with arithmetic intensity well under every system's
 //! ridge point, hence memory-bound everywhere.
 
+use crate::block::CHUNK;
 use crate::work::Work;
 
 const F64B: u64 = 8;
@@ -102,6 +103,216 @@ pub fn hadamard(x: &[f64], y: &[f64], w: &mut [f64]) -> Work {
     Work::new(n, 2 * n * F64B, n * F64B)
 }
 
+// ---------------------------------------------------------------------------
+// Explicit-width chunked variants.
+//
+// The elementwise kernels below process [`CHUNK`] (= one 512-bit SVE vector
+// of f64) elements per iteration with a scalar tail. Each output element is
+// computed by exactly the same expression as the naive kernel above, so the
+// elementwise chunked kernels are bit-identical to their references.
+//
+// The chunked *reductions* (`dot_chunked`, `norm2_sq_chunked`) keep CHUNK
+// independent partial accumulators and combine them in a fixed order; that
+// reassociation makes them ulp-bounded rather than bit-identical (relative
+// error O(n·ε) — same class as the naive left fold; the conform parity suite
+// pins |Δ| ≤ 1e-12·Σ|xᵢyᵢ|). The naive reductions stay the defaults wherever
+// bit-stability is pinned (Team reductions, CG).
+// ---------------------------------------------------------------------------
+
+/// Chunked dot product: CHUNK partial accumulators combined in a fixed
+/// order. Ulp-bounded vs [`dot`] (documented reassociation), deterministic.
+pub fn dot_chunked(x: &[f64], y: &[f64]) -> (f64, Work) {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = [0.0f64; CHUNK];
+    let mut xc = x.chunks_exact(CHUNK);
+    let mut yc = y.chunks_exact(CHUNK);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        let xs: &[f64; CHUNK] = xs.try_into().unwrap();
+        let ys: &[f64; CHUNK] = ys.try_into().unwrap();
+        for i in 0..CHUNK {
+            acc[i] += xs[i] * ys[i];
+        }
+    }
+    let mut tail = 0.0;
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += a * b;
+    }
+    let mut s = 0.0;
+    for a in acc {
+        s += a;
+    }
+    s += tail;
+    let n = x.len() as u64;
+    (s, Work::new(2 * n, 2 * n * F64B, 0))
+}
+
+/// Chunked squared 2-norm; ulp-bounded vs [`norm2_sq`] like [`dot_chunked`].
+pub fn norm2_sq_chunked(x: &[f64]) -> (f64, Work) {
+    let mut acc = [0.0f64; CHUNK];
+    let mut xc = x.chunks_exact(CHUNK);
+    for xs in &mut xc {
+        let xs: &[f64; CHUNK] = xs.try_into().unwrap();
+        for i in 0..CHUNK {
+            acc[i] += xs[i] * xs[i];
+        }
+    }
+    let mut tail = 0.0;
+    for a in xc.remainder() {
+        tail += a * a;
+    }
+    let mut s = 0.0;
+    for a in acc {
+        s += a;
+    }
+    s += tail;
+    let n = x.len() as u64;
+    (s, Work::new(2 * n, n * F64B, 0))
+}
+
+/// Chunked `y += alpha * x`; bit-identical to [`axpy`].
+pub fn axpy_chunked(alpha: f64, x: &[f64], y: &mut [f64]) -> Work {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let mut xc = x.chunks_exact(CHUNK);
+    let mut yc = y.chunks_exact_mut(CHUNK);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        let xs: &[f64; CHUNK] = xs.try_into().unwrap();
+        let ys: &mut [f64; CHUNK] = ys.try_into().unwrap();
+        for i in 0..CHUNK {
+            ys[i] += alpha * xs[i];
+        }
+    }
+    for (a, b) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *b += alpha * a;
+    }
+    let n = x.len() as u64;
+    Work::new(2 * n, 2 * n * F64B, n * F64B)
+}
+
+/// Chunked WAXPBY; bit-identical to [`waxpby`].
+pub fn waxpby_chunked(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64]) -> Work {
+    assert!(
+        x.len() == y.len() && y.len() == w.len(),
+        "waxpby: length mismatch"
+    );
+    let mut xc = x.chunks_exact(CHUNK);
+    let mut yc = y.chunks_exact(CHUNK);
+    let mut wc = w.chunks_exact_mut(CHUNK);
+    for ((xs, ys), ws) in (&mut xc).zip(&mut yc).zip(&mut wc) {
+        let xs: &[f64; CHUNK] = xs.try_into().unwrap();
+        let ys: &[f64; CHUNK] = ys.try_into().unwrap();
+        let ws: &mut [f64; CHUNK] = ws.try_into().unwrap();
+        for i in 0..CHUNK {
+            ws[i] = alpha * xs[i] + beta * ys[i];
+        }
+    }
+    for ((a, b), o) in xc
+        .remainder()
+        .iter()
+        .zip(yc.remainder())
+        .zip(wc.into_remainder())
+    {
+        *o = alpha * a + beta * b;
+    }
+    let n = x.len() as u64;
+    Work::new(3 * n, 2 * n * F64B, n * F64B)
+}
+
+/// Chunked in-place `p = r + beta p` (the CG search-direction update);
+/// bit-identical to the scalar loop. The in-place aliasing makes this a
+/// distinct kernel from [`waxpby_chunked`], whose output must not alias
+/// its inputs.
+pub fn xpby_chunked(r: &[f64], beta: f64, p: &mut [f64]) -> Work {
+    assert_eq!(r.len(), p.len(), "xpby: length mismatch");
+    let mut rc = r.chunks_exact(CHUNK);
+    let mut pc = p.chunks_exact_mut(CHUNK);
+    for (rs, ps) in (&mut rc).zip(&mut pc) {
+        let rs: &[f64; CHUNK] = rs.try_into().unwrap();
+        let ps: &mut [f64; CHUNK] = ps.try_into().unwrap();
+        for i in 0..CHUNK {
+            ps[i] = rs[i] + beta * ps[i];
+        }
+    }
+    for (rv, pv) in rc.remainder().iter().zip(pc.into_remainder()) {
+        *pv = rv + beta * *pv;
+    }
+    let n = r.len() as u64;
+    Work::new(2 * n, 2 * n * F64B, n * F64B)
+}
+
+/// Chunked STREAM triad; bit-identical to [`triad`].
+pub fn triad_chunked(alpha: f64, b: &[f64], c: &[f64], a: &mut [f64]) -> Work {
+    assert!(
+        b.len() == c.len() && c.len() == a.len(),
+        "triad: length mismatch"
+    );
+    let mut bc = b.chunks_exact(CHUNK);
+    let mut cc = c.chunks_exact(CHUNK);
+    let mut ac = a.chunks_exact_mut(CHUNK);
+    for ((bs, cs), asl) in (&mut bc).zip(&mut cc).zip(&mut ac) {
+        let bs: &[f64; CHUNK] = bs.try_into().unwrap();
+        let cs: &[f64; CHUNK] = cs.try_into().unwrap();
+        let asl: &mut [f64; CHUNK] = asl.try_into().unwrap();
+        for i in 0..CHUNK {
+            asl[i] = bs[i] + alpha * cs[i];
+        }
+    }
+    for ((bv, cv), av) in bc
+        .remainder()
+        .iter()
+        .zip(cc.remainder())
+        .zip(ac.into_remainder())
+    {
+        *av = bv + alpha * cv;
+    }
+    let n = a.len() as u64;
+    Work::new(2 * n, 2 * n * F64B, n * F64B)
+}
+
+/// Chunked in-place scale; bit-identical to [`scale`].
+pub fn scale_chunked(alpha: f64, x: &mut [f64]) -> Work {
+    let mut xc = x.chunks_exact_mut(CHUNK);
+    for xs in &mut xc {
+        let xs: &mut [f64; CHUNK] = xs.try_into().unwrap();
+        for v in xs.iter_mut() {
+            *v *= alpha;
+        }
+    }
+    for v in xc.into_remainder() {
+        *v *= alpha;
+    }
+    let n = x.len() as u64;
+    Work::new(n, n * F64B, n * F64B)
+}
+
+/// Chunked Hadamard product; bit-identical to [`hadamard`].
+pub fn hadamard_chunked(x: &[f64], y: &[f64], w: &mut [f64]) -> Work {
+    assert!(
+        x.len() == y.len() && y.len() == w.len(),
+        "hadamard: length mismatch"
+    );
+    let mut xc = x.chunks_exact(CHUNK);
+    let mut yc = y.chunks_exact(CHUNK);
+    let mut wc = w.chunks_exact_mut(CHUNK);
+    for ((xs, ys), ws) in (&mut xc).zip(&mut yc).zip(&mut wc) {
+        let xs: &[f64; CHUNK] = xs.try_into().unwrap();
+        let ys: &[f64; CHUNK] = ys.try_into().unwrap();
+        let ws: &mut [f64; CHUNK] = ws.try_into().unwrap();
+        for i in 0..CHUNK {
+            ws[i] = xs[i] * ys[i];
+        }
+    }
+    for ((a, b), o) in xc
+        .remainder()
+        .iter()
+        .zip(yc.remainder())
+        .zip(wc.into_remainder())
+    {
+        *o = a * b;
+    }
+    let n = x.len() as u64;
+    Work::new(n, 2 * n * F64B, n * F64B)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +377,76 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn chunked_elementwise_ops_are_bit_identical() {
+        // Lengths straddle multiples of CHUNK to hit full chunks, tails,
+        // and the empty-chunk case.
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 100] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 3.0).collect();
+            let y: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.5)).collect();
+
+            let mut y_ref = y.clone();
+            let mut y_chk = y.clone();
+            assert_eq!(axpy(1.7, &x, &mut y_ref), axpy_chunked(1.7, &x, &mut y_chk));
+            assert_eq!(bits(&y_ref), bits(&y_chk), "axpy n={n}");
+
+            let mut w_ref = vec![0.0; n];
+            let mut w_chk = vec![0.0; n];
+            waxpby(1.1, &x, -0.3, &y, &mut w_ref);
+            waxpby_chunked(1.1, &x, -0.3, &y, &mut w_chk);
+            assert_eq!(bits(&w_ref), bits(&w_chk), "waxpby n={n}");
+
+            let mut p_ref = y.clone();
+            let mut p_chk = y.clone();
+            for (pv, rv) in p_ref.iter_mut().zip(&x) {
+                *pv = rv + 0.4 * *pv;
+            }
+            xpby_chunked(&x, 0.4, &mut p_chk);
+            assert_eq!(bits(&p_ref), bits(&p_chk), "xpby n={n}");
+
+            triad(2.5, &x, &y, &mut w_ref);
+            triad_chunked(2.5, &x, &y, &mut w_chk);
+            assert_eq!(bits(&w_ref), bits(&w_chk), "triad n={n}");
+
+            hadamard(&x, &y, &mut w_ref);
+            hadamard_chunked(&x, &y, &mut w_chk);
+            assert_eq!(bits(&w_ref), bits(&w_chk), "hadamard n={n}");
+
+            let mut s_ref = x.clone();
+            let mut s_chk = x.clone();
+            scale(0.9, &mut s_ref);
+            scale_chunked(0.9, &mut s_chk);
+            assert_eq!(bits(&s_ref), bits(&s_chk), "scale n={n}");
+        }
+    }
+
+    #[test]
+    fn chunked_reductions_are_ulp_bounded() {
+        for n in [0usize, 1, 7, 8, 9, 100, 1001] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * 7919) % 1000) as f64 / 100.0 - 5.0)
+                .collect();
+            let y: Vec<f64> = (0..n)
+                .map(|i| ((i * 104729) % 1000) as f64 / 250.0 - 2.0)
+                .collect();
+            let (d_ref, w1) = dot(&x, &y);
+            let (d_chk, w2) = dot_chunked(&x, &y);
+            assert_eq!(w1, w2);
+            let mag: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+            assert!((d_ref - d_chk).abs() <= 1e-12 * (1.0 + mag), "dot n={n}");
+            let (s_ref, _) = norm2_sq(&x);
+            let (s_chk, _) = norm2_sq_chunked(&x);
+            assert!(
+                (s_ref - s_chk).abs() <= 1e-12 * (1.0 + s_ref),
+                "norm2 n={n}"
+            );
+        }
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
     }
 
     #[test]

@@ -120,6 +120,16 @@ impl CsrMatrix {
             .zip(self.values[lo..hi].iter().copied())
     }
 
+    /// Raw column-index and value slices of one row. The slice form lets
+    /// blocked kernels run the inner loop without per-element bounds checks
+    /// or iterator adapters (same data the [`CsrMatrix::row`] iterator
+    /// yields, in the same order).
+    pub fn row_parts(&self, r: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
     /// The diagonal entry of row `r` (0 if absent).
     pub fn diag(&self, r: usize) -> f64 {
         self.row(r)

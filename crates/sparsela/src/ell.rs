@@ -10,6 +10,7 @@
 //! SpMV whose results match CSR bit-for-bit reorderings aside.
 
 use crate::csr::CsrMatrix;
+use densela::block::CHUNK;
 use densela::pool::SharedSlice;
 use densela::Work;
 
@@ -35,6 +36,8 @@ pub struct SellMatrix {
     col_idx: Vec<u32>,
     values: Vec<f64>,
     nnz: usize,
+    /// The σ-sorting window the matrix was built with.
+    sigma: usize,
 }
 
 impl SellMatrix {
@@ -101,7 +104,42 @@ impl SellMatrix {
             col_idx,
             values,
             nnz: a.nnz(),
+            sigma,
         }
+    }
+
+    /// Convert from CSR with slice height `c`, picking the σ-sorting window
+    /// from the row-length variance so callers don't have to guess:
+    ///
+    /// * near-regular matrices (coefficient of variation < 5%, e.g. interior
+    ///   stencils) skip sorting entirely (σ = c — sorting buys nothing and
+    ///   perturbs row order);
+    /// * mildly ragged matrices (CV < 50%) sort within 4c windows;
+    /// * heavily ragged matrices sort within 8c windows.
+    ///
+    /// The decision is a pure function of the row-length histogram, so the
+    /// chosen window (see [`SellMatrix::sigma`]) is deterministic.
+    pub fn from_csr_auto(a: &CsrMatrix, c: usize) -> Self {
+        let rows = a.rows();
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for r in 0..rows {
+            let len = a.row(r).count() as f64;
+            // Welford's running mean/variance.
+            let delta = len - mean;
+            mean += delta / (r + 1) as f64;
+            m2 += delta * (len - mean);
+        }
+        let var = if rows > 0 { m2 / rows as f64 } else { 0.0 };
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        let sigma = if cv < 0.05 {
+            c
+        } else if cv < 0.5 {
+            4 * c
+        } else {
+            8 * c
+        };
+        Self::from_csr(a, c, sigma)
     }
 
     /// Number of rows.
@@ -133,6 +171,28 @@ impl SellMatrix {
     /// Padding overhead: stored / nnz (1.0 = no padding).
     pub fn padding_factor(&self) -> f64 {
         self.stored() as f64 / self.nnz as f64
+    }
+
+    /// Fraction of stored entries that are true non-zeros: nnz / stored in
+    /// (0, 1]. 1.0 means zero padding; low values explain SELL losses to
+    /// CSR in the bench output.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.stored() == 0 {
+            1.0
+        } else {
+            self.nnz as f64 / self.stored() as f64
+        }
+    }
+
+    /// Slice height C.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// The σ-sorting window this matrix was built with (equals `c` when
+    /// sorting was disabled; see [`SellMatrix::from_csr_auto`]).
+    pub fn sigma(&self) -> usize {
+        self.sigma
     }
 
     /// SpMV `y = A x` in SELL order. The output is in *original* row order
@@ -180,6 +240,80 @@ impl SellMatrix {
             }
             for lane in 0..lanes {
                 y.set(self.perm[lo + lane], acc[lane]);
+            }
+        }
+    }
+
+    /// Chunked SpMV `y = A x`: the unrolled SELL kernel (fixed-width lane
+    /// chunks, no per-element bounds checks). Bit-identical to the naive
+    /// [`SellMatrix::spmv`] — each lane's accumulation order over `j` is
+    /// unchanged; only the lane loop is restructured.
+    pub fn spmv_chunked(&self, x: &[f64], y: &mut [f64]) -> Work {
+        assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
+        let out = SharedSlice::new(y);
+        // SAFETY: single caller covers every slice exactly once.
+        unsafe { self.spmv_slices_chunked(0, self.num_slices(), x, &out) };
+        self.spmv_work()
+    }
+
+    /// The unrolled SpMV kernel over slices `s_lo..s_hi`. Full slices of
+    /// height [`CHUNK`] run through a fixed-size accumulator array whose
+    /// lane loop the compiler can keep in one vector register; other slice
+    /// heights take a sliced (still bounds-check-free) generic path.
+    /// Serves `Team::sell_spmv` lanes and the serial
+    /// [`SellMatrix::spmv_chunked`] — one code path, bit-identical results.
+    ///
+    /// # Safety
+    /// Same contract as [`SellMatrix::spmv_slices`]: no other thread may
+    /// concurrently touch the output rows of slices `s_lo..s_hi`.
+    pub(crate) unsafe fn spmv_slices_chunked(
+        &self,
+        s_lo: usize,
+        s_hi: usize,
+        x: &[f64],
+        y: &SharedSlice<f64>,
+    ) {
+        let c = self.c;
+        let mut accbuf = vec![0.0f64; c];
+        for s in s_lo..s_hi {
+            let lo = s * c;
+            let hi = ((s + 1) * c).min(self.rows);
+            let lanes = hi - lo;
+            let width = self.slice_width[s];
+            let base = self.slice_ptr[s];
+            if lanes == CHUNK {
+                // Fixed-width fast path: CHUNK accumulators live in
+                // registers across the whole width loop.
+                let mut acc = [0.0f64; CHUNK];
+                for j in 0..width {
+                    let off = base + j * c;
+                    let vals: &[f64; CHUNK] = self.values[off..off + CHUNK].try_into().unwrap();
+                    let cols: &[u32; CHUNK] = self.col_idx[off..off + CHUNK].try_into().unwrap();
+                    for lane in 0..CHUNK {
+                        acc[lane] += vals[lane] * x[cols[lane] as usize];
+                    }
+                }
+                for lane in 0..CHUNK {
+                    y.set(self.perm[lo + lane], acc[lane]);
+                }
+            } else {
+                // Remainder slice / non-CHUNK heights: same arithmetic
+                // through subslices (one bounds check per row of the slice,
+                // not per element).
+                let acc = &mut accbuf[..lanes];
+                acc.fill(0.0);
+                for j in 0..width {
+                    let off = base + j * c;
+                    let vals = &self.values[off..off + lanes];
+                    let cols = &self.col_idx[off..off + lanes];
+                    for lane in 0..lanes {
+                        acc[lane] += vals[lane] * x[cols[lane] as usize];
+                    }
+                }
+                for lane in 0..lanes {
+                    y.set(self.perm[lo + lane], acc[lane]);
+                }
             }
         }
     }
@@ -276,6 +410,72 @@ mod tests {
             "padding {}",
             sell.padding_factor()
         );
+    }
+
+    #[test]
+    fn chunked_spmv_is_bit_identical_to_naive() {
+        // Slice heights {1, 3, 8, 16} hit the fixed-width fast path, the
+        // generic path, and ragged trailing slices.
+        for (nx, ny, nz) in [(5, 4, 3), (3, 3, 3), (4, 4, 5)] {
+            let a = stencil27(nx, ny, nz);
+            for (c, sigma) in [(1, 1), (3, 6), (8, 8), (8, 32), (16, 64)] {
+                let sell = SellMatrix::from_csr(&a, c, sigma);
+                let x: Vec<f64> = (0..a.cols())
+                    .map(|i| ((i * 11) % 17) as f64 / 3.0 - 2.0)
+                    .collect();
+                let mut y_ref = vec![0.0; a.rows()];
+                let mut y_chk = vec![0.0; a.rows()];
+                let w1 = sell.spmv(&x, &mut y_ref);
+                let w2 = sell.spmv_chunked(&x, &mut y_chk);
+                assert_eq!(w1, w2);
+                for (u, v) in y_ref.iter().zip(&y_chk) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "c={c} sigma={sigma}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_sigma_follows_row_length_variance() {
+        // Perfectly regular: every row has the same length → CV = 0, no
+        // sorting.
+        let mut band = Vec::new();
+        for r in 0..64usize {
+            for j in 0..3 {
+                band.push((r, (r + j) % 64, 1.0));
+            }
+        }
+        let regular = CsrMatrix::from_coo(64, 64, band);
+        let s = SellMatrix::from_csr_auto(&regular, 8);
+        assert_eq!(s.sigma(), 8, "regular matrix should skip sorting");
+        // The HPCG stencil's boundary rows give mild raggedness → 4c — the
+        // same σ=32 the benchmarks hand-picked for c=8.
+        let stencil = stencil27(8, 8, 8);
+        let s = SellMatrix::from_csr_auto(&stencil, 8);
+        assert_eq!(s.sigma(), 32, "stencil should sort in 4c windows");
+        // Heavily ragged: 1-vs-20 row lengths → 8c window.
+        let mut entries = Vec::new();
+        for r in 0..64usize {
+            let len = if r % 8 == 0 { 20 } else { 1 };
+            for j in 0..len {
+                entries.push((r, (r + j) % 64, 1.0));
+            }
+        }
+        let ragged = CsrMatrix::from_coo(64, 64, entries);
+        let s = SellMatrix::from_csr_auto(&ragged, 8);
+        assert_eq!(s.sigma(), 64, "ragged matrix should sort in 8c windows");
+        // The auto pick should not pad worse than the unsorted layout.
+        let unsorted = SellMatrix::from_csr(&ragged, 8, 8);
+        assert!(s.padding_factor() <= unsorted.padding_factor());
+    }
+
+    #[test]
+    fn fill_ratio_is_inverse_padding() {
+        let a = stencil27(4, 4, 4);
+        let sell = SellMatrix::from_csr(&a, 8, 8);
+        assert!((sell.fill_ratio() * sell.padding_factor() - 1.0).abs() < 1e-12);
+        assert!(sell.fill_ratio() > 0.0 && sell.fill_ratio() <= 1.0);
+        assert_eq!(sell.c(), 8);
     }
 
     #[test]

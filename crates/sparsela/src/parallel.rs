@@ -123,6 +123,24 @@ impl Team {
         part
     }
 
+    /// Chunk-aligned lane partition for the elementwise streaming kernels:
+    /// interior boundaries land on [`densela::block::CHUNK`] multiples, so
+    /// every lane's fixed-width inner loop sees whole chunks and the only
+    /// scalar tail is the global one at `n`. Elementwise outputs depend on
+    /// one index each, so shifting a boundary never changes a bit. Lanes
+    /// past the returned ranges (possible when `n` has fewer chunks than
+    /// lanes) simply idle. Reports lane shares like [`Team::partition`].
+    fn aligned_partition(&self, n: usize) -> Vec<(usize, usize)> {
+        let ranges = densela::block::aligned_ranges(n, self.threads(), densela::block::CHUNK);
+        if obs::enabled() {
+            for lane in 0..self.threads() {
+                let rows = ranges.get(lane).map(|&(lo, hi)| hi - lo).unwrap_or(0);
+                obs::observe("pool.lane_rows", rows as f64);
+            }
+        }
+        ranges
+    }
+
     /// Parallel SpMV `y = A x`: rows are block-partitioned over the team;
     /// every lane writes only its own range of `y`. Row results are
     /// bit-identical to [`CsrMatrix::spmv`].
@@ -240,20 +258,22 @@ impl Team {
     }
 
     /// Parallel AXPY `y += alpha x`. Bit-identical to the serial kernel.
+    /// Lane ranges are chunk-aligned and each lane runs the fixed-width
+    /// chunked kernel, so only the global tail falls back to scalar code.
     pub fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) -> Work {
         assert_eq!(x.len(), y.len(), "axpy: length mismatch");
         if self.serial(x.len()) {
-            return densela::vecops::axpy(alpha, x, y);
+            return densela::vecops::axpy_chunked(alpha, x, y);
         }
-        let part = self.partition(x.len());
+        let ranges = self.aligned_partition(x.len());
         let out = SharedSlice::new(y);
         self.pool.run(|lane| {
-            let (lo, hi) = part.range(lane);
+            let Some(&(lo, hi)) = ranges.get(lane) else {
+                return;
+            };
             // SAFETY: lanes own disjoint ranges of `y`.
             let ys = unsafe { out.range_mut(lo, hi) };
-            for (i, yv) in ys.iter_mut().enumerate() {
-                *yv += alpha * x[lo + i];
-            }
+            densela::vecops::axpy_chunked(alpha, &x[lo..hi], ys);
         });
         let n = x.len() as u64;
         Work::new(2 * n, 16 * n, 8 * n)
@@ -295,27 +315,25 @@ impl Team {
     }
 
     /// Parallel `p = r + beta p` (the CG search-direction update).
+    /// Chunk-aligned lane ranges + the fixed-width chunked kernel per
+    /// lane, like [`Team::axpy`]; bit-identical to the scalar loop.
     pub fn xpby(&self, r: &[f64], beta: f64, p: &mut [f64]) -> Work {
         assert_eq!(r.len(), p.len(), "xpby: length mismatch");
-        let n = r.len() as u64;
-        let work = Work::new(2 * n, 16 * n, 8 * n);
         if self.serial(r.len()) {
-            for (pv, rv) in p.iter_mut().zip(r) {
-                *pv = rv + beta * *pv;
-            }
-            return work;
+            return densela::vecops::xpby_chunked(r, beta, p);
         }
-        let part = self.partition(r.len());
+        let ranges = self.aligned_partition(r.len());
         let out = SharedSlice::new(p);
         self.pool.run(|lane| {
-            let (lo, hi) = part.range(lane);
+            let Some(&(lo, hi)) = ranges.get(lane) else {
+                return;
+            };
             // SAFETY: lanes own disjoint ranges of `p`.
             let ps = unsafe { out.range_mut(lo, hi) };
-            for (i, pv) in ps.iter_mut().enumerate() {
-                *pv = r[lo + i] + beta * *pv;
-            }
+            densela::vecops::xpby_chunked(&r[lo..hi], beta, ps);
         });
-        work
+        let n = r.len() as u64;
+        Work::new(2 * n, 16 * n, 8 * n)
     }
 
     /// Parallel multicolour symmetric Gauss–Seidel sweep: each colour
@@ -335,22 +353,30 @@ impl Team {
         assert_eq!(b.len(), a.rows());
         assert_eq!(x.len(), a.rows());
         if self.threads() == 1 {
-            return coloring::mc_symgs_sweep(a, coloring, b, x);
+            // The cache-blocked serial sweep is bit-identical to the naive
+            // one and faster (diagonal gathered once, slice row access).
+            return coloring::mc_symgs_sweep_blocked(a, coloring, b, x);
         }
         debug_assert!(coloring.is_valid_for(a), "invalid colouring");
         let t = self.threads();
         let groups = coloring.groups();
+        // Gather the diagonal once per sweep instead of re-scanning every
+        // row's entries in both directions (same value, so bit-identity
+        // with the serial sweep is preserved).
+        let diag: Vec<f64> = (0..a.rows()).map(|r| a.diag(r)).collect();
         let xs = SharedSlice::new(x);
         // SAFETY (both closures): within one colour group, each row is
         // written by exactly one lane, and off-diagonal reads only touch
         // rows of other colours — which nothing writes during this group.
         let relax_row = |r: usize| {
-            let d = a.diag(r);
+            let d = diag[r];
             if d == 0.0 {
                 return;
             }
             let mut acc = b[r];
-            for (c, v) in a.row(r) {
+            let (cols, vals) = a.row_parts(r);
+            for (cc, v) in cols.iter().zip(vals) {
+                let c = *cc as usize;
                 if c != r {
                     acc -= v * unsafe { xs.get(c) };
                 }
@@ -385,23 +411,31 @@ impl Team {
     }
 
     /// Slice-parallel SELL-C-σ SpMV: slices (groups of C rows) are
-    /// block-partitioned over the team. Each slice writes a disjoint set of
-    /// output rows (through the σ-permutation), and per-row arithmetic is
-    /// identical to [`SellMatrix::spmv`], so the result is bit-identical.
+    /// block-partitioned over the team at slice granularity. Each slice
+    /// writes a disjoint set of output rows (through the σ-permutation),
+    /// and per-row arithmetic is identical to [`SellMatrix::spmv`], so the
+    /// result is bit-identical.
+    ///
+    /// The serial cutover gates on *slice row-ops* — [`SellMatrix::stored`]
+    /// counts padded entries too, which cost vector-unit work just like
+    /// real non-zeros — and both the serial fallback and the pooled lanes
+    /// run the unrolled chunked kernel
+    /// ([`SellMatrix::spmv_slices_chunked`]), so SELL never pays the
+    /// dispatch machinery for work the padding already made cheap.
     pub fn sell_spmv(&self, m: &SellMatrix, x: &[f64], y: &mut [f64]) -> Work {
         assert_eq!(x.len(), m.cols(), "sell_spmv: x length mismatch");
         assert_eq!(y.len(), m.rows(), "sell_spmv: y length mismatch");
         let ns = m.num_slices();
-        if self.serial(m.nnz()) || ns < self.threads() {
-            return m.spmv(x, y);
+        if self.serial(m.stored()) || ns < self.threads() {
+            return m.spmv_chunked(x, y);
         }
         let part = self.partition(ns);
         let out = SharedSlice::new(y);
         self.pool.run(|lane| {
             let (lo, hi) = part.range(lane);
-            // SAFETY: slices own disjoint row sets; `spmv_slices` writes
-            // only rows of slices `lo..hi`.
-            unsafe { m.spmv_slices(lo, hi, x, &out) };
+            // SAFETY: slices own disjoint row sets; `spmv_slices_chunked`
+            // writes only rows of slices `lo..hi`.
+            unsafe { m.spmv_slices_chunked(lo, hi, x, &out) };
         });
         m.spmv_work()
     }
